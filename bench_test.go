@@ -1,0 +1,223 @@
+// Package main's bench_test.go is the benchmark harness of deliverable (d):
+// one testing.B benchmark per table and figure of the dissertation's
+// evaluation, each delegating to the internal/experiments runner that
+// regenerates the corresponding rows/series (see DESIGN.md's
+// per-experiment index and EXPERIMENTS.md for paper-vs-measured notes).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package main
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"hypre/internal/experiments"
+	"hypre/internal/workload"
+)
+
+var (
+	benchOnce sync.Once
+	benchLab  *experiments.Lab
+	benchErr  error
+)
+
+// benchSetup builds the shared workload once; its cost is excluded from
+// every benchmark via b.ResetTimer.
+func benchSetup(b *testing.B) *experiments.Lab {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := workload.DefaultConfig()
+		cfg.NumPapers = 2000
+		cfg.NumAuthors = 600
+		cfg.NumVenues = 25
+		benchLab, benchErr = experiments.NewLab(cfg)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchLab
+}
+
+const benchProfileCap = 16
+
+func BenchmarkTable10_DatasetStats(b *testing.B) {
+	l := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable10(l)
+		if len(r.Relations) == 0 {
+			b.Fatal("no relations")
+		}
+	}
+}
+
+func BenchmarkTable11_InsertionTime(b *testing.B) {
+	l := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunTable11(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.QuantCount == 0 {
+			b.Fatal("no insertions")
+		}
+	}
+}
+
+func BenchmarkTable12_DefaultValues(b *testing.B) {
+	l := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable12(l, l.Modest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13_NodeInsertion(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig13(5, 20000)
+		if len(r.Points) != 5 {
+			b.Fatal("bad points")
+		}
+	}
+}
+
+func BenchmarkFig17_PrefDistribution(b *testing.B) {
+	l := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig17(l)
+		if r.Users == 0 {
+			b.Fatal("no users")
+		}
+	}
+}
+
+func BenchmarkFig18_19_Utility(b *testing.B) {
+	l := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig18Utility(l, l.Modest, benchProfileCap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig20_25_TuplesIntensity(b *testing.B) {
+	l := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig18Utility(l, l.Rich, benchProfileCap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.RenderTuplesIntensity(io.Discard)
+	}
+}
+
+func BenchmarkFig26_27_PrefGrowth(b *testing.B) {
+	l := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig26PrefGrowth(l, l.Rich)
+		if r.FromGraph == 0 {
+			b.Fatal("no growth data")
+		}
+	}
+}
+
+func BenchmarkFig28_Coverage(b *testing.B) {
+	l := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig28Coverage(l, l.Modest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig29_31_CombineTwo(b *testing.B) {
+	l := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig29CombineTwo(l, l.Modest, benchProfileCap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig32_34_PartiallyCombineAll(b *testing.B) {
+	l := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig32PartiallyCombineAll(l, l.Modest, benchProfileCap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig35_36_BiasRandom(b *testing.B) {
+	l := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig35BiasRandom(l, l.Modest, 10, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig37_38_PEPSvsTA(b *testing.B) {
+	l := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig37PEPSvsTA(l, l.Modest, 100, benchProfileCap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig39_40_PEPSTime(b *testing.B) {
+	l := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig39PEPSTime(l, l.Modest,
+			[]int{10, 100, 400, 800}, 1, benchProfileCap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_Composition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAblationComposition()
+		if len(r.Rows) != 5 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+func BenchmarkAblation_PEPSVariants(b *testing.B) {
+	l := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationPEPS(l, l.Modest, 100, benchProfileCap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_PairCache(b *testing.B) {
+	l := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationPairCache(l, l.Modest, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Scholar is the full Chapter 6 pipeline as an application: generate a
+// citation network, extract every user's preferences from their publishing
+// and citing behaviour, build the multi-user HYPRE graph, and compare
+// personalized PEPS results against the Fagin TA baseline for one scholar —
+// the Figs. 37/38 story at example scale.
+//
+//	go run ./examples/scholar
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hypre/internal/core"
+	"hypre/internal/metrics"
+	"hypre/internal/workload"
+)
+
+func main() {
+	cfg := workload.DefaultConfig()
+	cfg.NumPapers = 2000
+	cfg.NumAuthors = 600
+	sys, prefs, err := core.NewSystemWithWorkload(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick the "rich" exemplar scholar (the paper's uid=2 stand-in).
+	uid, _ := prefs.PickUsers(170, 50)
+	qt, ql := prefs.UserPrefs(uid)
+	fmt.Printf("scholar uid=%d: %d quantitative + %d qualitative extracted preferences\n",
+		uid, len(qt), len(ql))
+
+	prof := sys.Profile(uid)
+	fmt.Printf("converted profile: %d usable preferences\n\n", len(prof))
+
+	const k = 100
+	peps, err := sys.TopK(uid, k, core.Complete)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ta, err := sys.TopKBaseline(uid, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-4s %-34s %-20s\n", "rank", "PEPS (hybrid profile)", "TA (quantitative only)")
+	for i := 0; i < k && (i < len(peps) || i < len(ta)); i++ {
+		var l, r string
+		if i < len(peps) {
+			row, _ := sys.TupleByKey("dblp", "pid", peps[i].PID)
+			l = fmt.Sprintf("%.4f %s", peps[i].Intensity, core.DescribeTuple(row, "venue", "year"))
+		}
+		if i < len(ta) {
+			r = fmt.Sprintf("%.4f pid=%d", ta[i].Intensity, ta[i].PID)
+		}
+		fmt.Printf("%-4d %-34s %-20s\n", i+1, l, r)
+	}
+
+	sim := metrics.Similarity(metrics.PIDs(peps), metrics.PIDs(ta))
+	ovl := metrics.Overlap(metrics.PIDs(peps), metrics.PIDs(ta))
+	fmt.Printf("\nsimilarity %.0f%%, pairwise order concordance on shared tuples %.0f%%\n", sim*100, ovl*100)
+	fmt.Println("PEPS diverges from TA where qualitative knowledge adds or boosts tuples")
+	fmt.Println("TA cannot see; on a purely quantitative profile the two agree exactly")
+	fmt.Println("(100% similarity and overlap — see the fig37 experiment).")
+}

@@ -1,0 +1,116 @@
+package combine
+
+import (
+	"math/rand"
+	"testing"
+
+	"hypre/internal/hypre"
+	"hypre/internal/relstore"
+)
+
+func benchProfile(b *testing.B) ([]hypre.ScoredPred, *Evaluator) {
+	b.Helper()
+	ev := NewEvaluator(benchDB(), baseQuery, "dblp.pid")
+	prefs := []hypre.ScoredPred{
+		mustSPB(b, `dblp.venue="VLDB"`, 0.50),
+		mustSPB(b, `dblp.venue="PVLDB"`, 0.45),
+		mustSPB(b, `dblp.venue="SIGMOD"`, 0.40),
+		mustSPB(b, `dblp_author.aid=1`, 0.30),
+		mustSPB(b, `dblp_author.aid=2`, 0.25),
+		mustSPB(b, `dblp_author.aid=3`, 0.20),
+		mustSPB(b, `dblp.year>=2009`, 0.10),
+	}
+	return prefs, ev
+}
+
+func mustSPB(b *testing.B, pred string, in float64) hypre.ScoredPred {
+	b.Helper()
+	p, err := hypre.NewScoredPred(pred, in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// benchDB mirrors the Table 6 fixture without *testing.T plumbing.
+func benchDB() *relstore.DB { return buildTestDB() }
+
+func BenchmarkEvaluatorComboSet(b *testing.B) {
+	prefs, ev := benchProfile(b)
+	c := NewCombo(prefs[0]).And(prefs[3]).Or(prefs[4])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.ComboSet(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCombineTwoAND(b *testing.B) {
+	prefs, ev := benchProfile(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CombineTwo(prefs, ev, SemanticsAND); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartiallyCombineAll(b *testing.B) {
+	prefs, ev := benchProfile(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PartiallyCombineAll(prefs, ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBiasRandom(b *testing.B) {
+	prefs, ev := benchProfile(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BiasRandom(prefs, ev, rand.New(rand.NewSource(int64(i))), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPEPSComplete(b *testing.B) {
+	prefs, ev := benchProfile(b)
+	pt, err := BuildPairTable(prefs, ev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PEPS(prefs, pt, ev, 9, Complete); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildPairTable(b *testing.B) {
+	prefs, ev := benchProfile(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildPairTable(prefs, ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIntSetIntersect(b *testing.B) {
+	xs := make([]int64, 2000)
+	ys := make([]int64, 2000)
+	for i := range xs {
+		xs[i] = int64(i * 2)
+		ys[i] = int64(i * 3)
+	}
+	a, c := NewIntSet(xs), NewIntSet(ys)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Intersect(c)
+	}
+}

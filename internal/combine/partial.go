@@ -1,0 +1,91 @@
+package combine
+
+import "hypre/internal/hypre"
+
+// PartiallyCombineAll is Algorithm 4: it walks the preference list (sorted
+// descending by intensity) and grows combinations under three conditions:
+//
+//   - Condition 1: a preference on a new attribute is AND-ed onto every
+//     combination created so far (re-running them), because AND combinations
+//     inflate the combined intensity.
+//   - Condition 2: a preference on an already-used attribute, when the last
+//     combination has no AND, is OR-ed onto the last combination only.
+//   - Condition 3: a preference on an already-used attribute, when the last
+//     combination does contain an AND, is (a) AND-ed onto every prior
+//     combination that does not constrain the attribute yet, and (b) OR-ed
+//     into the attribute's group of the last combination.
+//
+// The worked example of §5.3.2 (P1=venue, P2/P3=author) produces:
+//
+//	C1: venue=INFOCOM
+//	C2: venue=INFOCOM AND aid=2222
+//	C3: venue=INFOCOM AND aid=4787
+//	C4: venue=INFOCOM AND (aid=2222 OR aid=4787)
+//
+// which this implementation reproduces (see tests). The output records
+// every combination run, in run order.
+func PartiallyCombineAll(prefs []hypre.ScoredPred, ev *Evaluator) (Records, error) {
+	var out Records
+	var combos []Combo // queriesRan, in run order
+	attributesUsed := map[string]bool{}
+
+	run := func(c Combo) error {
+		r, err := ev.Run(c)
+		if err != nil {
+			return err
+		}
+		out = append(out, r)
+		combos = append(combos, c)
+		return nil
+	}
+
+	for _, p := range prefs {
+		attr := p.Attr
+		switch {
+		case len(combos) == 0:
+			// First preference starts the first combination.
+			if err := run(NewCombo(p)); err != nil {
+				return nil, err
+			}
+			attributesUsed[attr] = true
+
+		case attr == "" || !attributesUsed[attr]:
+			// Condition 1: a brand-new attribute is AND-ed onto every
+			// combination created so far.
+			snapshot := append([]Combo(nil), combos...)
+			for _, c := range snapshot {
+				if err := run(c.And(p)); err != nil {
+					return nil, err
+				}
+			}
+			attributesUsed[attr] = true
+
+		default:
+			last := combos[len(combos)-1]
+			if !last.HasAnd() {
+				// Condition 2: only one attribute in play; extend the last
+				// combination with OR.
+				if err := run(last.Or(p)); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			// Condition 3a: AND onto prior combinations lacking the
+			// attribute.
+			snapshot := append([]Combo(nil), combos...)
+			for _, c := range snapshot {
+				if c.HasAttr(attr) {
+					continue
+				}
+				if err := run(c.And(p)); err != nil {
+					return nil, err
+				}
+			}
+			// Condition 3b: OR into the last original combination's group.
+			if err := run(last.Or(p)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

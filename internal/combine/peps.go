@@ -1,0 +1,261 @@
+package combine
+
+import (
+	"math"
+	"sort"
+
+	"hypre/internal/hypre"
+)
+
+// PairEntry is one row of the pre-computed combinations-of-two table of
+// §5.5: an applicable AND pair of profile preferences with its combined
+// intensity and tuple count.
+type PairEntry struct {
+	I, J      int // indexes into the profile (I < J)
+	Intensity float64
+	Count     int
+}
+
+// PairTable holds every applicable two-preference combination, sorted
+// descending by combined intensity, with a per-first-preference index. It
+// is rebuilt when the preference graph changes (the paper updates it on
+// graph updates).
+type PairTable struct {
+	Prefs   []hypre.ScoredPred
+	Pairs   []PairEntry
+	byFirst map[int][]PairEntry
+}
+
+// BuildPairTable computes the table: all (i, j) with i < j whose AND
+// combination is applicable (returns tuples).
+func BuildPairTable(prefs []hypre.ScoredPred, ev *Evaluator) (*PairTable, error) {
+	pt := &PairTable{Prefs: prefs, byFirst: make(map[int][]PairEntry)}
+	for i := 0; i < len(prefs); i++ {
+		for j := i + 1; j < len(prefs); j++ {
+			c := NewCombo(prefs[i]).And(prefs[j])
+			n, err := ev.Count(c)
+			if err != nil {
+				return nil, err
+			}
+			if n == 0 {
+				continue
+			}
+			e := PairEntry{I: i, J: j, Intensity: c.Intensity(), Count: n}
+			pt.Pairs = append(pt.Pairs, e)
+		}
+	}
+	sort.SliceStable(pt.Pairs, func(a, b int) bool {
+		return pt.Pairs[a].Intensity > pt.Pairs[b].Intensity
+	})
+	for _, e := range pt.Pairs {
+		pt.byFirst[e.I] = append(pt.byFirst[e.I], e)
+	}
+	return pt, nil
+}
+
+// CombsOfTwo returns the valid pairs starting at preference index i,
+// descending by combined intensity — the CombsOfTwo(p) lookup of
+// Algorithm 6.
+func (pt *PairTable) CombsOfTwo(i int) []PairEntry { return pt.byFirst[i] }
+
+// Variant selects between the Complete and Approximate PEPS algorithms
+// (§5.5.1 / §5.5.2).
+type Variant int
+
+const (
+	// Complete keeps every pair that could still beat the anchor's
+	// intensity given enough extra predicates (Proposition 6's optimistic
+	// bound) — no combination is lost.
+	Complete Variant = iota
+	// Approximate keeps only pairs whose combined intensity already exceeds
+	// the anchor's, trading possible misses for speed.
+	Approximate
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	if v == Complete {
+		return "complete"
+	}
+	return "approximate"
+}
+
+// ScoredTuple is one ranked result tuple.
+type ScoredTuple struct {
+	PID       int64
+	Intensity float64
+}
+
+// TopKResult is the output of PEPS: up to K tuples in descending assigned
+// intensity, plus work counters for the efficiency experiments.
+type TopKResult struct {
+	Tuples []ScoredTuple
+	// CombosExpanded counts the multi-predicate combinations generated.
+	CombosExpanded int
+	// AnchorsUsed counts how many profile preferences seeded expansion
+	// before K tuples were collected.
+	AnchorsUsed int
+}
+
+// maxChainExpansions bounds DFS expansion for safety on adversarial
+// profiles (the worst case is exponential, Proposition 3); the limit never
+// triggers on the dissertation's workload sizes.
+const maxChainExpansions = 200000
+
+// PEPS is the Practical and Efficient Preference Selection algorithm
+// (Algorithm 6): using the pre-computed pair table, it expands applicable
+// AND chains anchored at each profile preference in descending-intensity
+// order, accumulates the resulting combinations, and returns the first k
+// distinct tuples ranked by combined intensity. Single preferences
+// participate as 1-predicate combinations so flooding/starvation cases
+// still fill K.
+func PEPS(prefs []hypre.ScoredPred, pt *PairTable, ev *Evaluator, k int, variant Variant) (TopKResult, error) {
+	var res TopKResult
+	if k <= 0 || len(prefs) == 0 {
+		return res, nil
+	}
+
+	// suffixBound[a] = f∧ over prefs[a:] — the best intensity any chain
+	// anchored at or after a can reach (all intensities are >= 0 in the
+	// positive profile).
+	suffixBound := make([]float64, len(prefs)+1)
+	prod := 1.0
+	for a := len(prefs) - 1; a >= 0; a-- {
+		p := prefs[a].Intensity
+		if p < 0 {
+			p = 0
+		}
+		prod *= 1 - p
+		suffixBound[a] = 1 - prod
+	}
+
+	var order Records
+	expansions := 0
+
+	// Singles participate with their own intensity.
+	for i := range prefs {
+		r, err := ev.Run(NewCombo(prefs[i]))
+		if err != nil {
+			return res, err
+		}
+		if r.NumTuples > 0 {
+			order = append(order, r)
+		}
+	}
+
+	kthIntensity := func() (float64, int) {
+		tuples := collectTuples(order, math.MaxInt32)
+		if len(tuples) < k {
+			return -1, len(tuples)
+		}
+		return tuples[k-1].Intensity, len(tuples)
+	}
+
+	for a := 0; a < len(prefs); a++ {
+		res.AnchorsUsed = a + 1
+		anchor := prefs[a].Intensity
+
+		// Working set: pairs anchored at a, filtered per variant.
+		var seeds []PairEntry
+		for _, e := range pt.CombsOfTwo(a) {
+			switch variant {
+			case Approximate:
+				if e.Intensity <= anchor {
+					continue
+				}
+			case Complete:
+				// Keep the pair if enough remaining preferences could lift
+				// it past the anchor (Proposition 6, with the weaker
+				// member's intensity as the per-step gain).
+				if e.Intensity <= anchor {
+					need := hypre.MinPreferencesToExceed(anchor, pt.Prefs[e.J].Intensity)
+					if math.IsInf(need, 1) || need > float64(len(prefs)-2) {
+						continue
+					}
+				}
+			}
+			seeds = append(seeds, e)
+		}
+
+		// DFS expansion: a chain i1 < i2 < ... where every consecutive pair
+		// is in the table and the whole conjunction stays applicable. Every
+		// applicable chain lands in ORDER — not just maximal ones — so a
+		// tuple that drops out of a longer extension still gets credited
+		// with the f∧ of exactly the preferences it matches (this is what
+		// keeps PEPS's assigned intensities equal to TA's aggregates on
+		// quantitative-only profiles, §7.6.3).
+		var dfs func(chain []int, c Combo) error
+		dfs = func(chain []int, c Combo) error {
+			if expansions >= maxChainExpansions {
+				return nil
+			}
+			expansions++
+			r, err := ev.Run(c)
+			if err != nil {
+				return err
+			}
+			order = append(order, r)
+			res.CombosExpanded++
+			last := chain[len(chain)-1]
+			for _, e := range pt.CombsOfTwo(last) {
+				next := e.J
+				cand := c.And(pt.Prefs[next])
+				ok, err := ev.Applicable(cand)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				if err := dfs(append(chain, next), cand); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, e := range seeds {
+			c := NewCombo(pt.Prefs[e.I]).And(pt.Prefs[e.J])
+			if err := dfs([]int{e.I, e.J}, c); err != nil {
+				return res, err
+			}
+		}
+
+		// Early exit: if k tuples are already collected and no chain
+		// anchored later can beat the current k-th intensity, stop.
+		if kth, n := kthIntensity(); n >= k && a+1 < len(prefs) && suffixBound[a+1] <= kth {
+			break
+		}
+	}
+
+	res.Tuples = collectTuples(order, k)
+	return res, nil
+}
+
+// collectTuples assigns every tuple the best combined intensity among the
+// combinations that returned it, then ranks tuples by (intensity desc, pid
+// asc) and truncates at limit. The pid tie-break matches the TA baseline's,
+// so rankings are directly comparable.
+func collectTuples(order Records, limit int) []ScoredTuple {
+	best := map[int64]float64{}
+	for _, r := range order {
+		for _, pid := range r.Tuples {
+			if cur, ok := best[pid]; !ok || r.Intensity > cur {
+				best[pid] = r.Intensity
+			}
+		}
+	}
+	out := make([]ScoredTuple, 0, len(best))
+	for pid, in := range best {
+		out = append(out, ScoredTuple{PID: pid, Intensity: in})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Intensity != out[j].Intensity {
+			return out[i].Intensity > out[j].Intensity
+		}
+		return out[i].PID < out[j].PID
+	})
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}

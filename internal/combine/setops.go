@@ -1,0 +1,166 @@
+package combine
+
+// IntSet is a sorted, deduplicated set of tuple ids (pids). The evaluator
+// materializes one per atomic preference predicate and answers combination
+// queries with set algebra, mirroring the pre-computed combination table of
+// §5.5 ("a pre-computed list of combinations of two predicates").
+type IntSet []int64
+
+// NewIntSet builds a set from arbitrary input (sorts and dedupes).
+func NewIntSet(vals []int64) IntSet {
+	if len(vals) == 0 {
+		return IntSet{}
+	}
+	s := append(IntSet(nil), vals...)
+	sortInt64(s)
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func sortInt64(s []int64) {
+	// Simple bottom-up merge sort to stay allocation-light; inputs are the
+	// per-predicate result sets, typically small.
+	if len(s) < 2 {
+		return
+	}
+	buf := make([]int64, len(s))
+	for width := 1; width < len(s); width *= 2 {
+		for lo := 0; lo < len(s); lo += 2 * width {
+			mid := lo + width
+			hi := lo + 2*width
+			if mid > len(s) {
+				mid = len(s)
+			}
+			if hi > len(s) {
+				hi = len(s)
+			}
+			mergeInt64(buf[lo:hi], s[lo:mid], s[mid:hi])
+		}
+		copy(s, buf)
+	}
+}
+
+func mergeInt64(dst, a, b []int64) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(dst[k:], a[i:])
+	copy(dst[k+len(a)-i:], b[j:])
+}
+
+// Len returns the cardinality.
+func (s IntSet) Len() int { return len(s) }
+
+// Contains reports membership via binary search.
+func (s IntSet) Contains(v int64) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == v
+}
+
+// Intersect returns s ∩ o.
+func (s IntSet) Intersect(o IntSet) IntSet {
+	small, large := s, o
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	var out IntSet
+	if len(small) == 0 {
+		return out
+	}
+	// Galloping would help for very lopsided sizes; linear merge is fine at
+	// this scale.
+	i, j := 0, 0
+	for i < len(small) && j < len(large) {
+		switch {
+		case small[i] < large[j]:
+			i++
+		case small[i] > large[j]:
+			j++
+		default:
+			out = append(out, small[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Union returns s ∪ o.
+func (s IntSet) Union(o IntSet) IntSet {
+	out := make(IntSet, 0, len(s)+len(o))
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		switch {
+		case s[i] < o[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] > o[j]:
+			out = append(out, o[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	out = append(out, o[j:]...)
+	return out
+}
+
+// Minus returns s \ o.
+func (s IntSet) Minus(o IntSet) IntSet {
+	var out IntSet
+	i, j := 0, 0
+	for i < len(s) {
+		switch {
+		case j >= len(o) || s[i] < o[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] > o[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// IntersectsAny reports whether the intersection is non-empty without
+// materializing it — the applicability check of Definition 15.
+func (s IntSet) IntersectsAny(o IntSet) bool {
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		switch {
+		case s[i] < o[j]:
+			i++
+		case s[i] > o[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,378 @@
+// Package cpnet implements Conditional Preference Networks (Definition 12 /
+// Fig. 3): a directed graph over attributes where each node carries a
+// conditional preference table (CPT) ordering its values given its
+// parents' values. The dissertation surveys CP-nets as the AI-side
+// formalism for contextual qualitative preferences; this implementation
+// provides construction, validation, the improving-flip relation, and
+// ceteris-paribus dominance via flip-sequence search — enough to run the
+// genre/director example of Fig. 3.
+package cpnet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Net is a CP-net over named attributes.
+type Net struct {
+	attrs   []string
+	domains map[string][]string
+	parents map[string][]string
+	cpts    map[string]map[string][]string // attr -> parent-assignment key -> value order (best first)
+}
+
+// New creates an empty net.
+func New() *Net {
+	return &Net{
+		domains: map[string][]string{},
+		parents: map[string][]string{},
+		cpts:    map[string]map[string][]string{},
+	}
+}
+
+// AddAttr declares an attribute with its value domain.
+func (n *Net) AddAttr(name string, domain ...string) error {
+	if _, dup := n.domains[name]; dup {
+		return fmt.Errorf("cpnet: duplicate attribute %q", name)
+	}
+	if len(domain) == 0 {
+		return fmt.Errorf("cpnet: attribute %q needs a domain", name)
+	}
+	seen := map[string]bool{}
+	for _, v := range domain {
+		if seen[v] {
+			return fmt.Errorf("cpnet: duplicate domain value %q for %q", v, name)
+		}
+		seen[v] = true
+	}
+	n.attrs = append(n.attrs, name)
+	n.domains[name] = append([]string(nil), domain...)
+	n.cpts[name] = map[string][]string{}
+	return nil
+}
+
+// SetParents declares the ancestors Z_i of an attribute (the edges of the
+// CP-net graph). Parents must exist and must not create a cycle.
+func (n *Net) SetParents(attr string, parents ...string) error {
+	if _, ok := n.domains[attr]; !ok {
+		return fmt.Errorf("cpnet: unknown attribute %q", attr)
+	}
+	for _, p := range parents {
+		if _, ok := n.domains[p]; !ok {
+			return fmt.Errorf("cpnet: unknown parent %q", p)
+		}
+		if p == attr {
+			return fmt.Errorf("cpnet: %q cannot be its own parent", attr)
+		}
+	}
+	old := n.parents[attr]
+	n.parents[attr] = append([]string(nil), parents...)
+	if n.hasCycle() {
+		n.parents[attr] = old
+		return fmt.Errorf("cpnet: parents of %q would create a cycle", attr)
+	}
+	return nil
+}
+
+func (n *Net) hasCycle() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(a string) bool
+	visit = func(a string) bool {
+		color[a] = gray
+		for _, p := range n.parents[a] {
+			switch color[p] {
+			case gray:
+				return true
+			case white:
+				if visit(p) {
+					return true
+				}
+			}
+		}
+		color[a] = black
+		return false
+	}
+	for _, a := range n.attrs {
+		if color[a] == white && visit(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// SetCPT records the value order (best first) of attr under a parent
+// assignment. The assignment maps each declared parent to one of its
+// domain values; order must be a permutation of attr's domain.
+func (n *Net) SetCPT(attr string, assignment map[string]string, order ...string) error {
+	dom, ok := n.domains[attr]
+	if !ok {
+		return fmt.Errorf("cpnet: unknown attribute %q", attr)
+	}
+	if len(order) != len(dom) {
+		return fmt.Errorf("cpnet: CPT order for %q must list all %d values", attr, len(dom))
+	}
+	want := map[string]bool{}
+	for _, v := range dom {
+		want[v] = true
+	}
+	for _, v := range order {
+		if !want[v] {
+			return fmt.Errorf("cpnet: CPT value %q not in domain of %q (or duplicated)", v, attr)
+		}
+		delete(want, v)
+	}
+	key, err := n.assignmentKey(attr, assignment)
+	if err != nil {
+		return err
+	}
+	n.cpts[attr][key] = append([]string(nil), order...)
+	return nil
+}
+
+func (n *Net) assignmentKey(attr string, assignment map[string]string) (string, error) {
+	ps := n.parents[attr]
+	if len(assignment) != len(ps) {
+		return "", fmt.Errorf("cpnet: assignment for %q must cover exactly its %d parents", attr, len(ps))
+	}
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		v, ok := assignment[p]
+		if !ok {
+			return "", fmt.Errorf("cpnet: assignment for %q missing parent %q", attr, p)
+		}
+		if !n.inDomain(p, v) {
+			return "", fmt.Errorf("cpnet: %q is not a value of parent %q", v, p)
+		}
+		parts[i] = p + "=" + v
+	}
+	return strings.Join(parts, ","), nil
+}
+
+func (n *Net) inDomain(attr, v string) bool {
+	for _, d := range n.domains[attr] {
+		if d == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Outcome is a complete assignment: attribute -> value.
+type Outcome map[string]string
+
+// Validate checks that the outcome assigns a domain value to every
+// attribute.
+func (n *Net) Validate(o Outcome) error {
+	if len(o) != len(n.attrs) {
+		return fmt.Errorf("cpnet: outcome must assign all %d attributes", len(n.attrs))
+	}
+	for _, a := range n.attrs {
+		v, ok := o[a]
+		if !ok {
+			return fmt.Errorf("cpnet: outcome missing attribute %q", a)
+		}
+		if !n.inDomain(a, v) {
+			return fmt.Errorf("cpnet: %q is not a value of %q", v, a)
+		}
+	}
+	return nil
+}
+
+// valueRank returns the position of v in attr's CPT order under the
+// outcome's parent values (0 = best); an error if the CPT row is missing.
+func (n *Net) valueRank(attr string, o Outcome) (int, error) {
+	assignment := map[string]string{}
+	for _, p := range n.parents[attr] {
+		assignment[p] = o[p]
+	}
+	key, err := n.assignmentKey(attr, assignment)
+	if err != nil {
+		return 0, err
+	}
+	order, ok := n.cpts[attr][key]
+	if !ok {
+		return 0, fmt.Errorf("cpnet: no CPT row for %q under %q", attr, key)
+	}
+	for i, v := range order {
+		if v == o[attr] {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("cpnet: value %q not in CPT order of %q", o[attr], attr)
+}
+
+// ImprovingFlip reports whether changing exactly attribute attr turns worse
+// into better, all else equal, according to attr's CPT under the shared
+// parent context — the single ceteris-paribus step of CP-net semantics.
+func (n *Net) ImprovingFlip(worse, better Outcome, attr string) (bool, error) {
+	if err := n.Validate(worse); err != nil {
+		return false, err
+	}
+	if err := n.Validate(better); err != nil {
+		return false, err
+	}
+	for _, a := range n.attrs {
+		if a != attr && worse[a] != better[a] {
+			return false, nil
+		}
+	}
+	if worse[attr] == better[attr] {
+		return false, nil
+	}
+	rw, err := n.valueRank(attr, worse)
+	if err != nil {
+		return false, err
+	}
+	rb, err := n.valueRank(attr, better)
+	if err != nil {
+		return false, err
+	}
+	return rb < rw, nil
+}
+
+// Dominates reports whether a is preferred over b: a sequence of improving
+// flips leads from b to a. This is the standard (expensive) dominance
+// query, answered by BFS over the outcome space; domains here are small
+// (the Fig. 3 scale), so exhaustive search is fine.
+func (n *Net) Dominates(a, b Outcome) (bool, error) {
+	if err := n.Validate(a); err != nil {
+		return false, err
+	}
+	if err := n.Validate(b); err != nil {
+		return false, err
+	}
+	target := outcomeKey(n.attrs, a)
+	if target == outcomeKey(n.attrs, b) {
+		return false, nil
+	}
+	seen := map[string]bool{outcomeKey(n.attrs, b): true}
+	queue := []Outcome{cloneOutcome(b)}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, attr := range n.attrs {
+			for _, v := range n.domains[attr] {
+				if v == cur[attr] {
+					continue
+				}
+				next := cloneOutcome(cur)
+				next[attr] = v
+				ok, err := n.ImprovingFlip(cur, next, attr)
+				if err != nil {
+					return false, err
+				}
+				if !ok {
+					continue
+				}
+				k := outcomeKey(n.attrs, next)
+				if k == target {
+					return true, nil
+				}
+				if !seen[k] {
+					seen[k] = true
+					queue = append(queue, next)
+				}
+			}
+		}
+	}
+	return false, nil
+}
+
+// Order returns all outcomes topologically sorted from most to least
+// preferred (a linear extension of the dominance order), computed by
+// repeatedly emitting outcomes not dominated by any remaining one. Only
+// usable at toy scale; the Fig. 3 example has 4 outcomes.
+func (n *Net) Order() ([]Outcome, error) {
+	all := n.allOutcomes()
+	type node struct {
+		o   Outcome
+		key string
+	}
+	var nodes []node
+	for _, o := range all {
+		nodes = append(nodes, node{o: o, key: outcomeKey(n.attrs, o)})
+	}
+	dominated := map[string]map[string]bool{} // key -> set of keys dominating it
+	for _, x := range nodes {
+		dominated[x.key] = map[string]bool{}
+	}
+	for _, x := range nodes {
+		for _, y := range nodes {
+			if x.key == y.key {
+				continue
+			}
+			ok, err := n.Dominates(x.o, y.o)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				dominated[y.key][x.key] = true
+			}
+		}
+	}
+	var out []Outcome
+	emitted := map[string]bool{}
+	for len(out) < len(nodes) {
+		progress := false
+		for _, x := range nodes {
+			if emitted[x.key] {
+				continue
+			}
+			ready := true
+			for domKey := range dominated[x.key] {
+				if !emitted[domKey] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				out = append(out, x.o)
+				emitted[x.key] = true
+				progress = true
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("cpnet: dominance relation is cyclic")
+		}
+	}
+	return out, nil
+}
+
+func (n *Net) allOutcomes() []Outcome {
+	outs := []Outcome{{}}
+	for _, a := range n.attrs {
+		var next []Outcome
+		for _, o := range outs {
+			for _, v := range n.domains[a] {
+				c := cloneOutcome(o)
+				c[a] = v
+				next = append(next, c)
+			}
+		}
+		outs = next
+	}
+	return outs
+}
+
+func cloneOutcome(o Outcome) Outcome {
+	c := make(Outcome, len(o))
+	for k, v := range o {
+		c[k] = v
+	}
+	return c
+}
+
+func outcomeKey(attrs []string, o Outcome) string {
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = a + "=" + o[a]
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}

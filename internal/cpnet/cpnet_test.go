@@ -1,0 +1,203 @@
+package cpnet
+
+import "testing"
+
+// fig3Net builds the Fig. 3 CP-net: genre with comedy > drama; director
+// depends on genre with comedy: W.Allen > M.Curtiz and drama: M.Curtiz >
+// W.Allen.
+func fig3Net(t *testing.T) *Net {
+	t.Helper()
+	n := New()
+	if err := n.AddAttr("genre", "comedy", "drama"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddAttr("director", "W.Allen", "M.Curtiz"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetParents("director", "genre"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetCPT("genre", nil, "comedy", "drama"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetCPT("director", map[string]string{"genre": "comedy"}, "W.Allen", "M.Curtiz"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetCPT("director", map[string]string{"genre": "drama"}, "M.Curtiz", "W.Allen"); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestConstructionValidation(t *testing.T) {
+	n := New()
+	if err := n.AddAttr("a"); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if err := n.AddAttr("a", "x", "x"); err == nil {
+		t.Error("duplicate domain value accepted")
+	}
+	if err := n.AddAttr("a", "x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddAttr("a", "x"); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if err := n.SetParents("a", "missing"); err == nil {
+		t.Error("unknown parent accepted")
+	}
+	if err := n.SetParents("a", "a"); err == nil {
+		t.Error("self parent accepted")
+	}
+	if err := n.SetParents("missing", "a"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	n := New()
+	n.AddAttr("a", "1", "2")
+	n.AddAttr("b", "1", "2")
+	if err := n.SetParents("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetParents("b", "a"); err == nil {
+		t.Error("cycle accepted")
+	}
+	// The failed assignment must not have corrupted the net.
+	if err := n.SetParents("b"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetCPTValidation(t *testing.T) {
+	n := fig3Net(t)
+	if err := n.SetCPT("genre", nil, "comedy"); err == nil {
+		t.Error("short order accepted")
+	}
+	if err := n.SetCPT("genre", nil, "comedy", "comedy"); err == nil {
+		t.Error("duplicated order accepted")
+	}
+	if err := n.SetCPT("director", map[string]string{}, "W.Allen", "M.Curtiz"); err == nil {
+		t.Error("missing parent assignment accepted")
+	}
+	if err := n.SetCPT("director", map[string]string{"genre": "horror"}, "W.Allen", "M.Curtiz"); err == nil {
+		t.Error("out-of-domain parent value accepted")
+	}
+	if err := n.SetCPT("missing", nil, "x"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestValidateOutcome(t *testing.T) {
+	n := fig3Net(t)
+	if err := n.Validate(Outcome{"genre": "comedy", "director": "W.Allen"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(Outcome{"genre": "comedy"}); err == nil {
+		t.Error("partial outcome accepted")
+	}
+	if err := n.Validate(Outcome{"genre": "horror", "director": "W.Allen"}); err == nil {
+		t.Error("out-of-domain outcome accepted")
+	}
+}
+
+func TestImprovingFlip(t *testing.T) {
+	n := fig3Net(t)
+	comedyCurtiz := Outcome{"genre": "comedy", "director": "M.Curtiz"}
+	comedyAllen := Outcome{"genre": "comedy", "director": "W.Allen"}
+	dramaAllen := Outcome{"genre": "drama", "director": "W.Allen"}
+
+	// Under comedy, W.Allen improves on M.Curtiz.
+	ok, err := n.ImprovingFlip(comedyCurtiz, comedyAllen, "director")
+	if err != nil || !ok {
+		t.Errorf("flip = %v %v", ok, err)
+	}
+	// The reverse is not improving.
+	ok, _ = n.ImprovingFlip(comedyAllen, comedyCurtiz, "director")
+	if ok {
+		t.Error("worsening flip accepted")
+	}
+	// Flipping two attributes at once is not a flip.
+	ok, _ = n.ImprovingFlip(dramaAllen, comedyCurtiz, "director")
+	if ok {
+		t.Error("double change accepted")
+	}
+	// Same outcome is not a flip.
+	ok, _ = n.ImprovingFlip(comedyAllen, comedyAllen, "director")
+	if ok {
+		t.Error("no-op accepted")
+	}
+}
+
+func TestDominanceFig3(t *testing.T) {
+	n := fig3Net(t)
+	best := Outcome{"genre": "comedy", "director": "W.Allen"}
+	second := Outcome{"genre": "comedy", "director": "M.Curtiz"}
+	third := Outcome{"genre": "drama", "director": "M.Curtiz"}
+	worst := Outcome{"genre": "drama", "director": "W.Allen"}
+
+	cases := []struct {
+		a, b Outcome
+		want bool
+	}{
+		{best, second, true},
+		{best, third, true},
+		{best, worst, true},
+		{second, best, false},
+		{third, worst, true},
+		{second, third, true}, // comedy/Curtiz -> flip genre? drama:Curtiz best under drama... check below
+		{worst, best, false},
+		{best, best, false},
+	}
+	for _, c := range cases {
+		got, err := n.Dominates(c.a, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOrderFig3(t *testing.T) {
+	n := fig3Net(t)
+	order, err := n.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 {
+		t.Fatalf("outcomes = %d", len(order))
+	}
+	// The classic CP-net total order for this example:
+	// comedy/Allen > comedy/Curtiz > drama/Curtiz > drama/Allen.
+	want := []Outcome{
+		{"genre": "comedy", "director": "W.Allen"},
+		{"genre": "comedy", "director": "M.Curtiz"},
+		{"genre": "drama", "director": "M.Curtiz"},
+		{"genre": "drama", "director": "W.Allen"},
+	}
+	for i, w := range want {
+		if order[i]["genre"] != w["genre"] || order[i]["director"] != w["director"] {
+			t.Errorf("position %d = %v, want %v", i, order[i], w)
+		}
+	}
+}
+
+func TestDominatesMissingCPTRow(t *testing.T) {
+	n := New()
+	n.AddAttr("genre", "comedy", "drama")
+	n.AddAttr("director", "A", "B")
+	n.SetParents("director", "genre")
+	n.SetCPT("genre", nil, "comedy", "drama")
+	n.SetCPT("director", map[string]string{"genre": "comedy"}, "A", "B")
+	// drama row missing: flips under drama must error.
+	_, err := n.Dominates(
+		Outcome{"genre": "drama", "director": "A"},
+		Outcome{"genre": "drama", "director": "B"},
+	)
+	if err == nil {
+		t.Error("missing CPT row should error")
+	}
+}

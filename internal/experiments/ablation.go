@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"io"
+	"math"
+	"time"
+
+	"hypre/internal/combine"
+	"hypre/internal/hypre"
+)
+
+// CompositionRow is one alternative composition function's behaviour on the
+// same preference list.
+type CompositionRow struct {
+	Name string
+	// OrderSpread is the max-min combined value over all 6 orderings of a
+	// 3-preference composition; 0 means order-independent (Prop. 1 holds
+	// only for f∧).
+	OrderSpread float64
+	// Inflationary reports whether the combined value of two preferences
+	// always dominates both inputs on the sample grid.
+	Inflationary bool
+	// Reserved reports whether the combined value always lies between the
+	// inputs.
+	Reserved bool
+}
+
+// AblationCompositionResult compares the paper's f∧/f∨ choices (Eq. 4.3 and
+// 4.4) against min/max/avg composition — the §4.6.1 design choice.
+type AblationCompositionResult struct {
+	Rows []CompositionRow
+}
+
+// RunAblationComposition evaluates each candidate on a grid of intensity
+// triples.
+func RunAblationComposition() AblationCompositionResult {
+	candidates := []struct {
+		name string
+		f    func(a, b float64) float64
+	}{
+		{"f_and (Eq 4.3)", hypre.FAnd},
+		{"f_or (Eq 4.4)", hypre.FOr},
+		{"min", math.Min},
+		{"max", math.Max},
+		{"avg", func(a, b float64) float64 { return (a + b) / 2 }},
+	}
+	var res AblationCompositionResult
+	grid := []float64{0, 0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 1}
+	for _, c := range candidates {
+		row := CompositionRow{Name: c.name, Inflationary: true, Reserved: true}
+		for _, p1 := range grid {
+			for _, p2 := range grid {
+				v := c.f(p1, p2)
+				if v < math.Max(p1, p2)-1e-12 {
+					row.Inflationary = false
+				}
+				if v < math.Min(p1, p2)-1e-12 || v > math.Max(p1, p2)+1e-12 {
+					row.Reserved = false
+				}
+				for _, p3 := range grid {
+					orders := []float64{
+						c.f(p1, c.f(p2, p3)), c.f(p2, c.f(p1, p3)), c.f(p3, c.f(p1, p2)),
+					}
+					lo, hi := orders[0], orders[0]
+					for _, o := range orders[1:] {
+						lo = math.Min(lo, o)
+						hi = math.Max(hi, o)
+					}
+					if hi-lo > row.OrderSpread {
+						row.OrderSpread = hi - lo
+					}
+				}
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render prints the composition comparison.
+func (r AblationCompositionResult) Render(w io.Writer) {
+	fprintf(w, "Ablation: composition functions\n")
+	fprintf(w, "%-16s %12s %13s %9s\n", "Function", "OrderSpread", "Inflationary", "Reserved")
+	for _, row := range r.Rows {
+		fprintf(w, "%-16s %12.4f %13v %9v\n", row.Name, row.OrderSpread, row.Inflationary, row.Reserved)
+	}
+}
+
+// AblationPEPSResult compares Complete vs Approximate PEPS on recall and
+// work (§5.5.2's trade-off).
+type AblationPEPSResult struct {
+	UID              int64
+	K                int
+	CompleteTuples   int
+	ApproxTuples     int
+	Recall           float64 // approximate ∩ complete / complete
+	CompleteExpanded int
+	ApproxExpanded   int
+	CompleteTime     time.Duration
+	ApproxTime       time.Duration
+}
+
+// RunAblationPEPS measures both variants on one user.
+func RunAblationPEPS(l *Lab, uid int64, k, profileCap int) (AblationPEPSResult, error) {
+	res := AblationPEPSResult{UID: uid, K: k}
+	prefs := l.ProfileFor(uid, profileCap)
+	ev := l.Evaluator()
+	pt, err := combine.BuildPairTable(prefs, ev)
+	if err != nil {
+		return res, err
+	}
+	start := time.Now()
+	comp, err := combine.PEPS(prefs, pt, ev, k, combine.Complete)
+	if err != nil {
+		return res, err
+	}
+	res.CompleteTime = time.Since(start)
+	start = time.Now()
+	appr, err := combine.PEPS(prefs, pt, ev, k, combine.Approximate)
+	if err != nil {
+		return res, err
+	}
+	res.ApproxTime = time.Since(start)
+
+	res.CompleteTuples = len(comp.Tuples)
+	res.ApproxTuples = len(appr.Tuples)
+	res.CompleteExpanded = comp.CombosExpanded
+	res.ApproxExpanded = appr.CombosExpanded
+	compSet := map[int64]bool{}
+	for _, t := range comp.Tuples {
+		compSet[t.PID] = true
+	}
+	hit := 0
+	for _, t := range appr.Tuples {
+		if compSet[t.PID] {
+			hit++
+		}
+	}
+	if res.CompleteTuples > 0 {
+		res.Recall = float64(hit) / float64(res.CompleteTuples)
+	}
+	return res, nil
+}
+
+// Render prints the PEPS variant comparison.
+func (r AblationPEPSResult) Render(w io.Writer) {
+	fprintf(w, "Ablation: Complete vs Approximate PEPS (uid=%d, k=%d)\n", r.UID, r.K)
+	fprintf(w, "complete:    %d tuples, %d combos expanded, %s\n",
+		r.CompleteTuples, r.CompleteExpanded, r.CompleteTime.Round(time.Microsecond))
+	fprintf(w, "approximate: %d tuples, %d combos expanded, %s (recall %.2f)\n",
+		r.ApproxTuples, r.ApproxExpanded, r.ApproxTime.Round(time.Microsecond), r.Recall)
+}
+
+// AblationPairCacheResult prices the §5.5 pre-computed pair table: the same
+// pair enumeration answered by cached set algebra vs fresh SQL queries.
+type AblationPairCacheResult struct {
+	UID        int64
+	Pairs      int
+	CachedTime time.Duration
+	SQLTime    time.Duration
+	SQLQueries int
+}
+
+// RunAblationPairCache measures pair-table construction with and without
+// the per-predicate set cache.
+func RunAblationPairCache(l *Lab, uid int64, profileCap int) (AblationPairCacheResult, error) {
+	res := AblationPairCacheResult{UID: uid}
+	prefs := l.ProfileFor(uid, profileCap)
+
+	ev := l.Evaluator()
+	start := time.Now()
+	pt, err := combine.BuildPairTable(prefs, ev)
+	if err != nil {
+		return res, err
+	}
+	res.CachedTime = time.Since(start)
+	res.Pairs = len(pt.Pairs)
+
+	evSQL := l.Evaluator()
+	start = time.Now()
+	for i := 0; i < len(prefs); i++ {
+		for j := i + 1; j < len(prefs); j++ {
+			c := combine.NewCombo(prefs[i]).And(prefs[j])
+			if _, err := evSQL.CountSQL(c); err != nil {
+				return res, err
+			}
+		}
+	}
+	res.SQLTime = time.Since(start)
+	res.SQLQueries = evSQL.Queries
+	return res, nil
+}
+
+// Render prints the pair-cache pricing.
+func (r AblationPairCacheResult) Render(w io.Writer) {
+	fprintf(w, "Ablation: pair-table pre-computation (uid=%d, %d applicable pairs)\n", r.UID, r.Pairs)
+	fprintf(w, "cached set algebra: %s\n", r.CachedTime.Round(time.Microsecond))
+	fprintf(w, "fresh SQL queries:  %s (%d queries)\n", r.SQLTime.Round(time.Microsecond), r.SQLQueries)
+	if r.CachedTime > 0 {
+		fprintf(w, "speedup: %.1fx\n", float64(r.SQLTime)/float64(r.CachedTime))
+	}
+}

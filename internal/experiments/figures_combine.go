@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"io"
+	"math/rand"
+
+	"hypre/internal/combine"
+)
+
+// Fig29Series is the intensity trajectory of one anchor preference under
+// one semantics — the "first/second/third preference AND / AND_OR" lines of
+// Figs. 29–31.
+type Fig29Series struct {
+	AnchorIndex int
+	Semantics   combine.Semantics
+	// Intensity per applicable pair, in partner order (inapplicable pairs
+	// are dropped, as the paper's plots do).
+	Intensity  []float64
+	Applicable int
+	Starved    int
+}
+
+// Fig29Result reproduces Figs. 29–31: Combine-Two intensity variation for
+// the first three anchor preferences, under both semantics.
+type Fig29Result struct {
+	UID    int64
+	Series []Fig29Series
+}
+
+// RunFig29CombineTwo runs Combine-Two over the profile (capped at
+// profileCap) with both semantics and extracts the first three anchors'
+// series.
+func RunFig29CombineTwo(l *Lab, uid int64, profileCap int) (Fig29Result, error) {
+	res := Fig29Result{UID: uid}
+	prefs := l.ProfileFor(uid, profileCap)
+	ev := l.Evaluator()
+	for _, sem := range []combine.Semantics{combine.SemanticsANDOR, combine.SemanticsAND} {
+		recs, err := combine.CombineTwo(prefs, ev, sem)
+		if err != nil {
+			return res, err
+		}
+		for anchor := 0; anchor < 3 && anchor < len(prefs); anchor++ {
+			s := Fig29Series{AnchorIndex: anchor, Semantics: sem}
+			for _, r := range recs {
+				if r.AnchorIndex != anchor {
+					continue
+				}
+				if r.NumTuples == 0 {
+					s.Starved++
+					continue
+				}
+				s.Applicable++
+				s.Intensity = append(s.Intensity, r.Intensity)
+			}
+			res.Series = append(res.Series, s)
+		}
+	}
+	return res, nil
+}
+
+// Render prints the Fig. 29–31 series.
+func (r Fig29Result) Render(w io.Writer) {
+	fprintf(w, "Fig 29-31: Combine-Two intensity variation (uid=%d)\n", r.UID)
+	for _, s := range r.Series {
+		fprintf(w, "-- anchor %d, %s: %d applicable, %d starved\n",
+			s.AnchorIndex+1, s.Semantics, s.Applicable, s.Starved)
+		for i, v := range s.Intensity {
+			fprintf(w, "%4d %10.4f\n", i, v)
+		}
+	}
+}
+
+// Fig32Result reproduces Figs. 32–34: Partially-Combine-All intensity
+// variation for combinations of exactly 2, 5 and 10 preferences, plus the
+// series of every combination with 10 or more preferences (Fig. 34).
+type Fig32Result struct {
+	UID         int64
+	By2         []float64
+	By5         []float64
+	By10        []float64
+	TenOrMore   []float64
+	TotalCombos int
+}
+
+// RunFig32PartiallyCombineAll derives the series from one
+// Partially-Combine-All run.
+func RunFig32PartiallyCombineAll(l *Lab, uid int64, profileCap int) (Fig32Result, error) {
+	res := Fig32Result{UID: uid}
+	prefs := l.ProfileFor(uid, profileCap)
+	ev := l.Evaluator()
+	recs, err := combine.PartiallyCombineAll(prefs, ev)
+	if err != nil {
+		return res, err
+	}
+	res.TotalCombos = len(recs)
+	for _, r := range recs {
+		switch {
+		case r.NumPreds == 2:
+			res.By2 = append(res.By2, r.Intensity)
+		case r.NumPreds == 5:
+			res.By5 = append(res.By5, r.Intensity)
+		case r.NumPreds == 10:
+			res.By10 = append(res.By10, r.Intensity)
+		}
+		if r.NumPreds >= 10 {
+			res.TenOrMore = append(res.TenOrMore, r.Intensity)
+		}
+	}
+	return res, nil
+}
+
+// Render prints the Fig. 32–34 series.
+func (r Fig32Result) Render(w io.Writer) {
+	fprintf(w, "Fig 32-34: Partially-Combine-All intensity variation (uid=%d, %d combinations)\n",
+		r.UID, r.TotalCombos)
+	emit := func(name string, xs []float64) {
+		fprintf(w, "-- %s (%d)\n", name, len(xs))
+		for i, v := range xs {
+			fprintf(w, "%4d %10.4f\n", i, v)
+		}
+	}
+	emit("2 preferences", r.By2)
+	emit("5 preferences", r.By5)
+	emit("10 preferences", r.By10)
+	emit(">=10 preferences", r.TenOrMore)
+}
+
+// Fig35Point is one Bias-Random run: how many applicable combinations it
+// produced vs how many attempts returned nothing.
+type Fig35Point struct {
+	Seed    int64
+	Valid   int
+	Invalid int
+}
+
+// Fig35Result reproduces Figs. 35/36: the (valid, invalid) scatter across
+// repeated Bias-Random runs.
+type Fig35Result struct {
+	UID    int64
+	Points []Fig35Point
+}
+
+// RunFig35BiasRandom performs `runs` seeded executions of
+// Bias-Random-Selection.
+func RunFig35BiasRandom(l *Lab, uid int64, profileCap, runs int) (Fig35Result, error) {
+	res := Fig35Result{UID: uid}
+	prefs := l.ProfileFor(uid, profileCap)
+	for seed := int64(0); seed < int64(runs); seed++ {
+		ev := l.Evaluator()
+		out, err := combine.BiasRandom(prefs, ev, rand.New(rand.NewSource(seed)), 1)
+		if err != nil {
+			return res, err
+		}
+		res.Points = append(res.Points, Fig35Point{Seed: seed, Valid: out.Valid, Invalid: out.Invalid})
+	}
+	return res, nil
+}
+
+// InvalidToValidRatio aggregates the scatter: total invalid over total
+// valid attempts (the paper's point: an order of magnitude more invalid).
+func (r Fig35Result) InvalidToValidRatio() float64 {
+	var v, iv int
+	for _, p := range r.Points {
+		v += p.Valid
+		iv += p.Invalid
+	}
+	if v == 0 {
+		return 0
+	}
+	return float64(iv) / float64(v)
+}
+
+// Render prints the Fig. 35/36 scatter.
+func (r Fig35Result) Render(w io.Writer) {
+	fprintf(w, "Fig 35/36: Bias-Random valid vs invalid combinations (uid=%d)\n", r.UID)
+	fprintf(w, "%6s %8s %8s\n", "seed", "valid", "invalid")
+	for _, p := range r.Points {
+		fprintf(w, "%6d %8d %8d\n", p.Seed, p.Valid, p.Invalid)
+	}
+	fprintf(w, "invalid/valid ratio: %.2f\n", r.InvalidToValidRatio())
+}

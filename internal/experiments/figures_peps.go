@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hypre/internal/combine"
+	"hypre/internal/hypre"
+	"hypre/internal/metrics"
+	"hypre/internal/topk"
+)
+
+// Fig37Result reproduces Figs. 37/38 and the §7.6.3 comparison: PEPS vs
+// Fagin's TA, first on a quantitative-only graph (expected: identical
+// rankings) and then on the full hybrid graph (expected: PEPS covers more
+// tuples at higher intensities; the shared tuples keep TA's order).
+type Fig37Result struct {
+	UID int64
+	K   int
+
+	// Quantitative-only comparison.
+	QTSimilarity float64
+	QTOverlap    float64
+
+	// Hybrid comparison.
+	HybridSimilarity float64
+	HybridOverlap    float64
+	PEPSTuples       []combine.ScoredTuple
+	TATuples         []combine.ScoredTuple
+	// Above-threshold counts (tuples with intensity >= the user's top
+	// original preference intensity) — the coverage advantage of Fig. 37.
+	Threshold    float64
+	PEPSAboveThr int
+	TAAboveThr   int
+}
+
+// RunFig37PEPSvsTA runs both algorithms for one user.
+func RunFig37PEPSvsTA(l *Lab, uid int64, k, profileCap int) (Fig37Result, error) {
+	res := Fig37Result{UID: uid, K: k}
+
+	// Phase 1: quantitative-only graph.
+	qt, _ := l.Prefs.UserPrefs(uid)
+	qg := hypre.NewGraph(hypre.DefaultAvg)
+	if _, err := qg.Build(qt, nil); err != nil {
+		return res, err
+	}
+	qProfile := qg.PositiveProfile(uid)
+	if profileCap > 0 && len(qProfile) > profileCap {
+		qProfile = qProfile[:profileCap]
+	}
+	ev := l.Evaluator()
+	pt, err := combine.BuildPairTable(qProfile, ev)
+	if err != nil {
+		return res, err
+	}
+	pepsQT, err := combine.PEPS(qProfile, pt, ev, k, combine.Complete)
+	if err != nil {
+		return res, err
+	}
+	lists, err := topk.BuildLists(ev, qProfile)
+	if err != nil {
+		return res, err
+	}
+	taQT := lists.TA(k)
+	res.QTSimilarity = metrics.Similarity(metrics.PIDs(pepsQT.Tuples), metrics.PIDs(taQT))
+	res.QTOverlap = metrics.Overlap(metrics.PIDs(pepsQT.Tuples), metrics.PIDs(taQT))
+
+	// Phase 2: hybrid graph (full HYPRE profile) vs TA (which can only see
+	// quantitative preferences).
+	hProfile := l.ProfileFor(uid, profileCap)
+	ev2 := l.Evaluator()
+	pt2, err := combine.BuildPairTable(hProfile, ev2)
+	if err != nil {
+		return res, err
+	}
+	pepsH, err := combine.PEPS(hProfile, pt2, ev2, k, combine.Complete)
+	if err != nil {
+		return res, err
+	}
+	res.PEPSTuples = pepsH.Tuples
+	res.TATuples = taQT
+	res.HybridSimilarity = metrics.Similarity(metrics.PIDs(pepsH.Tuples), metrics.PIDs(taQT))
+	res.HybridOverlap = metrics.Overlap(metrics.PIDs(pepsH.Tuples), metrics.PIDs(taQT))
+
+	// Above-threshold coverage (the paper uses the user's max preference
+	// intensity, e.g. 0.5 for uid=2).
+	if len(qProfile) > 0 {
+		res.Threshold = qProfile[0].Intensity
+	}
+	for _, t := range pepsH.Tuples {
+		if t.Intensity >= res.Threshold {
+			res.PEPSAboveThr++
+		}
+	}
+	for _, t := range taQT {
+		if t.Intensity >= res.Threshold {
+			res.TAAboveThr++
+		}
+	}
+	return res, nil
+}
+
+// Render prints the comparison summary and both intensity series.
+func (r Fig37Result) Render(w io.Writer) {
+	fprintf(w, "Fig 37/38: PEPS vs TA (uid=%d, k=%d)\n", r.UID, r.K)
+	fprintf(w, "quantitative-only: similarity %.2f, overlap %.2f\n", r.QTSimilarity, r.QTOverlap)
+	fprintf(w, "hybrid:            similarity %.2f, overlap %.2f\n", r.HybridSimilarity, r.HybridOverlap)
+	fprintf(w, "tuples with intensity >= %.3f: PEPS %d vs TA %d\n",
+		r.Threshold, r.PEPSAboveThr, r.TAAboveThr)
+	fprintf(w, "%4s %12s %12s\n", "rank", "PEPS", "TA")
+	n := len(r.PEPSTuples)
+	if len(r.TATuples) > n {
+		n = len(r.TATuples)
+	}
+	for i := 0; i < n; i++ {
+		var p, t string
+		if i < len(r.PEPSTuples) {
+			p = formatFloat(r.PEPSTuples[i].Intensity)
+		}
+		if i < len(r.TATuples) {
+			t = formatFloat(r.TATuples[i].Intensity)
+		}
+		fprintf(w, "%4d %12s %12s\n", i, p, t)
+	}
+}
+
+func formatFloat(v float64) string {
+	return fmt.Sprintf("%.4f", v)
+}
+
+// Fig39Point is one K setting of the PEPS timing sweep.
+type Fig39Point struct {
+	K          int
+	CompleteT  time.Duration
+	ApproxT    time.Duration
+	QuantOnlyT time.Duration
+}
+
+// Fig39Result reproduces Figs. 39/40: PEPS execution time as K grows, for
+// the complete algorithm, the approximate algorithm, and the
+// quantitative-only profile.
+type Fig39Result struct {
+	UID    int64
+	Points []Fig39Point
+	// PairBuildTime is the one-off pre-computation cost, reported
+	// separately like the paper's setup phase.
+	PairBuildTime time.Duration
+}
+
+// RunFig39PEPSTime sweeps K over the given values, averaging `reps` runs
+// per point.
+func RunFig39PEPSTime(l *Lab, uid int64, ks []int, reps, profileCap int) (Fig39Result, error) {
+	res := Fig39Result{UID: uid}
+	if reps <= 0 {
+		reps = 1
+	}
+	hProfile := l.ProfileFor(uid, profileCap)
+	qt, _ := l.Prefs.UserPrefs(uid)
+	qg := hypre.NewGraph(hypre.DefaultAvg)
+	if _, err := qg.Build(qt, nil); err != nil {
+		return res, err
+	}
+	qProfile := qg.PositiveProfile(uid)
+	if profileCap > 0 && len(qProfile) > profileCap {
+		qProfile = qProfile[:profileCap]
+	}
+
+	ev := l.Evaluator()
+	start := time.Now()
+	pt, err := combine.BuildPairTable(hProfile, ev)
+	if err != nil {
+		return res, err
+	}
+	res.PairBuildTime = time.Since(start)
+	ptQ, err := combine.BuildPairTable(qProfile, ev)
+	if err != nil {
+		return res, err
+	}
+
+	timeIt := func(f func() error) (time.Duration, error) {
+		var total time.Duration
+		for i := 0; i < reps; i++ {
+			s := time.Now()
+			if err := f(); err != nil {
+				return 0, err
+			}
+			total += time.Since(s)
+		}
+		return total / time.Duration(reps), nil
+	}
+
+	for _, k := range ks {
+		var p Fig39Point
+		p.K = k
+		var err error
+		p.CompleteT, err = timeIt(func() error {
+			_, e := combine.PEPS(hProfile, pt, ev, k, combine.Complete)
+			return e
+		})
+		if err != nil {
+			return res, err
+		}
+		p.ApproxT, err = timeIt(func() error {
+			_, e := combine.PEPS(hProfile, pt, ev, k, combine.Approximate)
+			return e
+		})
+		if err != nil {
+			return res, err
+		}
+		p.QuantOnlyT, err = timeIt(func() error {
+			_, e := combine.PEPS(qProfile, ptQ, ev, k, combine.Complete)
+			return e
+		})
+		if err != nil {
+			return res, err
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// Render prints the Fig. 39/40 sweep.
+func (r Fig39Result) Render(w io.Writer) {
+	fprintf(w, "Fig 39/40: PEPS time vs K (uid=%d; pair table built in %s)\n",
+		r.UID, r.PairBuildTime.Round(time.Microsecond))
+	fprintf(w, "%6s %14s %14s %14s\n", "K", "complete", "approximate", "quant-only")
+	for _, p := range r.Points {
+		fprintf(w, "%6d %14s %14s %14s\n", p.K,
+			p.CompleteT.Round(time.Microsecond),
+			p.ApproxT.Round(time.Microsecond),
+			p.QuantOnlyT.Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"io"
+
+	"hypre/internal/combine"
+	"hypre/internal/hypre"
+	"hypre/internal/metrics"
+)
+
+// UtilityTupleCap is the §7.1.1 outlier guard: only the first page of
+// results (25 tuples) counts toward utility.
+const UtilityTupleCap = 25
+
+// UtilitySeries is the utility trajectory for combinations of one size.
+type UtilitySeries struct {
+	NumPreds  int
+	Utility   []float64 // by combination order
+	Tuples    []int
+	Intensity []float64
+}
+
+// Fig18Result reproduces Figs. 18/19 (utility by combination order for 2, 5
+// and 10 predicates) and carries the underlying series of Figs. 20–25
+// (tuple counts and intensity values for the same combinations).
+type Fig18Result struct {
+	UID    int64
+	Series []UtilitySeries
+	// AllRecords is the full Partially-Combine-All output the series are
+	// sliced from.
+	AllRecords combine.Records
+}
+
+// RunFig18Utility runs Partially-Combine-All over the user's positive
+// profile (capped for tractability at profileCap preferences; 0 = no cap)
+// and derives the 2/5/10-predicate series.
+func RunFig18Utility(l *Lab, uid int64, profileCap int) (Fig18Result, error) {
+	res := Fig18Result{UID: uid}
+	prefs := l.ProfileFor(uid, profileCap)
+	ev := l.Evaluator()
+	recs, err := combine.PartiallyCombineAll(prefs, ev)
+	if err != nil {
+		return res, err
+	}
+	res.AllRecords = recs
+	for _, n := range []int{2, 5, 10} {
+		sub := recs.ByNumPreds(n)
+		s := UtilitySeries{NumPreds: n}
+		for _, r := range sub {
+			s.Utility = append(s.Utility, metrics.RecordUtility(r, UtilityTupleCap))
+			s.Tuples = append(s.Tuples, r.NumTuples)
+			s.Intensity = append(s.Intensity, r.Intensity)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Render prints the Fig. 18/19 utility series.
+func (r Fig18Result) Render(w io.Writer) {
+	fprintf(w, "Fig 18/19: Utility value by combination order (uid=%d)\n", r.UID)
+	for _, s := range r.Series {
+		fprintf(w, "-- combinations of %d preferences (%d seen)\n", s.NumPreds, len(s.Utility))
+		for i, u := range s.Utility {
+			fprintf(w, "%4d %10.4f\n", i, u)
+		}
+	}
+}
+
+// RenderTuplesIntensity prints the Figs. 20–25 series (tuple counts and
+// intensity values for combinations of 2/5/10 preferences).
+func (r Fig18Result) RenderTuplesIntensity(w io.Writer) {
+	fprintf(w, "Fig 20-25: #tuples and intensity by combination order (uid=%d)\n", r.UID)
+	for _, s := range r.Series {
+		fprintf(w, "-- combinations of %d preferences\n", s.NumPreds)
+		fprintf(w, "%4s %8s %10s\n", "ord", "tuples", "intensity")
+		for i := range s.Tuples {
+			fprintf(w, "%4d %8d %10.4f\n", i, s.Tuples[i], s.Intensity[i])
+		}
+	}
+}
+
+// Fig26Result reproduces Figs. 26/27: the growth in usable quantitative
+// preferences after qualitative conversion, with both intensity series.
+type Fig26Result struct {
+	UID            int64
+	FromQuantTable int       // preferences originally in quantitative_pref
+	FromGraph      int       // nodes with an intensity after conversion
+	QuantSeries    []float64 // intensities of the original quantitative prefs (desc)
+	GraphSeries    []float64 // intensities of all graph preferences (desc)
+}
+
+// RunFig26PrefGrowth counts the user's preferences before and after
+// conversion.
+func RunFig26PrefGrowth(l *Lab, uid int64) Fig26Result {
+	res := Fig26Result{UID: uid}
+	for _, n := range l.Graph.UserNodes(uid) {
+		if !n.HasIntensity {
+			continue
+		}
+		res.FromGraph++
+		res.GraphSeries = append(res.GraphSeries, n.Intensity)
+		if n.FromQuant {
+			res.FromQuantTable++
+			res.QuantSeries = append(res.QuantSeries, n.Intensity)
+		}
+	}
+	return res
+}
+
+// GrowthFactor is FromGraph / FromQuantTable (Fig. 26's 36 -> 172 is 4.8x).
+func (r Fig26Result) GrowthFactor() float64 {
+	if r.FromQuantTable == 0 {
+		return 0
+	}
+	return float64(r.FromGraph) / float64(r.FromQuantTable)
+}
+
+// Render prints the Fig. 26/27 comparison.
+func (r Fig26Result) Render(w io.Writer) {
+	fprintf(w, "Fig 26/27: Quantitative preference growth (uid=%d)\n", r.UID)
+	fprintf(w, "from quantitative table: %d\n", r.FromQuantTable)
+	fprintf(w, "from HYPRE graph:        %d  (%.2fx)\n", r.FromGraph, r.GrowthFactor())
+}
+
+// CoverageRow is one bar of Fig. 28.
+type CoverageRow struct {
+	Source string
+	Tuples int
+}
+
+// Fig28Result reproduces Fig. 28: coverage over the dataset under four
+// preference sources — original quantitative only (QT), original
+// qualitative only (QL), both originals (QT+QL), and the full HYPRE graph.
+type Fig28Result struct {
+	UID  int64
+	Rows []CoverageRow
+}
+
+// RunFig28Coverage computes the four coverage figures for one user.
+// Original qualitative preferences contribute their left predicate when the
+// strength is positive (left is strictly preferred) and both predicates at
+// strength zero (equally preferred), as §7.1.2 prescribes.
+func RunFig28Coverage(l *Lab, uid int64) (Fig28Result, error) {
+	res := Fig28Result{UID: uid}
+	ev := l.Evaluator()
+	qt, ql := l.Prefs.UserPrefs(uid)
+
+	quantPreds := scoredFromQuant(qt)
+	var qualPreds []hypre.ScoredPred
+	for _, q := range ql {
+		left, err := hypre.NewScoredPred(q.Left, q.Intensity)
+		if err != nil {
+			continue
+		}
+		qualPreds = append(qualPreds, left)
+		if q.Intensity == 0 {
+			right, err := hypre.NewScoredPred(q.Right, 0)
+			if err != nil {
+				continue
+			}
+			qualPreds = append(qualPreds, right)
+		}
+	}
+	graphPreds := l.Graph.Profile(uid)
+
+	for _, src := range []struct {
+		name  string
+		preds []hypre.ScoredPred
+	}{
+		{"QT", quantPreds},
+		{"QL", qualPreds},
+		{"QT+QL", append(append([]hypre.ScoredPred{}, quantPreds...), qualPreds...)},
+		{"HYPRE_Graph", graphPreds},
+	} {
+		n, err := metrics.Coverage(ev, src.preds)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, CoverageRow{Source: src.name, Tuples: n})
+	}
+	return res, nil
+}
+
+// Gain returns HYPRE coverage relative to a named baseline (e.g. "QT"),
+// as a multiplier; the paper reports up to 3.36x (336%).
+func (r Fig28Result) Gain(baseline string) float64 {
+	var base, hypreN int
+	for _, row := range r.Rows {
+		if row.Source == baseline {
+			base = row.Tuples
+		}
+		if row.Source == "HYPRE_Graph" {
+			hypreN = row.Tuples
+		}
+	}
+	if base == 0 {
+		return 0
+	}
+	return float64(hypreN) / float64(base)
+}
+
+// Render prints the Fig. 28 bars.
+func (r Fig28Result) Render(w io.Writer) {
+	fprintf(w, "Fig 28: Coverage over the dataset (uid=%d)\n", r.UID)
+	for _, row := range r.Rows {
+		fprintf(w, "%-12s %8d tuples\n", row.Source, row.Tuples)
+	}
+	fprintf(w, "gain vs QT: %.2fx ; vs QT+QL: %.2fx\n", r.Gain("QT"), r.Gain("QT+QL"))
+}

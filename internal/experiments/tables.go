@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"hypre/internal/graphdb"
+	"hypre/internal/hypre"
+	"hypre/internal/predicate"
+	"hypre/internal/workload"
+)
+
+// Table10Result reproduces Table 10: per-relation arity and cardinality of
+// the DBLP database, plus the preference-table cardinalities.
+type Table10Result struct {
+	Relations      []RelationStat
+	QuantPrefs     int
+	QualPrefs      int
+	DistinctQuant  int
+	DistinctQual   int
+	PreferredUsers int
+}
+
+// RelationStat is one row of Table 10.
+type RelationStat struct {
+	Name        string
+	Arity       int
+	Cardinality int
+}
+
+// RunTable10 computes the dataset statistics.
+func RunTable10(l *Lab) Table10Result {
+	var res Table10Result
+	for _, s := range l.Net.DB.Stats() {
+		res.Relations = append(res.Relations, RelationStat{s.Name, s.Arity, s.Cardinality})
+	}
+	res.QuantPrefs = len(l.Prefs.Quant)
+	res.QualPrefs = len(l.Prefs.Qual)
+	quantUsers := map[int64]bool{}
+	qualUsers := map[int64]bool{}
+	for _, q := range l.Prefs.Quant {
+		quantUsers[q.UID] = true
+	}
+	for _, q := range l.Prefs.Qual {
+		qualUsers[q.UID] = true
+	}
+	res.DistinctQuant = len(quantUsers)
+	res.DistinctQual = len(qualUsers)
+	res.PreferredUsers = len(l.Prefs.Users)
+	return res
+}
+
+// Render prints the Table 10 rows.
+func (r Table10Result) Render(w io.Writer) {
+	fprintf(w, "Table 10: Statistics for the DBLP Database (synthetic)\n")
+	fprintf(w, "%-16s %6s %12s\n", "Relation", "Arity", "Cardinality")
+	for _, rel := range r.Relations {
+		fprintf(w, "%-16s %6d %12d\n", rel.Name, rel.Arity, rel.Cardinality)
+	}
+	fprintf(w, "%-16s %6d %12d   (%d distinct users)\n", "quantitative_pref", 4, r.QuantPrefs, r.DistinctQuant)
+	fprintf(w, "%-16s %6d %12d   (%d distinct users)\n", "qualitative_pref", 5, r.QualPrefs, r.DistinctQual)
+}
+
+// Table11Result reproduces Table 11: wall-clock time to insert all
+// quantitative preferences (batch) vs all qualitative preferences
+// (per-edge, with conflict resolution).
+type Table11Result struct {
+	QuantCount int
+	QuantTime  time.Duration
+	QualCount  int
+	QualTime   time.Duration
+	Stats      hypre.Stats
+}
+
+// RunTable11 rebuilds the HYPRE graph from scratch, timing the two steps of
+// Algorithm 1 separately.
+func RunTable11(l *Lab) (Table11Result, error) {
+	var res Table11Result
+	g := hypre.NewGraph(hypre.DefaultAvg)
+
+	start := time.Now()
+	n, err := g.AddQuantitativeBatch(l.Prefs.Quant)
+	if err != nil {
+		return res, err
+	}
+	res.QuantCount = n
+	res.QuantTime = time.Since(start)
+
+	start = time.Now()
+	for _, q := range l.Prefs.Qual {
+		if _, err := g.AddQualitative(q.UID, q.Left, q.Right, q.Intensity); err != nil {
+			return res, err
+		}
+		res.QualCount++
+	}
+	res.QualTime = time.Since(start)
+	res.Stats = g.GraphStats()
+	return res, nil
+}
+
+// Render prints the Table 11 rows. The paper's shape: qualitative insertion
+// is much slower per preference than the batched quantitative step.
+func (r Table11Result) Render(w io.Writer) {
+	fprintf(w, "Table 11: Insertion Time\n")
+	fprintf(w, "%-26s %10s %12s\n", "Insertion Type", "Count", "Time")
+	fprintf(w, "%-26s %10d %12s\n", "Quantitative Preferences", r.QuantCount, r.QuantTime.Round(time.Microsecond))
+	fprintf(w, "%-26s %10d %12s\n", "Qualitative Preferences", r.QualCount, r.QualTime.Round(time.Microsecond))
+	fprintf(w, "graph: %d nodes, %d edges (%d PREFERS, %d CYCLE, %d DISCARD)\n",
+		r.Stats.Nodes, r.Stats.Edges, r.Stats.Prefers, r.Stats.Cycles, r.Stats.Discards)
+}
+
+// Table12Row is one DEFAULT_VALUE strategy outcome for a user.
+type Table12Row struct {
+	Strategy     hypre.DefaultStrategy
+	SeedObserved float64 // the seed actually assigned to a fresh right node
+	MinIntensity float64 // resulting profile spread under the strategy
+	MaxIntensity float64
+	ProfileSize  int
+}
+
+// Table12Result reproduces Table 12: the effect of each DEFAULT_VALUE
+// selection strategy on one user's converted profile.
+type Table12Result struct {
+	UID  int64
+	Rows []Table12Row
+}
+
+// RunTable12 rebuilds one user's subgraph under every Table 12 strategy.
+func RunTable12(l *Lab, uid int64) (Table12Result, error) {
+	res := Table12Result{UID: uid}
+	qt, ql := l.Prefs.UserPrefs(uid)
+	for _, s := range hypre.AllDefaultStrategies() {
+		g := hypre.NewGraph(s)
+		if _, err := g.Build(qt, ql); err != nil {
+			return res, err
+		}
+		// Observe the seed on a fresh qualitative-only pair.
+		r, err := g.AddQualitative(uid, `dblp.venue="__probeL"`, `dblp.venue="__probeR"`, 0.4)
+		if err != nil {
+			return res, err
+		}
+		seedInfo, _ := g.Node(r.RightID)
+		row := Table12Row{Strategy: s, SeedObserved: seedInfo.Intensity}
+		prof := g.Profile(uid)
+		row.ProfileSize = len(prof)
+		for i, p := range prof {
+			if i == 0 || p.Intensity > row.MaxIntensity {
+				row.MaxIntensity = p.Intensity
+			}
+			if i == 0 || p.Intensity < row.MinIntensity {
+				row.MinIntensity = p.Intensity
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the Table 12 rows.
+func (r Table12Result) Render(w io.Writer) {
+	fprintf(w, "Table 12: DEFAULT_VALUE strategies (uid=%d)\n", r.UID)
+	fprintf(w, "%-10s %10s %10s %10s %8s\n", "Strategy", "Seed", "MinInt", "MaxInt", "Profile")
+	for _, row := range r.Rows {
+		fprintf(w, "%-10s %10.4f %10.4f %10.4f %8d\n",
+			row.Strategy, row.SeedObserved, row.MinIntensity, row.MaxIntensity, row.ProfileSize)
+	}
+}
+
+// Fig13Point is one batch of the node-insertion scaling curve.
+type Fig13Point struct {
+	TotalNodes int
+	BatchTime  time.Duration
+}
+
+// Fig13Result reproduces Fig. 13: node insertion time as the graph grows,
+// inserted in fixed-size batches.
+type Fig13Result struct {
+	BatchSize int
+	Points    []Fig13Point
+}
+
+// RunFig13 inserts batches×batchSize property nodes into a fresh graph
+// store, timing each batch. The paper uses 1M batches up to 7B nodes; the
+// default harness scales this down while preserving the curve's shape
+// (mildly growing per-batch time).
+func RunFig13(batches, batchSize int) Fig13Result {
+	res := Fig13Result{BatchSize: batchSize}
+	g := graphdb.New()
+	g.CreateIndex("uidIndex", "uid")
+	for b := 0; b < batches; b++ {
+		specs := make([]graphdb.NodeSpec, batchSize)
+		for i := range specs {
+			specs[i] = graphdb.NodeSpec{
+				Labels: []string{"uidIndex"},
+				Props: graphdb.Props{
+					"uid":       predicate.Int(int64((b*batchSize + i) % 100000)),
+					"predicate": predicate.String("dblp_author.aid=1"),
+					"intensity": predicate.Float(0.5),
+				},
+			}
+		}
+		start := time.Now()
+		g.CreateNodes(specs)
+		res.Points = append(res.Points, Fig13Point{
+			TotalNodes: g.NodeCount(),
+			BatchTime:  time.Since(start),
+		})
+	}
+	return res
+}
+
+// Render prints the Fig. 13 series.
+func (r Fig13Result) Render(w io.Writer) {
+	fprintf(w, "Fig 13: Node insertion time (batch size %d)\n", r.BatchSize)
+	fprintf(w, "%12s %14s\n", "TotalNodes", "BatchTime")
+	for _, p := range r.Points {
+		fprintf(w, "%12d %14s\n", p.TotalNodes, p.BatchTime.Round(time.Microsecond))
+	}
+}
+
+// Fig17Result reproduces Fig. 17: the distribution of preference counts
+// across users.
+type Fig17Result struct {
+	Bins      []workload.HistogramBin
+	Users     int
+	MaxCount  int
+	TailRatio float64
+}
+
+// RunFig17 computes the histogram.
+func RunFig17(l *Lab) Fig17Result {
+	return Fig17Result{
+		Bins:      l.Prefs.PrefDistribution(),
+		Users:     len(l.Prefs.Users),
+		MaxCount:  l.Prefs.MaxPrefCount(),
+		TailRatio: l.Prefs.TailRatio(),
+	}
+}
+
+// Render prints the Fig. 17 series.
+func (r Fig17Result) Render(w io.Writer) {
+	fprintf(w, "Fig 17: Distribution of number of preferences (%d users, max %d, tail %.2f)\n",
+		r.Users, r.MaxCount, r.TailRatio)
+	fprintf(w, "%10s %8s\n", "PrefCount", "Users")
+	for _, b := range r.Bins {
+		fprintf(w, "%10d %8d\n", b.PrefCount, b.Users)
+	}
+}

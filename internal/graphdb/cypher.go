@@ -1,0 +1,529 @@
+package graphdb
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hypre/internal/predicate"
+)
+
+// Result is a Cypher query answer: named columns over value rows.
+type Result struct {
+	Columns []string
+	Rows    [][]predicate.Value
+}
+
+// Query executes a small subset of the Cypher dialect the dissertation
+// issues against Neo4j (§4.3):
+//
+//	START n=node(*) WHERE n.uid=2 RETURN n.predicate, n.intensity
+//	      ORDER BY n.intensity DESC
+//	START n=node(17) MATCH n -[:PREFERS]-> m RETURN id(n), id(m)
+//	START n=nodes:uidIndex(uid=2) RETURN n.predicate LIMIT 10
+//
+// Grammar:
+//
+//	query   := START start [MATCH match] [WHERE cond (AND cond)*]
+//	           RETURN item (',' item)* [ORDER BY item [ASC|DESC]]
+//	           [SKIP int] [LIMIT int]
+//	start   := var '=' 'node' '(' ('*' | int) ')'
+//	         | var '=' 'nodes' ':' label '(' prop '=' literal ')'
+//	match   := var '-[:' label ']->' var
+//	cond    := var '.' prop cmpop literal
+//	item    := 'id(' var ')' | var '.' prop
+//
+// It is intentionally tiny — just enough to express every query in the
+// dissertation's text — but it is a real executor over the store, including
+// index-backed START when an index on (label, prop) exists.
+func (g *Graph) Query(src string) (*Result, error) {
+	q, err := parseCypher(src)
+	if err != nil {
+		return nil, err
+	}
+	return g.execCypher(q)
+}
+
+type cypherQuery struct {
+	startVar   string
+	startAll   bool
+	startID    NodeID
+	startIdx   bool
+	idxLabel   string
+	idxProp    string
+	idxVal     predicate.Value
+	matchFrom  string
+	matchLabel string
+	matchTo    string
+	hasMatch   bool
+	conds      []cypherCond
+	returns    []cypherItem
+	orderBy    *cypherItem
+	orderDesc  bool
+	skip       int
+	limit      int
+	hasLimit   bool
+}
+
+type cypherCond struct {
+	varName string
+	prop    string
+	op      predicate.Op
+	val     predicate.Value
+}
+
+type cypherItem struct {
+	isID    bool
+	varName string
+	prop    string
+}
+
+func (it cypherItem) column() string {
+	if it.isID {
+		return "id(" + it.varName + ")"
+	}
+	return it.varName + "." + it.prop
+}
+
+type binding map[string]NodeID
+
+func (g *Graph) execCypher(q *cypherQuery) (*Result, error) {
+	// 1. Start set.
+	var startIDs []NodeID
+	switch {
+	case q.startAll:
+		g.ForEachNode(func(id NodeID, _ []string, _ Props) bool {
+			startIDs = append(startIDs, id)
+			return true
+		})
+	case q.startIdx:
+		startIDs = g.FindNodes(q.idxLabel, q.idxProp, q.idxVal)
+	default:
+		if !g.HasNode(q.startID) {
+			return nil, fmt.Errorf("cypher: no node %d", q.startID)
+		}
+		startIDs = []NodeID{q.startID}
+	}
+
+	// 2. Expand MATCH.
+	var rows []binding
+	for _, id := range startIDs {
+		if !q.hasMatch {
+			rows = append(rows, binding{q.startVar: id})
+			continue
+		}
+		if q.matchFrom != q.startVar {
+			return nil, fmt.Errorf("cypher: MATCH must start at %q", q.startVar)
+		}
+		for _, e := range g.OutEdges(id, q.matchLabel) {
+			rows = append(rows, binding{q.startVar: id, q.matchTo: e.To})
+		}
+	}
+
+	// 3. WHERE.
+	filtered := rows[:0]
+	for _, b := range rows {
+		ok := true
+		for _, c := range q.conds {
+			id, bound := b[c.varName]
+			if !bound {
+				ok = false
+				break
+			}
+			v, has := g.Prop(id, c.prop)
+			if !has {
+				ok = false
+				break
+			}
+			cmp := &predicate.Cmp{Attr: "x", Op: c.op, Val: c.val}
+			if !cmp.Eval(predicate.MapRow{"x": v}) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			filtered = append(filtered, b)
+		}
+	}
+	rows = filtered
+
+	// 4. ORDER BY.
+	if q.orderBy != nil {
+		it := *q.orderBy
+		key := func(b binding) predicate.Value {
+			id, bound := b[it.varName]
+			if !bound {
+				return predicate.Null()
+			}
+			if it.isID {
+				return predicate.Int(int64(id))
+			}
+			v, _ := g.Prop(id, it.prop)
+			return v
+		}
+		sort.SliceStable(rows, func(i, j int) bool {
+			c, ok := predicate.Compare(key(rows[i]), key(rows[j]))
+			if !ok {
+				// NULLs sort last regardless of direction.
+				return key(rows[j]).IsNull() && !key(rows[i]).IsNull()
+			}
+			if q.orderDesc {
+				return c > 0
+			}
+			return c < 0
+		})
+	}
+
+	// 5. SKIP / LIMIT.
+	if q.skip > 0 {
+		if q.skip >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[q.skip:]
+		}
+	}
+	if q.hasLimit && len(rows) > q.limit {
+		rows = rows[:q.limit]
+	}
+
+	// 6. Projection.
+	res := &Result{}
+	for _, it := range q.returns {
+		res.Columns = append(res.Columns, it.column())
+	}
+	for _, b := range rows {
+		out := make([]predicate.Value, len(q.returns))
+		for i, it := range q.returns {
+			id, bound := b[it.varName]
+			if !bound {
+				return nil, fmt.Errorf("cypher: unbound variable %q in RETURN", it.varName)
+			}
+			if it.isID {
+				out[i] = predicate.Int(int64(id))
+			} else {
+				v, _ := g.Prop(id, it.prop)
+				out[i] = v
+			}
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+// ---- parsing ----
+
+type cyLexer struct {
+	words []string
+	pos   int
+}
+
+func newCyLexer(src string) *cyLexer {
+	// Pad punctuation so strings.Fields tokenizes it; string literals are
+	// protected by temporarily replacing spaces inside quotes.
+	var sb strings.Builder
+	inStr := byte(0)
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if inStr != 0 {
+			if c == inStr {
+				inStr = 0
+			}
+			if c == ' ' {
+				sb.WriteString("\x01")
+			} else {
+				sb.WriteByte(c)
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			inStr = c
+			sb.WriteByte(c)
+		case '(', ')', ',', '=', ':', '*', '[', ']':
+			sb.WriteByte(' ')
+			sb.WriteByte(c)
+			sb.WriteByte(' ')
+		case '<', '>':
+			// keep <=, >=, <> glued
+			sb.WriteByte(' ')
+			sb.WriteByte(c)
+			if i+1 < len(src) && (src[i+1] == '=' || (c == '<' && src[i+1] == '>')) {
+				sb.WriteByte(src[i+1])
+				i++
+			}
+			sb.WriteByte(' ')
+		case '-':
+			// '-[' or ']->' arrow pieces; also negative numbers.
+			if i+1 < len(src) && src[i+1] == '[' {
+				sb.WriteString(" -[ ")
+				i++
+			} else if i+1 < len(src) && src[i+1] == '>' {
+				sb.WriteString(" -> ")
+				i++
+			} else {
+				sb.WriteByte(c)
+			}
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	words := strings.Fields(sb.String())
+	for i, w := range words {
+		words[i] = strings.ReplaceAll(w, "\x01", " ")
+	}
+	return &cyLexer{words: words}
+}
+
+func (l *cyLexer) peek() string {
+	if l.pos >= len(l.words) {
+		return ""
+	}
+	return l.words[l.pos]
+}
+
+func (l *cyLexer) next() string {
+	w := l.peek()
+	if w != "" {
+		l.pos++
+	}
+	return w
+}
+
+func (l *cyLexer) expect(want string) error {
+	w := l.next()
+	if !strings.EqualFold(w, want) {
+		return fmt.Errorf("cypher: expected %q, got %q", want, w)
+	}
+	return nil
+}
+
+func (l *cyLexer) keywordIs(kw string) bool { return strings.EqualFold(l.peek(), kw) }
+
+func parseCypher(src string) (*cypherQuery, error) {
+	l := newCyLexer(src)
+	q := &cypherQuery{}
+	if err := l.expect("START"); err != nil {
+		return nil, err
+	}
+	q.startVar = l.next()
+	if q.startVar == "" {
+		return nil, fmt.Errorf("cypher: missing start variable")
+	}
+	if err := l.expect("="); err != nil {
+		return nil, err
+	}
+	switch kw := l.next(); strings.ToLower(kw) {
+	case "node":
+		if err := l.expect("("); err != nil {
+			return nil, err
+		}
+		arg := l.next()
+		if arg == "*" {
+			q.startAll = true
+		} else {
+			id, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("cypher: bad node id %q", arg)
+			}
+			q.startID = NodeID(id)
+		}
+		if err := l.expect(")"); err != nil {
+			return nil, err
+		}
+	case "nodes":
+		if err := l.expect(":"); err != nil {
+			return nil, err
+		}
+		q.startIdx = true
+		q.idxLabel = l.next()
+		if err := l.expect("("); err != nil {
+			return nil, err
+		}
+		q.idxProp = l.next()
+		if err := l.expect("="); err != nil {
+			return nil, err
+		}
+		v, err := parseCyLiteral(l.next())
+		if err != nil {
+			return nil, err
+		}
+		q.idxVal = v
+		if err := l.expect(")"); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("cypher: expected node(...) or nodes:index(...), got %q", kw)
+	}
+
+	if l.keywordIs("MATCH") {
+		l.next()
+		q.hasMatch = true
+		q.matchFrom = l.next()
+		if err := l.expect("-["); err != nil {
+			return nil, err
+		}
+		if err := l.expect(":"); err != nil {
+			return nil, err
+		}
+		q.matchLabel = l.next()
+		if err := l.expect("]"); err != nil {
+			return nil, err
+		}
+		if err := l.expect("->"); err != nil {
+			return nil, err
+		}
+		q.matchTo = l.next()
+		if q.matchTo == "" {
+			return nil, fmt.Errorf("cypher: missing MATCH target variable")
+		}
+	}
+
+	if l.keywordIs("WHERE") {
+		l.next()
+		for {
+			c, err := parseCyCond(l)
+			if err != nil {
+				return nil, err
+			}
+			q.conds = append(q.conds, c)
+			if l.keywordIs("AND") {
+				l.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if err := l.expect("RETURN"); err != nil {
+		return nil, err
+	}
+	for {
+		it, err := parseCyItem(l)
+		if err != nil {
+			return nil, err
+		}
+		q.returns = append(q.returns, it)
+		if l.peek() == "," {
+			l.next()
+			continue
+		}
+		break
+	}
+
+	if l.keywordIs("ORDER") {
+		l.next()
+		if err := l.expect("BY"); err != nil {
+			return nil, err
+		}
+		it, err := parseCyItem(l)
+		if err != nil {
+			return nil, err
+		}
+		q.orderBy = &it
+		if l.keywordIs("DESC") {
+			l.next()
+			q.orderDesc = true
+		} else if l.keywordIs("ASC") {
+			l.next()
+		}
+	}
+	if l.keywordIs("SKIP") {
+		l.next()
+		n, err := strconv.Atoi(l.next())
+		if err != nil {
+			return nil, fmt.Errorf("cypher: bad SKIP: %v", err)
+		}
+		q.skip = n
+	}
+	if l.keywordIs("LIMIT") {
+		l.next()
+		n, err := strconv.Atoi(l.next())
+		if err != nil {
+			return nil, fmt.Errorf("cypher: bad LIMIT: %v", err)
+		}
+		q.limit = n
+		q.hasLimit = true
+	}
+	if l.peek() != "" && l.peek() != ";" {
+		return nil, fmt.Errorf("cypher: trailing input %q", l.peek())
+	}
+	return q, nil
+}
+
+func parseCyCond(l *cyLexer) (cypherCond, error) {
+	ref := l.next() // var.prop
+	varName, prop, ok := splitRef(ref)
+	if !ok {
+		return cypherCond{}, fmt.Errorf("cypher: bad property reference %q", ref)
+	}
+	opTok := l.next()
+	var op predicate.Op
+	switch opTok {
+	case "=":
+		op = predicate.OpEq
+	case "<>":
+		op = predicate.OpNe
+	case "<":
+		op = predicate.OpLt
+	case "<=":
+		op = predicate.OpLe
+	case ">":
+		op = predicate.OpGt
+	case ">=":
+		op = predicate.OpGe
+	default:
+		return cypherCond{}, fmt.Errorf("cypher: bad operator %q", opTok)
+	}
+	v, err := parseCyLiteral(l.next())
+	if err != nil {
+		return cypherCond{}, err
+	}
+	return cypherCond{varName: varName, prop: prop, op: op, val: v}, nil
+}
+
+func parseCyItem(l *cyLexer) (cypherItem, error) {
+	w := l.next()
+	if strings.EqualFold(w, "id") {
+		if err := l.expect("("); err != nil {
+			return cypherItem{}, err
+		}
+		v := l.next()
+		if err := l.expect(")"); err != nil {
+			return cypherItem{}, err
+		}
+		return cypherItem{isID: true, varName: v}, nil
+	}
+	varName, prop, ok := splitRef(w)
+	if !ok {
+		return cypherItem{}, fmt.Errorf("cypher: bad return item %q", w)
+	}
+	return cypherItem{varName: varName, prop: prop}, nil
+}
+
+func splitRef(s string) (varName, prop string, ok bool) {
+	i := strings.IndexByte(s, '.')
+	if i <= 0 || i == len(s)-1 {
+		return "", "", false
+	}
+	return s[:i], s[i+1:], true
+}
+
+func parseCyLiteral(w string) (predicate.Value, error) {
+	if w == "" {
+		return predicate.Null(), fmt.Errorf("cypher: missing literal")
+	}
+	if w[0] == '\'' || w[0] == '"' {
+		if len(w) < 2 || w[len(w)-1] != w[0] {
+			return predicate.Null(), fmt.Errorf("cypher: unterminated string %q", w)
+		}
+		return predicate.String(w[1 : len(w)-1]), nil
+	}
+	if i, err := strconv.ParseInt(w, 10, 64); err == nil {
+		return predicate.Int(i), nil
+	}
+	if f, err := strconv.ParseFloat(w, 64); err == nil {
+		return predicate.Float(f), nil
+	}
+	return predicate.Null(), fmt.Errorf("cypher: bad literal %q", w)
+}

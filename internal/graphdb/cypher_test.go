@@ -1,0 +1,197 @@
+package graphdb
+
+import (
+	"testing"
+
+	"hypre/internal/predicate"
+)
+
+// prefGraph builds a small user-profile graph like Fig. 12's nodes.
+func prefGraph(t *testing.T) (*Graph, []NodeID) {
+	t.Helper()
+	g := New()
+	g.CreateIndex("uidIndex", "uid")
+	mk := func(uid int, pred string, intensity float64) NodeID {
+		return g.CreateNode(NodeSpec{
+			Labels: []string{"uidIndex"},
+			Props:  props("uid", uid, "predicate", pred, "intensity", intensity),
+		})
+	}
+	ids := []NodeID{
+		mk(2, `dblp.venue="INFOCOM"`, 0.23),
+		mk(2, `dblp.venue="PODS"`, 0.14),
+		mk(2, `dblp_author.aid=128`, 0.19),
+		mk(38437, `dblp.venue="VLDB"`, 0.40),
+	}
+	g.CreateEdge(ids[0], ids[1], "PREFERS", props("intensity", 0.3))
+	g.CreateEdge(ids[1], ids[2], "DISCARD", nil)
+	return g, ids
+}
+
+func TestCypherStartAllWhereOrder(t *testing.T) {
+	g, _ := prefGraph(t)
+	res, err := g.Query(`START n=node(*) WHERE n.uid=2 RETURN n.predicate, n.intensity ORDER BY n.intensity DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	if res.Columns[0] != "n.predicate" || res.Columns[1] != "n.intensity" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	// Descending intensity: 0.23, 0.19, 0.14.
+	want := []float64{0.23, 0.19, 0.14}
+	for i, w := range want {
+		if got := res.Rows[i][1].AsFloat(); got != w {
+			t.Errorf("row %d intensity = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestCypherStartByID(t *testing.T) {
+	g, ids := prefGraph(t)
+	res, err := g.Query(`START n=node(0) RETURN id(n), n.uid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || NodeID(res.Rows[0][0].AsInt()) != ids[0] {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if _, err := g.Query(`START n=node(999) RETURN id(n)`); err == nil {
+		t.Error("missing node id should fail")
+	}
+}
+
+func TestCypherMatchEdgeLabel(t *testing.T) {
+	g, ids := prefGraph(t)
+	res, err := g.Query(`START n=node(0) MATCH n -[:PREFERS]-> m RETURN id(n), id(m)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if NodeID(res.Rows[0][1].AsInt()) != ids[1] {
+		t.Errorf("target = %v, want %d", res.Rows[0][1], ids[1])
+	}
+	// DISCARD edges must not be traversed under :PREFERS.
+	res, err = g.Query(`START n=node(1) MATCH n -[:PREFERS]-> m RETURN id(m)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("DISCARD traversed: %v", res.Rows)
+	}
+}
+
+func TestCypherIndexedStart(t *testing.T) {
+	g, _ := prefGraph(t)
+	res, err := g.Query(`START n=nodes:uidIndex(uid=38437) RETURN n.predicate`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != `dblp.venue="VLDB"` {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestCypherWhereOperators(t *testing.T) {
+	g, _ := prefGraph(t)
+	res, err := g.Query(`START n=node(*) WHERE n.uid=2 AND n.intensity>0.15 RETURN n.predicate ORDER BY n.intensity`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// Ascending order: aid=128 (0.19) before INFOCOM (0.23).
+	if res.Rows[0][0].AsString() != `dblp_author.aid=128` {
+		t.Errorf("order wrong: %v", res.Rows)
+	}
+}
+
+func TestCypherStringLiteralWhere(t *testing.T) {
+	g, _ := prefGraph(t)
+	res, err := g.Query(`START n=node(*) WHERE n.predicate='dblp.venue="PODS"' RETURN id(n)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestCypherSkipLimit(t *testing.T) {
+	g, _ := prefGraph(t)
+	res, err := g.Query(`START n=node(*) RETURN id(n) ORDER BY id(n) SKIP 1 LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].AsInt() != 1 || res.Rows[1][0].AsInt() != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// SKIP past the end yields empty.
+	res, _ = g.Query(`START n=node(*) RETURN id(n) SKIP 100`)
+	if len(res.Rows) != 0 {
+		t.Errorf("skip past end: %v", res.Rows)
+	}
+}
+
+func TestCypherParseErrors(t *testing.T) {
+	g, _ := prefGraph(t)
+	bad := []string{
+		``,
+		`RETURN n.x`,
+		`START n node(*) RETURN n.x`,
+		`START n=node() RETURN n.x`,
+		`START n=node(x) RETURN n.x`,
+		`START n=node(*) RETURN`,
+		`START n=node(*) RETURN n`,
+		`START n=node(*) WHERE n.uid ~ 2 RETURN n.uid`,
+		`START n=node(*) RETURN n.uid LIMIT x`,
+		`START n=node(*) RETURN n.uid garbage`,
+		`START n=node(*) MATCH m -[:P]-> k RETURN id(k)`,
+	}
+	for _, q := range bad {
+		if _, err := g.Query(q); err == nil {
+			t.Errorf("Query(%q) should fail", q)
+		}
+	}
+}
+
+func TestCypherUnboundReturnVar(t *testing.T) {
+	g, _ := prefGraph(t)
+	if _, err := g.Query(`START n=node(0) RETURN m.uid`); err == nil {
+		t.Error("unbound variable in RETURN should fail")
+	}
+}
+
+func TestCypherNullOrderingLast(t *testing.T) {
+	g := New()
+	g.CreateNode(NodeSpec{Props: props("v", 1)})
+	g.CreateNode(NodeSpec{}) // no "v" property -> NULL
+	g.CreateNode(NodeSpec{Props: props("v", 2)})
+	res, err := g.Query(`START n=node(*) RETURN n.v ORDER BY n.v DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rows[len(res.Rows)-1][0].IsNull() {
+		t.Errorf("NULL should sort last: %v", res.Rows)
+	}
+	if res.Rows[0][0].AsInt() != 2 {
+		t.Errorf("DESC order wrong: %v", res.Rows)
+	}
+}
+
+func TestCypherIntensityValueType(t *testing.T) {
+	g := New()
+	g.CreateNode(NodeSpec{Props: Props{"intensity": predicate.Float(0.6155722066724582)}})
+	res, err := g.Query(`START n=node(0) RETURN n.intensity`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsFloat() != 0.6155722066724582 {
+		t.Errorf("precision lost: %v", res.Rows[0][0])
+	}
+}

@@ -1,0 +1,197 @@
+package graphdb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"hypre/internal/predicate"
+)
+
+// snapshot is the gob wire format. predicate.Value has unexported fields,
+// so properties are transported as (kind, payload) records.
+type snapshotValue struct {
+	Kind uint8
+	I    int64
+	F    float64
+	S    string
+}
+
+func encodeValue(v predicate.Value) snapshotValue {
+	switch v.Kind() {
+	case predicate.KindInt:
+		return snapshotValue{Kind: 1, I: v.AsInt()}
+	case predicate.KindFloat:
+		return snapshotValue{Kind: 2, F: v.AsFloat()}
+	case predicate.KindString:
+		return snapshotValue{Kind: 3, S: v.AsString()}
+	default:
+		return snapshotValue{Kind: 0}
+	}
+}
+
+func decodeValue(s snapshotValue) predicate.Value {
+	switch s.Kind {
+	case 1:
+		return predicate.Int(s.I)
+	case 2:
+		return predicate.Float(s.F)
+	case 3:
+		return predicate.String(s.S)
+	default:
+		return predicate.Null()
+	}
+}
+
+type snapshotNode struct {
+	ID     int64
+	Labels []string
+	Keys   []string
+	Vals   []snapshotValue
+}
+
+type snapshotEdge struct {
+	ID    int64
+	From  int64
+	To    int64
+	Label string
+	Keys  []string
+	Vals  []snapshotValue
+}
+
+type snapshotIndex struct {
+	Label string
+	Prop  string
+}
+
+type snapshotFile struct {
+	Version  int
+	NextNode int64
+	NextEdge int64
+	Nodes    []snapshotNode
+	Edges    []snapshotEdge
+	Indexes  []snapshotIndex
+}
+
+const snapshotVersion = 1
+
+// Snapshot serializes the whole graph (nodes, edges, index definitions) to
+// w in a stable, versioned gob format. Node and edge ids are preserved, so
+// references held by callers stay valid after Restore.
+func (g *Graph) Snapshot(w io.Writer) error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+
+	f := snapshotFile{
+		Version:  snapshotVersion,
+		NextNode: int64(g.nextNode),
+		NextEdge: int64(g.nextEdge),
+	}
+	nodeIDs := make([]NodeID, 0, len(g.nodes))
+	for id := range g.nodes {
+		nodeIDs = append(nodeIDs, id)
+	}
+	sort.Slice(nodeIDs, func(i, j int) bool { return nodeIDs[i] < nodeIDs[j] })
+	for _, id := range nodeIDs {
+		n := g.nodes[id]
+		sn := snapshotNode{ID: int64(id)}
+		for l := range n.labels {
+			sn.Labels = append(sn.Labels, l)
+		}
+		sort.Strings(sn.Labels)
+		keys := make([]string, 0, len(n.props))
+		for k := range n.props {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sn.Keys = append(sn.Keys, k)
+			sn.Vals = append(sn.Vals, encodeValue(n.props[k]))
+		}
+		f.Nodes = append(f.Nodes, sn)
+	}
+	edgeIDs := make([]EdgeID, 0, len(g.edges))
+	for id := range g.edges {
+		edgeIDs = append(edgeIDs, id)
+	}
+	sort.Slice(edgeIDs, func(i, j int) bool { return edgeIDs[i] < edgeIDs[j] })
+	for _, id := range edgeIDs {
+		e := g.edges[id]
+		se := snapshotEdge{ID: int64(id), From: int64(e.from), To: int64(e.to), Label: e.label}
+		keys := make([]string, 0, len(e.props))
+		for k := range e.props {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			se.Keys = append(se.Keys, k)
+			se.Vals = append(se.Vals, encodeValue(e.props[k]))
+		}
+		f.Edges = append(f.Edges, se)
+	}
+	for key := range g.indexes {
+		f.Indexes = append(f.Indexes, snapshotIndex{Label: key.label, Prop: key.prop})
+	}
+	sort.Slice(f.Indexes, func(i, j int) bool {
+		if f.Indexes[i].Label != f.Indexes[j].Label {
+			return f.Indexes[i].Label < f.Indexes[j].Label
+		}
+		return f.Indexes[i].Prop < f.Indexes[j].Prop
+	})
+	return gob.NewEncoder(w).Encode(f)
+}
+
+// Restore reads a snapshot and returns the reconstructed graph, rebuilding
+// all declared indexes.
+func Restore(r io.Reader) (*Graph, error) {
+	var f snapshotFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("graphdb: restore: %w", err)
+	}
+	if f.Version != snapshotVersion {
+		return nil, fmt.Errorf("graphdb: unsupported snapshot version %d", f.Version)
+	}
+	g := New()
+	for _, sn := range f.Nodes {
+		rec := &nodeRec{
+			id:     NodeID(sn.ID),
+			labels: make(map[string]bool, len(sn.Labels)),
+			props:  make(Props, len(sn.Keys)),
+		}
+		for _, l := range sn.Labels {
+			rec.labels[l] = true
+		}
+		for i, k := range sn.Keys {
+			rec.props[k] = decodeValue(sn.Vals[i])
+		}
+		g.nodes[rec.id] = rec
+	}
+	for _, se := range f.Edges {
+		if _, ok := g.nodes[NodeID(se.From)]; !ok {
+			return nil, fmt.Errorf("graphdb: edge %d references missing node %d", se.ID, se.From)
+		}
+		if _, ok := g.nodes[NodeID(se.To)]; !ok {
+			return nil, fmt.Errorf("graphdb: edge %d references missing node %d", se.ID, se.To)
+		}
+		rec := &edgeRec{
+			id:    EdgeID(se.ID),
+			from:  NodeID(se.From),
+			to:    NodeID(se.To),
+			label: se.Label,
+			props: make(Props, len(se.Keys)),
+		}
+		for i, k := range se.Keys {
+			rec.props[k] = decodeValue(se.Vals[i])
+		}
+		g.edges[rec.id] = rec
+		g.out[rec.from] = append(g.out[rec.from], rec)
+		g.in[rec.to] = append(g.in[rec.to], rec)
+	}
+	g.nextNode = NodeID(f.NextNode)
+	g.nextEdge = EdgeID(f.NextEdge)
+	for _, ix := range f.Indexes {
+		g.CreateIndex(ix.Label, ix.Prop)
+	}
+	return g, nil
+}

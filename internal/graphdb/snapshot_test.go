@@ -1,0 +1,115 @@
+package graphdb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hypre/internal/predicate"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	g := New()
+	g.CreateIndex("uidIndex", "uid")
+	a := g.CreateNode(NodeSpec{Labels: []string{"uidIndex"},
+		Props: props("uid", 2, "predicate", `venue="VLDB"`, "intensity", 0.5)})
+	b := g.CreateNode(NodeSpec{Labels: []string{"uidIndex"},
+		Props: props("uid", 2, "predicate", `venue="ICDE"`)})
+	c := g.CreateNode(NodeSpec{Props: props("uid", 3)})
+	g.CreateEdge(a, b, "PREFERS", props("intensity", 0.3))
+	g.CreateEdge(b, c, "DISCARD", nil)
+
+	var buf bytes.Buffer
+	if err := g.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if r.NodeCount() != 3 || r.EdgeCount() != 2 {
+		t.Fatalf("restored %d nodes %d edges", r.NodeCount(), r.EdgeCount())
+	}
+	// Properties and ids preserved.
+	if v, ok := r.Prop(a, "intensity"); !ok || v.AsFloat() != 0.5 {
+		t.Errorf("intensity = %v", v)
+	}
+	if v, ok := r.Prop(a, "predicate"); !ok || v.AsString() != `venue="VLDB"` {
+		t.Errorf("predicate = %v", v)
+	}
+	// Labels preserved.
+	if ls := r.Labels(a); len(ls) != 1 || ls[0] != "uidIndex" {
+		t.Errorf("labels = %v", ls)
+	}
+	// Edges with labels and props preserved.
+	es := r.OutEdges(a, "PREFERS")
+	if len(es) != 1 || es[0].To != b || es[0].Props["intensity"].AsFloat() != 0.3 {
+		t.Errorf("edges = %+v", es)
+	}
+	if r.OutDegree(b, "DISCARD") != 1 {
+		t.Error("DISCARD edge lost")
+	}
+	// Index definitions rebuilt.
+	if got := r.FindNodes("uidIndex", "uid", predicate.Int(2)); len(got) != 2 {
+		t.Errorf("index lookup = %v", got)
+	}
+	// ID allocation continues past restored ids.
+	d := r.CreateNode(NodeSpec{})
+	if d <= c {
+		t.Errorf("new id %d not past %d", d, c)
+	}
+}
+
+func TestSnapshotEmptyGraph(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NodeCount() != 0 || r.EdgeCount() != 0 {
+		t.Error("restored non-empty graph")
+	}
+}
+
+func TestRestoreGarbage(t *testing.T) {
+	if _, err := Restore(strings.NewReader("not a snapshot")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	g := New()
+	for i := 0; i < 20; i++ {
+		g.CreateNode(NodeSpec{Props: props("i", i)})
+	}
+	var b1, b2 bytes.Buffer
+	if err := g.Snapshot(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Snapshot(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("snapshot bytes are not deterministic")
+	}
+}
+
+func TestSnapshotNullProp(t *testing.T) {
+	g := New()
+	id := g.CreateNode(NodeSpec{Props: Props{"x": predicate.Null()}})
+	var buf bytes.Buffer
+	if err := g.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := r.Prop(id, "x"); !ok || !v.IsNull() {
+		t.Errorf("null prop = %v %v", v, ok)
+	}
+}

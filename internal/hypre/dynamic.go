@@ -1,0 +1,106 @@
+package hypre
+
+import (
+	"math"
+
+	"hypre/internal/predicate"
+)
+
+// IntensityFunc computes a per-tuple intensity in [-1, 1] — §3.2's
+// observation that "intensity can be seen as a constant value or as a
+// function to allow dynamic ranking of preferences", e.g. 'I like *recent*
+// comedies' where recency is a function of the year attribute.
+type IntensityFunc func(row predicate.Row) float64
+
+// DynamicPred is a preference whose intensity depends on the matched tuple:
+// the predicate gates applicability, Fn supplies the strength.
+type DynamicPred struct {
+	Pred string
+	P    predicate.Predicate
+	Fn   IntensityFunc
+}
+
+// NewDynamicPred parses the predicate and attaches the intensity function.
+func NewDynamicPred(pred string, fn IntensityFunc) (DynamicPred, error) {
+	p, err := predicate.Parse(pred)
+	if err != nil {
+		return DynamicPred{}, err
+	}
+	return DynamicPred{Pred: p.String(), P: p, Fn: fn}, nil
+}
+
+// Bind evaluates the dynamic preference against one tuple, returning the
+// (clamped) intensity and whether the predicate matched.
+func (d DynamicPred) Bind(row predicate.Row) (float64, bool) {
+	if !d.P.Eval(row) {
+		return 0, false
+	}
+	return ClampIntensity(d.Fn(row)), true
+}
+
+// LinearRamp builds the workhorse intensity function: the attribute's value
+// is mapped linearly from [attrLo, attrHi] onto [outLo, outHi] and clamped.
+// "I like recent papers" becomes LinearRamp("year", 1990, 2013, 0, 1);
+// "I dislike high mileage" becomes LinearRamp("mileage", 0, 200000, 0, -1).
+// Missing or non-numeric attributes yield outLo.
+func LinearRamp(attr string, attrLo, attrHi, outLo, outHi float64) IntensityFunc {
+	return func(row predicate.Row) float64 {
+		v, ok := row.Get(attr)
+		if !ok || !v.IsNumeric() || attrHi == attrLo {
+			return outLo
+		}
+		t := (v.AsFloat() - attrLo) / (attrHi - attrLo)
+		t = math.Max(0, math.Min(1, t))
+		return outLo + t*(outHi-outLo)
+	}
+}
+
+// TupleIntensityDynamic extends TupleIntensity with dynamic preferences:
+// the combined value is f∧ over the static intensities of matching static
+// preferences and the bound intensities of matching dynamic ones. It
+// returns the combined intensity and the total number of matches.
+func TupleIntensityDynamic(row predicate.Row, static []ScoredPred, dynamic []DynamicPred) (float64, int) {
+	var vals []float64
+	for _, p := range static {
+		if p.P.Eval(row) {
+			vals = append(vals, p.Intensity)
+		}
+	}
+	for _, d := range dynamic {
+		if v, ok := d.Bind(row); ok {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	return FAndAll(vals...), len(vals)
+}
+
+// RankDynamic scores every row against the static+dynamic preference lists
+// and returns indexes of rows ordered by descending combined intensity
+// (ties keep input order). Rows matching nothing are excluded.
+type RankedRow struct {
+	Index     int
+	Intensity float64
+	Matches   int
+}
+
+// RankDynamic evaluates all rows.
+func RankDynamic(rows []predicate.Row, static []ScoredPred, dynamic []DynamicPred) []RankedRow {
+	var out []RankedRow
+	for i, r := range rows {
+		v, n := TupleIntensityDynamic(r, static, dynamic)
+		if n == 0 {
+			continue
+		}
+		out = append(out, RankedRow{Index: i, Intensity: v, Matches: n})
+	}
+	// insertion sort keeps stability without importing sort for a tiny list
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Intensity > out[j-1].Intensity; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

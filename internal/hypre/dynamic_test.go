@@ -1,0 +1,156 @@
+package hypre
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hypre/internal/predicate"
+)
+
+func movieRow(year int64, genre string) predicate.MapRow {
+	return predicate.MapRow{
+		"year":  predicate.Int(year),
+		"genre": predicate.String(genre),
+	}
+}
+
+func TestNewDynamicPredValidation(t *testing.T) {
+	if _, err := NewDynamicPred("((", LinearRamp("year", 0, 1, 0, 1)); err == nil {
+		t.Error("invalid predicate accepted")
+	}
+	d, err := NewDynamicPred(`genre = 'comedy'`, LinearRamp("year", 1990, 2010, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Pred != `genre="comedy"` {
+		t.Errorf("not normalized: %q", d.Pred)
+	}
+}
+
+func TestLinearRamp(t *testing.T) {
+	fn := LinearRamp("year", 1990, 2010, 0, 1)
+	cases := []struct {
+		year int64
+		want float64
+	}{
+		{1990, 0}, {2000, 0.5}, {2010, 1},
+		{1980, 0}, // clamped below
+		{2020, 1}, // clamped above
+	}
+	for _, c := range cases {
+		if got := fn(movieRow(c.year, "x")); !almostEq(got, c.want) {
+			t.Errorf("ramp(%d) = %v, want %v", c.year, got, c.want)
+		}
+	}
+	// Descending ramp (dislike grows with the attribute).
+	down := LinearRamp("mileage", 0, 100, 0, -1)
+	if got := down(predicate.MapRow{"mileage": predicate.Int(50)}); !almostEq(got, -0.5) {
+		t.Errorf("down ramp = %v", got)
+	}
+	// Missing / non-numeric attribute -> outLo.
+	if got := fn(predicate.MapRow{}); got != 0 {
+		t.Errorf("missing attr = %v", got)
+	}
+	if got := fn(predicate.MapRow{"year": predicate.String("x")}); got != 0 {
+		t.Errorf("non-numeric = %v", got)
+	}
+	// Degenerate interval -> outLo.
+	deg := LinearRamp("year", 5, 5, 0.2, 0.9)
+	if got := deg(movieRow(5, "x")); !almostEq(got, 0.2) {
+		t.Errorf("degenerate = %v", got)
+	}
+}
+
+func TestDynamicPredBind(t *testing.T) {
+	d, _ := NewDynamicPred(`genre="comedy"`, LinearRamp("year", 2000, 2010, 0, 1))
+	if v, ok := d.Bind(movieRow(2010, "comedy")); !ok || !almostEq(v, 1) {
+		t.Errorf("bind = %v %v", v, ok)
+	}
+	if _, ok := d.Bind(movieRow(2010, "drama")); ok {
+		t.Error("gate failed")
+	}
+	// Fn results outside [-1,1] are clamped.
+	wild, _ := NewDynamicPred(`genre="comedy"`, func(predicate.Row) float64 { return 7 })
+	if v, _ := wild.Bind(movieRow(2000, "comedy")); v != 1 {
+		t.Errorf("clamp = %v", v)
+	}
+}
+
+func TestTupleIntensityDynamicRecentComedies(t *testing.T) {
+	// §3.2's example: "I like recent comedies".
+	static := []ScoredPred{}
+	recent, _ := NewDynamicPred(`genre="comedy"`, LinearRamp("year", 1950, 2010, 0, 1))
+	dyn := []DynamicPred{recent}
+
+	newC, n1 := TupleIntensityDynamic(movieRow(2010, "comedy"), static, dyn)
+	oldC, n2 := TupleIntensityDynamic(movieRow(1950, "comedy"), static, dyn)
+	drama, n3 := TupleIntensityDynamic(movieRow(2010, "drama"), static, dyn)
+	if n1 != 1 || n2 != 1 || n3 != 0 {
+		t.Fatalf("matches = %d %d %d", n1, n2, n3)
+	}
+	if !(newC > oldC) || drama != 0 {
+		t.Errorf("ranking: new=%v old=%v drama=%v", newC, oldC, drama)
+	}
+}
+
+func TestTupleIntensityDynamicMixesWithStatic(t *testing.T) {
+	static := []ScoredPred{mustScored(t, `genre="comedy"`, 0.5)}
+	recent, _ := NewDynamicPred(`year>=2000`, LinearRamp("year", 2000, 2010, 0, 0.8))
+	v, n := TupleIntensityDynamic(movieRow(2010, "comedy"), static, []DynamicPred{recent})
+	if n != 2 {
+		t.Fatalf("matches = %d", n)
+	}
+	if !almostEq(v, FAnd(0.5, 0.8)) {
+		t.Errorf("combined = %v, want %v", v, FAnd(0.5, 0.8))
+	}
+}
+
+func mustScored(t *testing.T, pred string, in float64) ScoredPred {
+	t.Helper()
+	p, err := NewScoredPred(pred, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRankDynamic(t *testing.T) {
+	rows := []predicate.Row{
+		movieRow(1942, "drama"),
+		movieRow(2011, "comedy"),
+		movieRow(1954, "comedy"),
+		movieRow(2013, "thriller"),
+	}
+	recent, _ := NewDynamicPred(`genre="comedy"`, LinearRamp("year", 1940, 2013, 0.1, 1))
+	ranked := RankDynamic(rows, nil, []DynamicPred{recent})
+	if len(ranked) != 2 {
+		t.Fatalf("ranked = %d", len(ranked))
+	}
+	if ranked[0].Index != 1 || ranked[1].Index != 2 {
+		t.Errorf("order = %+v", ranked)
+	}
+	if ranked[0].Intensity <= ranked[1].Intensity {
+		t.Error("intensity order wrong")
+	}
+}
+
+// Property: LinearRamp is monotone in the attribute and stays within the
+// output interval.
+func TestLinearRampMonotoneProperty(t *testing.T) {
+	fn := LinearRamp("x", 0, 1000, -0.2, 0.9)
+	f := func(a, b uint16) bool {
+		ra := predicate.MapRow{"x": predicate.Int(int64(a))}
+		rb := predicate.MapRow{"x": predicate.Int(int64(b))}
+		va, vb := fn(ra), fn(rb)
+		if va < -0.2-1e-12 || va > 0.9+1e-12 {
+			return false
+		}
+		if a <= b {
+			return va <= vb+1e-12
+		}
+		return vb <= va+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

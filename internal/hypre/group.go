@@ -1,0 +1,108 @@
+package hypre
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GroupStrategy selects how member intensities merge when building a group
+// profile — the §8.2 extension ("combining multiple profiles into a group
+// ... a system can have access to more preferences and recommend items
+// using the collective list").
+type GroupStrategy int
+
+const (
+	// GroupAverage averages the intensities of members who hold the
+	// preference (absent members abstain) — the consensus view.
+	GroupAverage GroupStrategy = iota
+	// GroupLeastMisery takes the minimum over holding members — nobody is
+	// dragged to something a member dislikes.
+	GroupLeastMisery
+	// GroupMostPleasure takes the maximum — one enthusiast suffices.
+	GroupMostPleasure
+	// GroupFairAverage averages over all group members, counting absent
+	// members as 0 — popular preferences win over niche ones.
+	GroupFairAverage
+)
+
+// String names the strategy.
+func (s GroupStrategy) String() string {
+	switch s {
+	case GroupAverage:
+		return "average"
+	case GroupLeastMisery:
+		return "least-misery"
+	case GroupMostPleasure:
+		return "most-pleasure"
+	case GroupFairAverage:
+		return "fair-average"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// GroupProfile merges the profiles of several users into one preference
+// list under the given strategy, sorted descending by merged intensity
+// (ties by predicate text). Preferences are matched by normalized predicate
+// text; each user's full profile (positive and negative) participates, so
+// a member's dislike can pull a group intensity below zero.
+func (h *Graph) GroupProfile(uids []int64, strategy GroupStrategy) ([]ScoredPred, error) {
+	if len(uids) == 0 {
+		return nil, fmt.Errorf("hypre: group needs at least one member")
+	}
+	type acc struct {
+		sum   float64
+		min   float64
+		max   float64
+		count int
+	}
+	accs := map[string]*acc{}
+	var order []string
+	for _, uid := range uids {
+		for _, p := range h.Profile(uid) {
+			a, ok := accs[p.Pred]
+			if !ok {
+				a = &acc{min: p.Intensity, max: p.Intensity}
+				accs[p.Pred] = a
+				order = append(order, p.Pred)
+			}
+			a.sum += p.Intensity
+			a.count++
+			if p.Intensity < a.min {
+				a.min = p.Intensity
+			}
+			if p.Intensity > a.max {
+				a.max = p.Intensity
+			}
+		}
+	}
+	out := make([]ScoredPred, 0, len(order))
+	for _, pred := range order {
+		a := accs[pred]
+		var v float64
+		switch strategy {
+		case GroupAverage:
+			v = a.sum / float64(a.count)
+		case GroupLeastMisery:
+			v = a.min
+		case GroupMostPleasure:
+			v = a.max
+		case GroupFairAverage:
+			v = a.sum / float64(len(uids))
+		default:
+			return nil, fmt.Errorf("hypre: unknown group strategy %v", strategy)
+		}
+		sp, err := NewScoredPred(pred, ClampIntensity(v))
+		if err != nil {
+			continue
+		}
+		out = append(out, sp)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Intensity != out[j].Intensity {
+			return out[i].Intensity > out[j].Intensity
+		}
+		return out[i].Pred < out[j].Pred
+	})
+	return out, nil
+}

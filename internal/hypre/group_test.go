@@ -1,0 +1,144 @@
+package hypre
+
+import "testing"
+
+func groupGraph(t *testing.T) *Graph {
+	t.Helper()
+	h := NewGraph(DefaultFixed)
+	// Alice (1) loves VLDB, likes KDD, hates INFOCOM.
+	h.AddQuantitative(1, `venue="VLDB"`, 0.9)
+	h.AddQuantitative(1, `venue="KDD"`, 0.4)
+	h.AddQuantitative(1, `venue="INFOCOM"`, -0.8)
+	// Bob (2) likes VLDB mildly, loves KDD.
+	h.AddQuantitative(2, `venue="VLDB"`, 0.3)
+	h.AddQuantitative(2, `venue="KDD"`, 0.8)
+	// Carol (3) only knows SIGMOD.
+	h.AddQuantitative(3, `venue="SIGMOD"`, 0.6)
+	return h
+}
+
+func findPred(prefs []ScoredPred, pred string) (float64, bool) {
+	for _, p := range prefs {
+		if p.Pred == pred {
+			return p.Intensity, true
+		}
+	}
+	return 0, false
+}
+
+func TestGroupAverage(t *testing.T) {
+	h := groupGraph(t)
+	prefs, err := h.GroupProfile([]int64{1, 2, 3}, GroupAverage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := findPred(prefs, `venue="VLDB"`); !ok || !almostEq(v, 0.6) {
+		t.Errorf("VLDB avg = %v", v)
+	}
+	if v, ok := findPred(prefs, `venue="KDD"`); !ok || !almostEq(v, 0.6) {
+		t.Errorf("KDD avg = %v", v)
+	}
+	// Carol's SIGMOD participates at her value (only holder).
+	if v, ok := findPred(prefs, `venue="SIGMOD"`); !ok || !almostEq(v, 0.6) {
+		t.Errorf("SIGMOD avg = %v", v)
+	}
+	// Alice's dislike survives.
+	if v, ok := findPred(prefs, `venue="INFOCOM"`); !ok || !almostEq(v, -0.8) {
+		t.Errorf("INFOCOM avg = %v", v)
+	}
+}
+
+func TestGroupLeastMisery(t *testing.T) {
+	h := groupGraph(t)
+	prefs, err := h.GroupProfile([]int64{1, 2}, GroupLeastMisery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := findPred(prefs, `venue="VLDB"`); !almostEq(v, 0.3) {
+		t.Errorf("VLDB min = %v", v)
+	}
+	if v, _ := findPred(prefs, `venue="KDD"`); !almostEq(v, 0.4) {
+		t.Errorf("KDD min = %v", v)
+	}
+}
+
+func TestGroupMostPleasure(t *testing.T) {
+	h := groupGraph(t)
+	prefs, err := h.GroupProfile([]int64{1, 2}, GroupMostPleasure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := findPred(prefs, `venue="VLDB"`); !almostEq(v, 0.9) {
+		t.Errorf("VLDB max = %v", v)
+	}
+	if v, _ := findPred(prefs, `venue="KDD"`); !almostEq(v, 0.8) {
+		t.Errorf("KDD max = %v", v)
+	}
+}
+
+func TestGroupFairAverage(t *testing.T) {
+	h := groupGraph(t)
+	prefs, err := h.GroupProfile([]int64{1, 2, 3}, GroupFairAverage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SIGMOD held only by Carol: 0.6 / 3 members.
+	if v, _ := findPred(prefs, `venue="SIGMOD"`); !almostEq(v, 0.2) {
+		t.Errorf("SIGMOD fair = %v", v)
+	}
+	// VLDB held by two: (0.9 + 0.3) / 3.
+	if v, _ := findPred(prefs, `venue="VLDB"`); !almostEq(v, 0.4) {
+		t.Errorf("VLDB fair = %v", v)
+	}
+}
+
+func TestGroupProfileSortedAndValidated(t *testing.T) {
+	h := groupGraph(t)
+	prefs, err := h.GroupProfile([]int64{1, 2, 3}, GroupAverage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(prefs); i++ {
+		if prefs[i].Intensity > prefs[i-1].Intensity {
+			t.Fatal("not sorted")
+		}
+	}
+	if _, err := h.GroupProfile(nil, GroupAverage); err == nil {
+		t.Error("empty group accepted")
+	}
+	if _, err := h.GroupProfile([]int64{1}, GroupStrategy(99)); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestGroupSingletonEqualsProfile(t *testing.T) {
+	h := groupGraph(t)
+	solo, err := h.GroupProfile([]int64{1}, GroupAverage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	own := h.Profile(1)
+	if len(solo) != len(own) {
+		t.Fatalf("sizes: %d vs %d", len(solo), len(own))
+	}
+	for i := range own {
+		v, ok := findPred(solo, own[i].Pred)
+		if !ok || !almostEq(v, own[i].Intensity) {
+			t.Errorf("pred %s: %v vs %v", own[i].Pred, v, own[i].Intensity)
+		}
+	}
+}
+
+func TestGroupStrategyStrings(t *testing.T) {
+	names := map[GroupStrategy]string{
+		GroupAverage:      "average",
+		GroupLeastMisery:  "least-misery",
+		GroupMostPleasure: "most-pleasure",
+		GroupFairAverage:  "fair-average",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%v", s)
+		}
+	}
+}

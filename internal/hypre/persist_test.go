@@ -1,0 +1,92 @@
+package hypre
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	h := NewGraph(DefaultAvg)
+	h.AddQuantitative(1, `venue="VLDB"`, 0.8)
+	h.AddQuantitative(1, `venue="KDD"`, 0.4)
+	h.AddQualitative(1, `venue="PODS"`, `venue="ICDE"`, 0.3)
+	h.AddQuantitative(2, `venue="WWW"`, 0.6)
+	h.AddQualitative(2, `venue="WWW"`, `venue="CIKM"`, 0.2)
+
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Profiles identical.
+	for _, uid := range []int64{1, 2} {
+		want := h.Profile(uid)
+		got := r.Profile(uid)
+		if len(got) != len(want) {
+			t.Fatalf("uid %d: %d vs %d prefs", uid, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Pred != want[i].Pred || !almostEq(got[i].Intensity, want[i].Intensity) {
+				t.Errorf("uid %d pref %d: %+v vs %+v", uid, i, got[i], want[i])
+			}
+		}
+	}
+	// Stats identical.
+	if h.GraphStats() != r.GraphStats() {
+		t.Errorf("stats: %+v vs %+v", h.GraphStats(), r.GraphStats())
+	}
+	// byKey rebuilt: duplicate insert must still hit the same node.
+	idOrig, _ := r.NodeID(1, `venue="VLDB"`)
+	idDup, err := r.AddQuantitative(1, `venue="VLDB"`, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idDup != idOrig {
+		t.Errorf("duplicate created new node after load: %d vs %d", idDup, idOrig)
+	}
+	// userSeen restored: default-value aggregates keep working.
+	res, err := r.AddQualitative(1, `venue="NEW1"`, `venue="NEW2"`, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, _ := r.Node(res.RightID)
+	hOrig := NewGraph(DefaultAvg)
+	hOrig.AddQuantitative(1, `venue="VLDB"`, 0.8)
+	hOrig.AddQuantitative(1, `venue="KDD"`, 0.4)
+	hOrig.AddQualitative(1, `venue="PODS"`, `venue="ICDE"`, 0.3)
+	hOrig.AddQuantitative(1, `venue="VLDB"`, 0.8) // mirror the duplicate insert above
+	resO, _ := hOrig.AddQualitative(1, `venue="NEW1"`, `venue="NEW2"`, 0.4)
+	seedO, _ := hOrig.Node(resO.RightID)
+	if !almostEq(seed.Intensity, seedO.Intensity) {
+		t.Errorf("seed after load %v, fresh graph %v", seed.Intensity, seedO.Intensity)
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSaveLoadConflictEdges(t *testing.T) {
+	h := NewGraph(DefaultFixed)
+	h.AddQualitative(1, `venue="A"`, `venue="B"`, 0.3)
+	h.AddQualitative(1, `venue="B"`, `venue="A"`, 0.3) // CYCLE
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.GraphStats()
+	if st.Cycles != 1 || st.Prefers != 1 {
+		t.Errorf("stats after load = %+v", st)
+	}
+}

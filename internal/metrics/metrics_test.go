@@ -1,0 +1,211 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hypre/internal/combine"
+	"hypre/internal/hypre"
+	"hypre/internal/predicate"
+	"hypre/internal/relstore"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestSelectivity(t *testing.T) {
+	if got := Selectivity(10, 2); got != 5 {
+		t.Errorf("Selectivity = %v", got)
+	}
+	if got := Selectivity(10, 0); got != 0 {
+		t.Errorf("zero preds = %v", got)
+	}
+}
+
+func TestUtility(t *testing.T) {
+	if got := Utility(5, 0.4); !almostEq(got, 2.0) {
+		t.Errorf("Utility = %v", got)
+	}
+}
+
+func TestRecordUtilityCap(t *testing.T) {
+	r := combine.Record{NumPreds: 2, NumTuples: 100, Intensity: 0.5}
+	// Uncapped: (100/2)*0.5 = 25. Capped at 25 tuples: (25/2)*0.5 = 6.25.
+	if got := RecordUtility(r, 0); !almostEq(got, 25) {
+		t.Errorf("uncapped = %v", got)
+	}
+	if got := RecordUtility(r, 25); !almostEq(got, 6.25) {
+		t.Errorf("capped = %v", got)
+	}
+	small := combine.Record{NumPreds: 2, NumTuples: 10, Intensity: 0.5}
+	if RecordUtility(small, 25) != RecordUtility(small, 0) {
+		t.Error("cap must not affect small results")
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	cases := []struct {
+		a, b []int64
+		want float64
+	}{
+		{[]int64{1, 2, 3}, []int64{1, 2, 3}, 1},
+		{[]int64{1, 2, 3}, []int64{4, 5, 6}, 0},
+		{[]int64{1, 2, 3, 4}, []int64{3, 4}, 0.5},
+		{nil, nil, 1},
+		{[]int64{1}, nil, 0},
+	}
+	for _, c := range cases {
+		if got := Similarity(c.a, c.b); !almostEq(got, c.want) {
+			t.Errorf("Similarity(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSimilaritySymmetricProperty(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a := make([]int64, len(xs))
+		b := make([]int64, len(ys))
+		for i, x := range xs {
+			a[i] = int64(x)
+		}
+		for i, y := range ys {
+			b[i] = int64(y)
+		}
+		s1, s2 := Similarity(a, b), Similarity(b, a)
+		return almostEq(s1, s2) && s1 >= 0 && s1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	// Same order on the common subset -> 1 (the paper's 100% overlap).
+	a := []int64{1, 2, 3, 4, 5}
+	b := []int64{9, 1, 3, 5, 8}
+	if got := Overlap(a, b); !almostEq(got, 1) {
+		t.Errorf("Overlap = %v, want 1", got)
+	}
+	// Fully reversed order -> no concordant pairs.
+	c := []int64{3, 2, 1}
+	d := []int64{1, 2, 3}
+	if got := Overlap(c, d); got != 0 {
+		t.Errorf("reversed Overlap = %v", got)
+	}
+	// One swap among three: pairs (1,2) discordant, (1,3) and (2,3)... for
+	// a=[2,1,3], b=[1,2,3]: concordant pairs are (2,3) and (1,3) -> 2/3.
+	if got := Overlap([]int64{2, 1, 3}, []int64{1, 2, 3}); !almostEq(got, 2.0/3) {
+		t.Errorf("one-swap Overlap = %v", got)
+	}
+	// An insertion shift must not zero the metric: a=[9,1,2,3] vs
+	// b=[1,2,3] share [1,2,3] in identical order -> 1.
+	if got := Overlap([]int64{9, 1, 2, 3}, []int64{1, 2, 3}); !almostEq(got, 1) {
+		t.Errorf("shifted Overlap = %v", got)
+	}
+	// Single shared tuple is trivially ordered.
+	if got := Overlap([]int64{5, 7}, []int64{7, 9}); !almostEq(got, 1) {
+		t.Errorf("single common Overlap = %v", got)
+	}
+	if got := Overlap([]int64{1}, []int64{2}); got != 0 {
+		t.Errorf("disjoint Overlap = %v", got)
+	}
+}
+
+func TestPIDs(t *testing.T) {
+	ts := []combine.ScoredTuple{{PID: 3, Intensity: 0.5}, {PID: 1, Intensity: 0.2}}
+	got := PIDs(ts)
+	if len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Errorf("PIDs = %v", got)
+	}
+}
+
+func TestAndCombinationsBound(t *testing.T) {
+	// Proposition 3: 2^N - 1.
+	cases := map[int]float64{0: 0, 1: 1, 2: 3, 5: 31, 10: 1023}
+	for n, want := range cases {
+		if got := AndCombinations(n); got != want {
+			t.Errorf("AndCombinations(%d) = %v, want %v", n, got, want)
+		}
+	}
+	if !math.IsInf(AndCombinations(100), 1) {
+		t.Error("overflow should return +Inf")
+	}
+	if AndCombinations(-1) != 0 {
+		t.Error("negative n")
+	}
+}
+
+func TestAndOrCombinationsBound(t *testing.T) {
+	// Proposition 4: (3^N - 1) / 2.
+	cases := map[int]float64{0: 0, 1: 1, 2: 4, 3: 13, 5: 121}
+	for n, want := range cases {
+		if got := AndOrCombinations(n); got != want {
+			t.Errorf("AndOrCombinations(%d) = %v, want %v", n, got, want)
+		}
+	}
+	if !math.IsInf(AndOrCombinations(100), 1) {
+		t.Error("overflow should return +Inf")
+	}
+}
+
+// Property: the AND_OR bound dominates the AND bound (Prop 4 >= Prop 3).
+func TestBoundDominanceProperty(t *testing.T) {
+	for n := 0; n <= 20; n++ {
+		if AndOrCombinations(n) < AndCombinations(n) {
+			t.Errorf("bound inversion at n=%d", n)
+		}
+	}
+}
+
+func coverageFixture(t *testing.T) (*combine.Evaluator, []hypre.ScoredPred) {
+	t.Helper()
+	db := relstore.NewDB()
+	tbl, _ := db.CreateTable("dblp",
+		relstore.Column{Name: "pid", Kind: predicate.KindInt},
+		relstore.Column{Name: "venue", Kind: predicate.KindString},
+	)
+	venues := []string{"A", "A", "B", "B", "C"}
+	for i, v := range venues {
+		tbl.Insert(predicate.Int(int64(i+1)), predicate.String(v))
+	}
+	base := func(w predicate.Predicate) relstore.Query {
+		return relstore.Query{From: "dblp", Where: w}
+	}
+	ev := combine.NewEvaluator(db, base, "dblp.pid")
+	mk := func(p string, in float64) hypre.ScoredPred {
+		sp, err := hypre.NewScoredPred(p, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sp
+	}
+	prefs := []hypre.ScoredPred{
+		mk(`dblp.venue="A"`, 0.5),
+		mk(`dblp.venue="B"`, 0.3),
+	}
+	return ev, prefs
+}
+
+func TestCoverage(t *testing.T) {
+	ev, prefs := coverageFixture(t)
+	n, err := Coverage(ev, prefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("Coverage = %d, want 4 (A∪B)", n)
+	}
+	set, err := CoverageSet(ev, prefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 4 || set.Contains(5) {
+		t.Errorf("CoverageSet = %v", set)
+	}
+	// More preferences can only grow coverage (monotonicity).
+	sp, _ := hypre.NewScoredPred(`dblp.venue="C"`, 0.1)
+	n2, _ := Coverage(ev, append(prefs, sp))
+	if n2 != 5 {
+		t.Errorf("extended coverage = %d", n2)
+	}
+}

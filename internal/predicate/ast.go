@@ -1,0 +1,348 @@
+package predicate
+
+import (
+	"sort"
+	"strings"
+)
+
+// Row is the evaluation context for a predicate: anything that can resolve a
+// (possibly table-qualified) attribute name to a value. Lookups should accept
+// both the qualified form ("dblp.venue") and the bare column name ("venue")
+// when unambiguous; the relstore row implementations do.
+type Row interface {
+	Get(attr string) (Value, bool)
+}
+
+// MapRow is a Row backed by a plain map, convenient in tests and examples.
+type MapRow map[string]Value
+
+// Get implements Row.
+func (m MapRow) Get(attr string) (Value, bool) {
+	v, ok := m[attr]
+	if !ok {
+		// Fall back to suffix match on the bare column name so a MapRow with
+		// qualified keys still answers unqualified lookups and vice versa.
+		if i := strings.LastIndexByte(attr, '.'); i >= 0 {
+			v, ok = m[attr[i+1:]]
+		} else {
+			for k, mv := range m {
+				if j := strings.LastIndexByte(k, '.'); j >= 0 && k[j+1:] == attr {
+					return mv, true
+				}
+			}
+		}
+	}
+	return v, ok
+}
+
+// Op is a comparison operator.
+type Op uint8
+
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String returns the SQL spelling of the operator.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Predicate is a boolean condition over a Row. Implementations are
+// immutable; Eval must be safe for concurrent use.
+type Predicate interface {
+	// Eval reports whether the row satisfies the predicate. Comparisons
+	// against NULL or missing attributes are false (SQL three-valued logic
+	// collapsed to boolean, which is what the WHERE clause does anyway).
+	Eval(row Row) bool
+	// String renders the predicate in the dissertation's textual syntax.
+	String() string
+	// Attributes appends the qualified attribute names the predicate reads
+	// to dst and returns the result (possibly with duplicates).
+	Attributes(dst []string) []string
+}
+
+// Cmp is a single comparison: Attr Op Literal.
+type Cmp struct {
+	Attr string
+	Op   Op
+	Val  Value
+}
+
+// Eval implements Predicate.
+func (c *Cmp) Eval(row Row) bool {
+	v, ok := row.Get(c.Attr)
+	if !ok || v.IsNull() {
+		return false
+	}
+	r, ok := Compare(v, c.Val)
+	if !ok {
+		return false
+	}
+	switch c.Op {
+	case OpEq:
+		return r == 0
+	case OpNe:
+		return r != 0
+	case OpLt:
+		return r < 0
+	case OpLe:
+		return r <= 0
+	case OpGt:
+		return r > 0
+	case OpGe:
+		return r >= 0
+	default:
+		return false
+	}
+}
+
+// String implements Predicate.
+func (c *Cmp) String() string { return c.Attr + c.Op.String() + c.Val.String() }
+
+// Attributes implements Predicate.
+func (c *Cmp) Attributes(dst []string) []string { return append(dst, c.Attr) }
+
+// Between is Attr BETWEEN Lo AND Hi (inclusive on both ends, as in SQL).
+type Between struct {
+	Attr   string
+	Lo, Hi Value
+}
+
+// Eval implements Predicate.
+func (b *Between) Eval(row Row) bool {
+	v, ok := row.Get(b.Attr)
+	if !ok || v.IsNull() {
+		return false
+	}
+	lo, ok1 := Compare(v, b.Lo)
+	hi, ok2 := Compare(v, b.Hi)
+	return ok1 && ok2 && lo >= 0 && hi <= 0
+}
+
+// String implements Predicate.
+func (b *Between) String() string {
+	return b.Attr + " BETWEEN " + b.Lo.String() + " AND " + b.Hi.String()
+}
+
+// Attributes implements Predicate.
+func (b *Between) Attributes(dst []string) []string { return append(dst, b.Attr) }
+
+// In is Attr IN (v1, v2, ...).
+type In struct {
+	Attr string
+	Vals []Value
+}
+
+// Eval implements Predicate.
+func (in *In) Eval(row Row) bool {
+	v, ok := row.Get(in.Attr)
+	if !ok || v.IsNull() {
+		return false
+	}
+	for _, w := range in.Vals {
+		if v.Equal(w) {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements Predicate.
+func (in *In) String() string {
+	var sb strings.Builder
+	sb.WriteString(in.Attr)
+	sb.WriteString(" IN (")
+	for i, v := range in.Vals {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.String())
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Attributes implements Predicate.
+func (in *In) Attributes(dst []string) []string { return append(dst, in.Attr) }
+
+// And is the conjunction of its children (true when empty, like SQL's
+// implicit TRUE).
+type And struct {
+	Kids []Predicate
+}
+
+// Eval implements Predicate.
+func (a *And) Eval(row Row) bool {
+	for _, k := range a.Kids {
+		if !k.Eval(row) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements Predicate.
+func (a *And) String() string { return joinKids(a.Kids, " AND ") }
+
+// Attributes implements Predicate.
+func (a *And) Attributes(dst []string) []string {
+	for _, k := range a.Kids {
+		dst = k.Attributes(dst)
+	}
+	return dst
+}
+
+// Or is the disjunction of its children (false when empty).
+type Or struct {
+	Kids []Predicate
+}
+
+// Eval implements Predicate.
+func (o *Or) Eval(row Row) bool {
+	for _, k := range o.Kids {
+		if k.Eval(row) {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements Predicate.
+func (o *Or) String() string { return joinKids(o.Kids, " OR ") }
+
+// Attributes implements Predicate.
+func (o *Or) Attributes(dst []string) []string {
+	for _, k := range o.Kids {
+		dst = k.Attributes(dst)
+	}
+	return dst
+}
+
+// Not negates its child.
+type Not struct {
+	Kid Predicate
+}
+
+// Eval implements Predicate.
+func (n *Not) Eval(row Row) bool { return !n.Kid.Eval(row) }
+
+// String implements Predicate.
+func (n *Not) String() string { return "NOT (" + n.Kid.String() + ")" }
+
+// Attributes implements Predicate.
+func (n *Not) Attributes(dst []string) []string { return n.Kid.Attributes(dst) }
+
+// True is the always-true predicate (an empty WHERE clause).
+type True struct{}
+
+// Eval implements Predicate.
+func (True) Eval(Row) bool { return true }
+
+// String implements Predicate.
+func (True) String() string { return "TRUE" }
+
+// Attributes implements Predicate.
+func (True) Attributes(dst []string) []string { return dst }
+
+func joinKids(kids []Predicate, sep string) string {
+	parts := make([]string, len(kids))
+	for i, k := range kids {
+		switch k.(type) {
+		case *And, *Or:
+			parts[i] = "(" + k.String() + ")"
+		default:
+			parts[i] = k.String()
+		}
+	}
+	return strings.Join(parts, sep)
+}
+
+// NewAnd builds a conjunction, flattening nested Ands and eliding the
+// trivial cases (0 kids -> True, 1 kid -> the kid).
+func NewAnd(kids ...Predicate) Predicate { return newNary(kids, true) }
+
+// NewOr builds a disjunction, flattening nested Ors and eliding the trivial
+// cases.
+func NewOr(kids ...Predicate) Predicate { return newNary(kids, false) }
+
+func newNary(kids []Predicate, and bool) Predicate {
+	flat := make([]Predicate, 0, len(kids))
+	for _, k := range kids {
+		if k == nil {
+			continue
+		}
+		if and {
+			if a, ok := k.(*And); ok {
+				flat = append(flat, a.Kids...)
+				continue
+			}
+		} else {
+			if o, ok := k.(*Or); ok {
+				flat = append(flat, o.Kids...)
+				continue
+			}
+		}
+		flat = append(flat, k)
+	}
+	switch len(flat) {
+	case 0:
+		if and {
+			return True{} // empty conjunction is TRUE
+		}
+		return &Or{} // empty disjunction is FALSE
+	case 1:
+		return flat[0]
+	}
+	if and {
+		return &And{Kids: flat}
+	}
+	return &Or{Kids: flat}
+}
+
+// UniqueAttributes returns the sorted, deduplicated list of attributes the
+// predicate reads. The mixed AND/OR combination semantics of §4.6 group
+// preferences by this set.
+func UniqueAttributes(p Predicate) []string {
+	attrs := p.Attributes(nil)
+	seen := make(map[string]bool, len(attrs))
+	out := attrs[:0]
+	for _, a := range attrs {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PrimaryAttribute returns the single attribute a simple (atomic or
+// single-attribute) predicate constrains, or "" if it touches several. The
+// preference-combination algorithms use it to decide AND vs OR placement.
+func PrimaryAttribute(p Predicate) string {
+	attrs := UniqueAttributes(p)
+	if len(attrs) == 1 {
+		return attrs[0]
+	}
+	return ""
+}

@@ -1,0 +1,221 @@
+package predicate
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func row(kv ...any) MapRow {
+	m := MapRow{}
+	for i := 0; i+1 < len(kv); i += 2 {
+		k := kv[i].(string)
+		switch v := kv[i+1].(type) {
+		case int:
+			m[k] = Int(int64(v))
+		case int64:
+			m[k] = Int(v)
+		case float64:
+			m[k] = Float(v)
+		case string:
+			m[k] = String(v)
+		case Value:
+			m[k] = v
+		default:
+			panic("bad test value")
+		}
+	}
+	return m
+}
+
+func TestCmpEval(t *testing.T) {
+	r := row("year", 2010, "venue", "VLDB")
+	cases := []struct {
+		p    Predicate
+		want bool
+	}{
+		{&Cmp{"year", OpEq, Int(2010)}, true},
+		{&Cmp{"year", OpNe, Int(2010)}, false},
+		{&Cmp{"year", OpLt, Int(2011)}, true},
+		{&Cmp{"year", OpLe, Int(2010)}, true},
+		{&Cmp{"year", OpGt, Int(2010)}, false},
+		{&Cmp{"year", OpGe, Int(2010)}, true},
+		{&Cmp{"venue", OpEq, String("VLDB")}, true},
+		{&Cmp{"venue", OpEq, String("PODS")}, false},
+		{&Cmp{"missing", OpEq, Int(1)}, false},
+		{&Cmp{"venue", OpEq, Int(3)}, false}, // incomparable types
+	}
+	for _, c := range cases {
+		if got := c.p.Eval(r); got != c.want {
+			t.Errorf("%s on %v = %v, want %v", c.p, r, got, c.want)
+		}
+	}
+}
+
+func TestBetweenEval(t *testing.T) {
+	b := &Between{Attr: "price", Lo: Int(7000), Hi: Int(16000)}
+	cases := []struct {
+		price int
+		want  bool
+	}{
+		{6999, false}, {7000, true}, {12000, true}, {16000, true}, {16001, false},
+	}
+	for _, c := range cases {
+		if got := b.Eval(row("price", c.price)); got != c.want {
+			t.Errorf("BETWEEN with price=%d = %v, want %v", c.price, got, c.want)
+		}
+	}
+	if b.Eval(row("other", 1)) {
+		t.Error("BETWEEN on missing attribute should be false")
+	}
+}
+
+func TestInEval(t *testing.T) {
+	in := &In{Attr: "make", Vals: []Value{String("BMW"), String("Honda")}}
+	if !in.Eval(row("make", "Honda")) {
+		t.Error("Honda should match")
+	}
+	if in.Eval(row("make", "VW")) {
+		t.Error("VW should not match")
+	}
+}
+
+func TestAndOrNotEval(t *testing.T) {
+	r := row("a", 1, "b", 2)
+	pa := &Cmp{"a", OpEq, Int(1)}
+	pb := &Cmp{"b", OpEq, Int(3)}
+	if !(&And{Kids: []Predicate{pa}}).Eval(r) {
+		t.Error("single-kid AND")
+	}
+	if (&And{Kids: []Predicate{pa, pb}}).Eval(r) {
+		t.Error("AND with false kid should be false")
+	}
+	if !(&Or{Kids: []Predicate{pa, pb}}).Eval(r) {
+		t.Error("OR with true kid should be true")
+	}
+	if !(&Not{Kid: pb}).Eval(r) {
+		t.Error("NOT false should be true")
+	}
+	if !(&And{}).Eval(r) {
+		t.Error("empty AND is TRUE")
+	}
+	if (&Or{}).Eval(r) {
+		t.Error("empty OR is FALSE")
+	}
+}
+
+func TestTruePredicate(t *testing.T) {
+	if !(True{}).Eval(MapRow{}) {
+		t.Error("True should be true")
+	}
+	if (True{}).String() != "TRUE" {
+		t.Error("True string")
+	}
+}
+
+func TestMapRowQualifiedFallback(t *testing.T) {
+	r := MapRow{"dblp.venue": String("VLDB")}
+	if v, ok := r.Get("venue"); !ok || v.AsString() != "VLDB" {
+		t.Error("bare lookup should resolve qualified key")
+	}
+	r2 := MapRow{"venue": String("VLDB")}
+	if v, ok := r2.Get("dblp.venue"); !ok || v.AsString() != "VLDB" {
+		t.Error("qualified lookup should resolve bare key")
+	}
+}
+
+func TestNewAndFlattening(t *testing.T) {
+	a := &Cmp{"a", OpEq, Int(1)}
+	b := &Cmp{"b", OpEq, Int(2)}
+	c := &Cmp{"c", OpEq, Int(3)}
+	got := NewAnd(NewAnd(a, b), c)
+	and, ok := got.(*And)
+	if !ok || len(and.Kids) != 3 {
+		t.Fatalf("NewAnd did not flatten: %T %v", got, got)
+	}
+	if NewAnd() != (True{}) {
+		t.Error("empty NewAnd should be True")
+	}
+	if NewAnd(a) != Predicate(a) {
+		t.Error("single-kid NewAnd should be the kid")
+	}
+	if NewAnd(nil, a, nil) != Predicate(a) {
+		t.Error("nil kids should be dropped")
+	}
+}
+
+func TestNewOrFlattening(t *testing.T) {
+	a := &Cmp{"a", OpEq, Int(1)}
+	b := &Cmp{"b", OpEq, Int(2)}
+	got := NewOr(NewOr(a, b), a)
+	or, ok := got.(*Or)
+	if !ok || len(or.Kids) != 3 {
+		t.Fatalf("NewOr did not flatten: %v", got)
+	}
+}
+
+func TestUniqueAttributes(t *testing.T) {
+	p := MustParse(`dblp.venue="A" AND (dblp.venue="B" OR dblp_author.aid=3)`)
+	got := UniqueAttributes(p)
+	want := []string{"dblp.venue", "dblp_author.aid"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("UniqueAttributes = %v, want %v", got, want)
+	}
+}
+
+func TestPrimaryAttribute(t *testing.T) {
+	if got := PrimaryAttribute(MustParse(`venue="A" OR venue="B"`)); got != "venue" {
+		t.Errorf("PrimaryAttribute = %q, want venue", got)
+	}
+	if got := PrimaryAttribute(MustParse(`venue="A" AND year>2000`)); got != "" {
+		t.Errorf("PrimaryAttribute multi = %q, want empty", got)
+	}
+}
+
+func TestPredicateStringRoundTrip(t *testing.T) {
+	inputs := []string{
+		`dblp.venue="INFOCOM"`,
+		`year BETWEEN 2000 AND 2005`,
+		`make IN ("BMW", "Honda")`,
+		`(venue="VLDB" OR venue="PODS") AND aid=128`,
+		`NOT (year<1990)`,
+	}
+	for _, in := range inputs {
+		p1 := MustParse(in)
+		p2, err := Parse(p1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", p1.String(), in, err)
+		}
+		if p1.String() != p2.String() {
+			t.Errorf("round trip: %q -> %q", p1.String(), p2.String())
+		}
+	}
+}
+
+// Property: De Morgan — NOT(a AND b) == (NOT a) OR (NOT b) over random rows.
+func TestDeMorganProperty(t *testing.T) {
+	f := func(av, bv int8, lim int8) bool {
+		r := row("a", int(av), "b", int(bv))
+		pa := &Cmp{"a", OpLt, Int(int64(lim))}
+		pb := &Cmp{"b", OpGe, Int(int64(lim))}
+		lhs := (&Not{Kid: NewAnd(pa, pb)}).Eval(r)
+		rhs := NewOr(&Not{Kid: pa}, &Not{Kid: pb}).Eval(r)
+		return lhs == rhs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Between(lo,hi) equals cmp>=lo AND cmp<=hi.
+func TestBetweenEquivalenceProperty(t *testing.T) {
+	f := func(v, lo, hi int16) bool {
+		r := row("x", int(v))
+		b := &Between{Attr: "x", Lo: Int(int64(lo)), Hi: Int(int64(hi))}
+		c := NewAnd(&Cmp{"x", OpGe, Int(int64(lo))}, &Cmp{"x", OpLe, Int(int64(hi))})
+		return b.Eval(r) == c.Eval(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

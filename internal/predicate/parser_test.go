@@ -1,0 +1,212 @@
+package predicate
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSimpleComparison(t *testing.T) {
+	p := MustParse(`dblp.venue="INFOCOM"`)
+	c, ok := p.(*Cmp)
+	if !ok {
+		t.Fatalf("got %T, want *Cmp", p)
+	}
+	if c.Attr != "dblp.venue" || c.Op != OpEq || c.Val.AsString() != "INFOCOM" {
+		t.Errorf("parsed %+v", c)
+	}
+}
+
+func TestParseAllOperators(t *testing.T) {
+	ops := map[string]Op{
+		"=": OpEq, "<>": OpNe, "!=": OpNe,
+		"<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+	}
+	for text, want := range ops {
+		p := MustParse("x " + text + " 5")
+		c := p.(*Cmp)
+		if c.Op != want {
+			t.Errorf("op %q parsed as %v, want %v", text, c.Op, want)
+		}
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	if v := MustParse("x=42").(*Cmp).Val; v.Kind() != KindInt || v.AsInt() != 42 {
+		t.Errorf("int literal: %v", v)
+	}
+	if v := MustParse("x=-3").(*Cmp).Val; v.AsInt() != -3 {
+		t.Errorf("negative literal: %v", v)
+	}
+	if v := MustParse("x=2.5").(*Cmp).Val; v.Kind() != KindFloat || v.AsFloat() != 2.5 {
+		t.Errorf("float literal: %v", v)
+	}
+	if v := MustParse("x=1e3").(*Cmp).Val; v.Kind() != KindFloat || v.AsFloat() != 1000 {
+		t.Errorf("exponent literal: %v", v)
+	}
+}
+
+func TestParseStringQuotes(t *testing.T) {
+	if v := MustParse(`x='single'`).(*Cmp).Val; v.AsString() != "single" {
+		t.Errorf("single quotes: %v", v)
+	}
+	if v := MustParse(`x="double"`).(*Cmp).Val; v.AsString() != "double" {
+		t.Errorf("double quotes: %v", v)
+	}
+	if v := MustParse(`x="es\"c"`).(*Cmp).Val; v.AsString() != `es"c` {
+		t.Errorf("escape: %v", v)
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	p := MustParse("price BETWEEN 7000 AND 16000")
+	b, ok := p.(*Between)
+	if !ok {
+		t.Fatalf("got %T", p)
+	}
+	if b.Lo.AsInt() != 7000 || b.Hi.AsInt() != 16000 {
+		t.Errorf("bounds %v..%v", b.Lo, b.Hi)
+	}
+}
+
+func TestParseBetweenInsideAnd(t *testing.T) {
+	// The AND inside BETWEEN must not terminate the conjunction.
+	p := MustParse("price BETWEEN 7000 AND 16000 AND mileage BETWEEN 20000 AND 50000")
+	a, ok := p.(*And)
+	if !ok || len(a.Kids) != 2 {
+		t.Fatalf("got %T: %v", p, p)
+	}
+}
+
+func TestParseIn(t *testing.T) {
+	p := MustParse(`make IN ('BMW', 'Honda')`)
+	in, ok := p.(*In)
+	if !ok || len(in.Vals) != 2 {
+		t.Fatalf("got %T: %v", p, p)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// AND binds tighter than OR.
+	p := MustParse(`a=1 OR b=2 AND c=3`)
+	or, ok := p.(*Or)
+	if !ok || len(or.Kids) != 2 {
+		t.Fatalf("top should be OR: %v", p)
+	}
+	if _, ok := or.Kids[1].(*And); !ok {
+		t.Errorf("right kid should be AND: %v", or.Kids[1])
+	}
+}
+
+func TestParseParens(t *testing.T) {
+	p := MustParse(`(a=1 OR b=2) AND c=3`)
+	and, ok := p.(*And)
+	if !ok || len(and.Kids) != 2 {
+		t.Fatalf("top should be AND: %v", p)
+	}
+	if _, ok := and.Kids[0].(*Or); !ok {
+		t.Errorf("left kid should be OR: %v", and.Kids[0])
+	}
+}
+
+func TestParseNot(t *testing.T) {
+	p := MustParse(`NOT a=1`)
+	if _, ok := p.(*Not); !ok {
+		t.Fatalf("got %T", p)
+	}
+	p = MustParse(`NOT NOT a=1`)
+	n := p.(*Not)
+	if _, ok := n.Kid.(*Not); !ok {
+		t.Errorf("nested NOT: %v", p)
+	}
+}
+
+func TestParseKeywordCase(t *testing.T) {
+	p := MustParse(`a=1 and b=2 or c=3`)
+	if _, ok := p.(*Or); !ok {
+		t.Fatalf("lowercase keywords: %v", p)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"a=",
+		"a",
+		"=1",
+		"a=1 AND",
+		"(a=1",
+		"a IN ()",
+		"a IN (1,",
+		"a BETWEEN 1",
+		"a BETWEEN 1 OR 2",
+		`a="unterminated`,
+		"a ! 1",
+		"a=1 b=2",
+		"a=1)",
+		"a @ 1",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseEvalIntegration(t *testing.T) {
+	r := row("dblp.venue", "VLDB", "dblp.year", 2011, "dblp_author.aid", 128)
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`dblp.venue="VLDB" AND dblp.year>=2010`, true},
+		{`dblp.venue="PVLDB" OR dblp_author.aid=128`, true},
+		{`dblp.year BETWEEN 2000 AND 2005`, false},
+		{`dblp.venue IN ("SIGMOD","VLDB")`, true},
+		{`NOT (dblp.venue="VLDB")`, false},
+	}
+	for _, c := range cases {
+		if got := MustParse(c.src).Eval(r); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	a := Normalize(`venue = 'VLDB'`)
+	b := Normalize(`venue="VLDB"`)
+	if a != b {
+		t.Errorf("Normalize mismatch: %q vs %q", a, b)
+	}
+	// Invalid input normalizes to trimmed self.
+	if got := Normalize("  not valid ("); got != "not valid (" {
+		t.Errorf("invalid normalize = %q", got)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on invalid input should panic")
+		}
+	}()
+	MustParse("((")
+}
+
+func TestParseLongDisjunction(t *testing.T) {
+	var parts []string
+	for i := 0; i < 200; i++ {
+		parts = append(parts, "aid="+itoa(i))
+	}
+	p := MustParse(strings.Join(parts, " OR "))
+	or, ok := p.(*Or)
+	if !ok || len(or.Kids) != 200 {
+		t.Fatalf("long OR mis-parsed: %T", p)
+	}
+	if !p.Eval(row("aid", 150)) {
+		t.Error("eval of long OR")
+	}
+}
+
+func itoa(i int) string {
+	return String("").AsString() + Int(int64(i)).AsString()
+}

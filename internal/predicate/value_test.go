@@ -1,0 +1,204 @@
+package predicate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null(), KindNull},
+		{Int(3), KindInt},
+		{Float(2.5), KindFloat},
+		{String("x"), KindString},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("kind of %v = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+	}
+}
+
+func TestValueIsNull(t *testing.T) {
+	if !Null().IsNull() {
+		t.Error("Null().IsNull() = false")
+	}
+	if Int(0).IsNull() {
+		t.Error("Int(0).IsNull() = true")
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Error("zero Value should be NULL")
+	}
+}
+
+func TestValueAsInt(t *testing.T) {
+	if got := Int(42).AsInt(); got != 42 {
+		t.Errorf("Int(42).AsInt() = %d", got)
+	}
+	if got := Float(3.9).AsInt(); got != 3 {
+		t.Errorf("Float(3.9).AsInt() = %d, want 3 (truncation)", got)
+	}
+	if got := String("7").AsInt(); got != 0 {
+		t.Errorf("String.AsInt() = %d, want 0", got)
+	}
+}
+
+func TestValueAsFloat(t *testing.T) {
+	if got := Int(2).AsFloat(); got != 2.0 {
+		t.Errorf("Int(2).AsFloat() = %v", got)
+	}
+	if got := Float(2.5).AsFloat(); got != 2.5 {
+		t.Errorf("Float(2.5).AsFloat() = %v", got)
+	}
+	if got := Null().AsFloat(); got != 0 {
+		t.Errorf("Null().AsFloat() = %v", got)
+	}
+}
+
+func TestValueAsString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{String("abc"), "abc"},
+		{Int(-5), "-5"},
+		{Float(1.5), "1.5"},
+		{Null(), ""},
+	}
+	for _, c := range cases {
+		if got := c.v.AsString(); got != c.want {
+			t.Errorf("%v.AsString() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompareNumericWidening(t *testing.T) {
+	c, ok := Compare(Int(3), Float(3.0))
+	if !ok || c != 0 {
+		t.Errorf("Compare(Int 3, Float 3.0) = %d,%v want 0,true", c, ok)
+	}
+	c, ok = Compare(Int(3), Float(3.5))
+	if !ok || c != -1 {
+		t.Errorf("Compare(Int 3, Float 3.5) = %d,%v want -1,true", c, ok)
+	}
+}
+
+func TestCompareStrings(t *testing.T) {
+	c, ok := Compare(String("a"), String("b"))
+	if !ok || c != -1 {
+		t.Errorf("Compare(a,b) = %d,%v", c, ok)
+	}
+	c, ok = Compare(String("b"), String("b"))
+	if !ok || c != 0 {
+		t.Errorf("Compare(b,b) = %d,%v", c, ok)
+	}
+}
+
+func TestCompareIncomparable(t *testing.T) {
+	if _, ok := Compare(String("a"), Int(1)); ok {
+		t.Error("string vs int should be incomparable")
+	}
+	if _, ok := Compare(Null(), Null()); ok {
+		t.Error("NULL vs NULL should be incomparable (SQL semantics)")
+	}
+	if _, ok := Compare(Null(), Int(1)); ok {
+		t.Error("NULL vs int should be incomparable")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Int(3).Equal(Float(3)) {
+		t.Error("Int(3) should equal Float(3)")
+	}
+	if Int(3).Equal(String("3")) {
+		t.Error("Int(3) should not equal String(\"3\")")
+	}
+	if Null().Equal(Null()) {
+		t.Error("NULL should not equal NULL")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int(7), "7"},
+		{Float(0.5), "0.5"},
+		{String("ab\"c"), `"ab\"c"`},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueKeyCollision(t *testing.T) {
+	// Int(3) and Float(3) must share a key because Equal treats them equal.
+	if Int(3).Key() != Float(3).Key() {
+		t.Errorf("Key mismatch: %q vs %q", Int(3).Key(), Float(3).Key())
+	}
+	if Int(3).Key() == String("3").Key() {
+		t.Error("Int(3) and String(3) keys must differ")
+	}
+	if Float(3.5).Key() == Float(4.5).Key() {
+		t.Error("distinct floats collide")
+	}
+	if Null().Key() == String("").Key() {
+		t.Error("NULL key collides with empty string")
+	}
+}
+
+// Property: Compare is antisymmetric on ints.
+func TestCompareAntisymmetricProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		c1, ok1 := Compare(Int(a), Int(b))
+		c2, ok2 := Compare(Int(b), Int(a))
+		return ok1 && ok2 && c1 == -c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Key is injective with respect to Equal for (int, float) pairs.
+func TestKeyConsistentWithEqualProperty(t *testing.T) {
+	f := func(a int64, b float64) bool {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		va, vb := Int(a), Float(b)
+		return va.Equal(vb) == (va.Key() == vb.Key())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: string Compare agrees with Go's native ordering.
+func TestStringCompareProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		c, ok := Compare(String(a), String(b))
+		if !ok {
+			return false
+		}
+		switch {
+		case a < b:
+			return c < 0
+		case a > b:
+			return c > 0
+		default:
+			return c == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

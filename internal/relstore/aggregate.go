@@ -1,0 +1,167 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+
+	"hypre/internal/predicate"
+)
+
+// OrderBy sorts rows by an attribute. NULL and missing values sort last in
+// both directions.
+type OrderBy struct {
+	Attr string
+	Desc bool
+}
+
+// SelectOrdered runs the query and sorts the result. The sort is stable, so
+// scan order breaks ties deterministically. Limit (if set on the query)
+// applies after sorting, as in SQL.
+func (db *DB) SelectOrdered(q Query, order OrderBy) ([]JoinedRow, error) {
+	limit := q.Limit
+	q.Limit = 0
+	rows, err := db.Select(q)
+	if err != nil {
+		return nil, err
+	}
+	key := func(r JoinedRow) (predicate.Value, bool) {
+		v, ok := r.Get(order.Attr)
+		return v, ok && !v.IsNull()
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		vi, oki := key(rows[i])
+		vj, okj := key(rows[j])
+		switch {
+		case !oki && !okj:
+			return false
+		case !oki:
+			return false // NULLs last
+		case !okj:
+			return true
+		}
+		c, ok := predicate.Compare(vi, vj)
+		if !ok {
+			return false
+		}
+		if order.Desc {
+			return c > 0
+		}
+		return c < 0
+	})
+	if limit > 0 && len(rows) > limit {
+		rows = rows[:limit]
+	}
+	return rows, nil
+}
+
+// GroupCount is one GROUP BY row: a grouping key and its count.
+type GroupCount struct {
+	Key   predicate.Value
+	Count int
+}
+
+// CountGroupBy computes SELECT attr, COUNT(*) ... GROUP BY attr over the
+// query result, sorted by descending count (ties by key) — the shape of
+// every §6.2 extraction query ("number of papers per venue", "citations per
+// author"). NULL keys are skipped.
+func (db *DB) CountGroupBy(q Query, attr string) ([]GroupCount, error) {
+	counts := map[string]*GroupCount{}
+	err := db.scan(q, func(r JoinedRow) bool {
+		v, ok := r.Get(attr)
+		if !ok || v.IsNull() {
+			return true
+		}
+		k := v.Key()
+		if g, ok := counts[k]; ok {
+			g.Count++
+		} else {
+			counts[k] = &GroupCount{Key: v, Count: 1}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GroupCount, 0, len(counts))
+	for _, g := range counts {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key.Key() < out[j].Key.Key()
+	})
+	return out, nil
+}
+
+// CountDistinctGroupBy is CountGroupBy counting DISTINCT distinctAttr per
+// group instead of rows — e.g. distinct papers per venue through the
+// dblp ⋈ dblp_author join, where plain row counts would double-count
+// multi-author papers.
+func (db *DB) CountDistinctGroupBy(q Query, attr, distinctAttr string) ([]GroupCount, error) {
+	type acc struct {
+		key  predicate.Value
+		seen map[string]struct{}
+	}
+	groups := map[string]*acc{}
+	err := db.scan(q, func(r JoinedRow) bool {
+		v, ok := r.Get(attr)
+		if !ok || v.IsNull() {
+			return true
+		}
+		d, ok := r.Get(distinctAttr)
+		if !ok || d.IsNull() {
+			return true
+		}
+		k := v.Key()
+		g, ok := groups[k]
+		if !ok {
+			g = &acc{key: v, seen: map[string]struct{}{}}
+			groups[k] = g
+		}
+		g.seen[d.Key()] = struct{}{}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GroupCount, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, GroupCount{Key: g.key, Count: len(g.seen)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key.Key() < out[j].Key.Key()
+	})
+	return out, nil
+}
+
+// MinMax returns the minimum and maximum non-NULL values of attr over the
+// query result; ok is false when no comparable value was seen. Used for
+// normalizing dynamic intensities (hypre.LinearRamp bounds).
+func (db *DB) MinMax(q Query, attr string) (min, max predicate.Value, ok bool, err error) {
+	err = db.scan(q, func(r JoinedRow) bool {
+		v, has := r.Get(attr)
+		if !has || v.IsNull() {
+			return true
+		}
+		if !ok {
+			min, max, ok = v, v, true
+			return true
+		}
+		if c, cmp := predicate.Compare(v, min); cmp && c < 0 {
+			min = v
+		}
+		if c, cmp := predicate.Compare(v, max); cmp && c > 0 {
+			max = v
+		}
+		return true
+	})
+	if err != nil {
+		return predicate.Null(), predicate.Null(), false, fmt.Errorf("relstore: MinMax: %w", err)
+	}
+	return min, max, ok, nil
+}

@@ -1,0 +1,139 @@
+package relstore
+
+import (
+	"testing"
+
+	"hypre/internal/predicate"
+)
+
+func TestSelectOrdered(t *testing.T) {
+	db := movieDB(t)
+	rows, err := db.SelectOrdered(Query{From: "movies"}, OrderBy{Attr: "year"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	prev := int64(0)
+	for _, r := range rows {
+		v, _ := r.Get("year")
+		if v.AsInt() < prev {
+			t.Fatalf("ascending order broken at %d", v.AsInt())
+		}
+		prev = v.AsInt()
+	}
+	desc, _ := db.SelectOrdered(Query{From: "movies"}, OrderBy{Attr: "year", Desc: true})
+	if v, _ := desc[0].Get("year"); v.AsInt() != 2013 {
+		t.Errorf("desc first = %v", v)
+	}
+}
+
+func TestSelectOrderedLimitAfterSort(t *testing.T) {
+	db := movieDB(t)
+	rows, err := db.SelectOrdered(Query{From: "movies", Limit: 2}, OrderBy{Attr: "year", Desc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("limit = %d rows", len(rows))
+	}
+	// LIMIT must apply after sorting: the two newest movies, not the first
+	// two scanned.
+	v0, _ := rows[0].Get("year")
+	v1, _ := rows[1].Get("year")
+	if v0.AsInt() != 2013 || v1.AsInt() != 2011 {
+		t.Errorf("top-2 years = %d, %d", v0.AsInt(), v1.AsInt())
+	}
+}
+
+func TestSelectOrderedNullsLast(t *testing.T) {
+	db := NewDB()
+	tbl, _ := db.CreateTable("t",
+		Column{"id", predicate.KindInt}, Column{"v", predicate.KindInt})
+	tbl.Insert(i(1), predicate.Null())
+	tbl.Insert(i(2), i(10))
+	tbl.Insert(i(3), predicate.Null())
+	tbl.Insert(i(4), i(5))
+	for _, desc := range []bool{false, true} {
+		rows, err := db.SelectOrdered(Query{From: "t"}, OrderBy{Attr: "v", Desc: desc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 2; k < 4; k++ {
+			if v, _ := rows[k].Get("v"); !v.IsNull() {
+				t.Errorf("desc=%v: NULLs not last: %v", desc, v)
+			}
+		}
+	}
+}
+
+func TestCountGroupBy(t *testing.T) {
+	db := movieDB(t)
+	groups, err := db.CountGroupBy(Query{From: "movies"}, "genre")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 4 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	// comedy and drama tie at 2, ordered by key; then horror/thriller at 1.
+	if groups[0].Count != 2 || groups[1].Count != 2 {
+		t.Errorf("head counts = %d, %d", groups[0].Count, groups[1].Count)
+	}
+	if groups[0].Key.AsString() != "comedy" || groups[1].Key.AsString() != "drama" {
+		t.Errorf("tie order = %v, %v", groups[0].Key, groups[1].Key)
+	}
+}
+
+func TestCountGroupByWithWhere(t *testing.T) {
+	db := movieDB(t)
+	groups, err := db.CountGroupBy(
+		Query{From: "movies", Where: predicate.MustParse("year<1990")}, "director")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Curtiz has 2 pre-1990 movies, Hitchcock 1.
+	if groups[0].Key.AsString() != "M. Curtiz" || groups[0].Count != 2 {
+		t.Errorf("head = %+v", groups[0])
+	}
+}
+
+func TestCountDistinctGroupBy(t *testing.T) {
+	db := dblpDB(t)
+	q := Query{
+		From: "dblp",
+		Join: &JoinSpec{Table: "dblp_author", LeftCol: "pid", RightCol: "pid"},
+	}
+	groups, err := db.CountDistinctGroupBy(q, "dblp.venue", "dblp.pid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byVenue := map[string]int{}
+	for _, g := range groups {
+		byVenue[g.Key.AsString()] = g.Count
+	}
+	// t9 has 2 authors: plain row counting would report INFOCOM=3; the
+	// distinct version must say 2 papers.
+	if byVenue["INFOCOM"] != 2 {
+		t.Errorf("INFOCOM distinct papers = %d, want 2", byVenue["INFOCOM"])
+	}
+	if byVenue["PVLDB"] != 3 {
+		t.Errorf("PVLDB = %d", byVenue["PVLDB"])
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	db := movieDB(t)
+	min, max, ok, err := db.MinMax(Query{From: "movies"}, "year")
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if min.AsInt() != 1942 || max.AsInt() != 2013 {
+		t.Errorf("range = %v..%v", min, max)
+	}
+	_, _, ok, err = db.MinMax(Query{From: "movies", Where: predicate.MustParse("year>3000")}, "year")
+	if err != nil || ok {
+		t.Errorf("empty result should report ok=false (ok=%v)", ok)
+	}
+}

@@ -1,0 +1,215 @@
+package relstore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hypre/internal/predicate"
+)
+
+// dblpDB builds the Table 6 DBLP relation plus a dblp_author link table.
+func dblpDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	dblp, err := db.CreateTable("dblp",
+		Column{"pid", predicate.KindString},
+		Column{"title", predicate.KindString},
+		Column{"year", predicate.KindInt},
+		Column{"venue", predicate.KindString},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	papers := []struct {
+		pid, title string
+		year       int64
+		venue      string
+	}{
+		{"t1", "Automated Selection of Materialized Views", 2000, "VLDB"},
+		{"t2", "Composite Subset Measures", 2006, "VLDB"},
+		{"t3", "Keymantic", 2010, "PVLDB"},
+		{"t4", "Proximity Rank Join", 2010, "PVLDB"},
+		{"t5", "iNextCube", 2009, "PVLDB"},
+		{"t6", "Processing Proximity Relations", 2010, "SIGMOD"},
+		{"t7", "Relational Joins on GPUs", 2008, "SIGMOD"},
+		{"t8", "Refresh: Weak Privacy Model", 2010, "INFOCOM"},
+		{"t9", "Congestion Control", 2007, "INFOCOM"},
+	}
+	for _, p := range papers {
+		dblp.Insert(s(p.pid), s(p.title), i(p.year), s(p.venue))
+	}
+	da, err := db.CreateTable("dblp_author",
+		Column{"pid", predicate.KindString},
+		Column{"aid", predicate.KindInt},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := []struct {
+		pid string
+		aid int64
+	}{
+		{"t1", 1}, {"t1", 2}, {"t2", 2}, {"t3", 3}, {"t4", 4},
+		{"t5", 2}, {"t6", 5}, {"t7", 1}, {"t8", 6}, {"t9", 6}, {"t9", 2},
+	}
+	for _, l := range links {
+		da.Insert(s(l.pid), i(l.aid))
+	}
+	return db
+}
+
+func joinQuery(where predicate.Predicate) Query {
+	return Query{
+		From:  "dblp",
+		Join:  &JoinSpec{Table: "dblp_author", LeftCol: "pid", RightCol: "pid"},
+		Where: where,
+	}
+}
+
+func TestJoinBasic(t *testing.T) {
+	db := dblpDB(t)
+	rows, err := db.Select(joinQuery(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("join cardinality = %d, want 11", len(rows))
+	}
+}
+
+func TestJoinWithBothSidesFiltered(t *testing.T) {
+	db := dblpDB(t)
+	// The canonical query of §5.3.1.
+	where := predicate.MustParse(`dblp.venue="INFOCOM" AND dblp_author.aid=6`)
+	n, err := db.CountDistinct(joinQuery(where), "dblp.pid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("INFOCOM∧aid=6 distinct pids = %d, want 2", n)
+	}
+}
+
+func TestJoinStarvation(t *testing.T) {
+	db := dblpDB(t)
+	// Two venue predicates ANDed — the information-starvation case (§4.6).
+	where := predicate.MustParse(`dblp.venue="SIGMOD" AND dblp.venue="VLDB"`)
+	n, err := db.Count(joinQuery(where))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("starvation query returned %d rows", n)
+	}
+}
+
+func TestJoinMixedClause(t *testing.T) {
+	db := dblpDB(t)
+	// The rewritten query of §4.6: OR within attribute, AND across.
+	where := predicate.MustParse(
+		`(dblp.venue="INFOCOM" OR dblp.venue="PVLDB") AND (dblp_author.aid=2 OR dblp_author.aid=6)`)
+	vals, err := db.DistinctValues(joinQuery(where), "dblp.pid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, v := range vals {
+		got[v.AsString()] = true
+	}
+	for _, want := range []string{"t5", "t8", "t9"} {
+		if !got[want] {
+			t.Errorf("missing %s in %v", want, vals)
+		}
+	}
+	if len(got) != 3 {
+		t.Errorf("distinct pids = %v, want 3", vals)
+	}
+}
+
+func TestJoinCountDistinctVsCount(t *testing.T) {
+	db := dblpDB(t)
+	where := predicate.MustParse(`dblp.pid="t9"`)
+	n, _ := db.Count(joinQuery(where))
+	d, _ := db.CountDistinct(joinQuery(where), "dblp.pid")
+	if n != 2 || d != 1 {
+		t.Fatalf("t9: count=%d distinct=%d, want 2/1", n, d)
+	}
+}
+
+func TestJoinLeftIndexAssist(t *testing.T) {
+	db := dblpDB(t)
+	db.Table("dblp").BuildIndex("venue")
+	where := predicate.MustParse(`dblp.venue="SIGMOD"`)
+	n, err := db.Count(joinQuery(where))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("indexed join count = %d, want 2", n)
+	}
+}
+
+func TestJoinUnknownJoinTable(t *testing.T) {
+	db := dblpDB(t)
+	_, err := db.Select(Query{From: "dblp", Join: &JoinSpec{Table: "nope", LeftCol: "pid", RightCol: "pid"}})
+	if err == nil {
+		t.Error("unknown join table should fail")
+	}
+	_, err = db.Select(Query{From: "dblp", Join: &JoinSpec{Table: "dblp_author", LeftCol: "zz", RightCol: "pid"}})
+	if err == nil {
+		t.Error("unknown left col should fail")
+	}
+	_, err = db.Select(Query{From: "dblp", Join: &JoinSpec{Table: "dblp_author", LeftCol: "pid", RightCol: "zz"}})
+	if err == nil {
+		t.Error("unknown right col should fail")
+	}
+}
+
+func TestJoinRowAttributeResolution(t *testing.T) {
+	db := dblpDB(t)
+	rows, err := db.Select(joinQuery(predicate.MustParse(`dblp.pid="t1" AND dblp_author.aid=1`)))
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("rows=%d err=%v", len(rows), err)
+	}
+	r := rows[0]
+	if v, ok := r.Get("dblp.venue"); !ok || v.AsString() != "VLDB" {
+		t.Errorf("dblp.venue = %v", v)
+	}
+	if v, ok := r.Get("dblp_author.aid"); !ok || v.AsInt() != 1 {
+		t.Errorf("dblp_author.aid = %v", v)
+	}
+	// Bare ambiguous attribute resolves left-first.
+	if v, ok := r.Get("pid"); !ok || v.AsString() != "t1" {
+		t.Errorf("bare pid = %v", v)
+	}
+	if _, ok := r.Get("nonexistent"); ok {
+		t.Error("nonexistent attr resolved")
+	}
+}
+
+// Property: for random venue subsets, the indexed OR path returns the same
+// count as a forced full scan.
+func TestIndexedOrEqualsScanProperty(t *testing.T) {
+	db := dblpDB(t)
+	venues := []string{"VLDB", "PVLDB", "SIGMOD", "INFOCOM", "PODS"}
+	db.Table("dblp").BuildIndex("venue")
+	fresh := dblpDB(t) // no index: full-scan reference
+	f := func(mask uint8) bool {
+		var kids []predicate.Predicate
+		for b, v := range venues {
+			if mask&(1<<uint(b)) != 0 {
+				kids = append(kids, &predicate.Cmp{Attr: "dblp.venue", Op: predicate.OpEq, Val: predicate.String(v)})
+			}
+		}
+		if len(kids) == 0 {
+			return true
+		}
+		where := predicate.NewOr(kids...)
+		a, err1 := db.Count(Query{From: "dblp", Where: where})
+		b, err2 := fresh.Count(Query{From: "dblp", Where: where})
+		return err1 == nil && err2 == nil && a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

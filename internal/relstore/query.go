@@ -1,0 +1,254 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+
+	"hypre/internal/predicate"
+)
+
+// JoinSpec describes an inner equi-join against a second table:
+// From.LeftCol = Table.RightCol.
+type JoinSpec struct {
+	Table    string
+	LeftCol  string
+	RightCol string
+}
+
+// Query is a SELECT over one table, optionally equi-joined with a second,
+// filtered by Where, truncated at Limit rows (0 = unlimited). This covers
+// every query the dissertation's algorithms issue.
+type Query struct {
+	From  string
+	Join  *JoinSpec
+	Where predicate.Predicate
+	Limit int
+}
+
+// JoinedRow is a (possibly joined) result row. It implements predicate.Row;
+// qualified attributes resolve against the owning table, bare names resolve
+// left-first.
+type JoinedRow struct {
+	Left     RowRef
+	Right    RowRef
+	HasRight bool
+}
+
+// Get implements predicate.Row.
+func (j JoinedRow) Get(attr string) (predicate.Value, bool) {
+	if v, ok := j.Left.Get(attr); ok {
+		return v, true
+	}
+	if j.HasRight {
+		return j.Right.Get(attr)
+	}
+	return predicate.Null(), false
+}
+
+// Select runs the query and returns matching rows.
+func (db *DB) Select(q Query) ([]JoinedRow, error) {
+	var out []JoinedRow
+	err := db.scan(q, func(r JoinedRow) bool {
+		out = append(out, r)
+		return q.Limit <= 0 || len(out) < q.Limit
+	})
+	return out, err
+}
+
+// Count runs the query and returns the number of matching rows.
+func (db *DB) Count(q Query) (int, error) {
+	n := 0
+	err := db.scan(q, func(JoinedRow) bool {
+		n++
+		return q.Limit <= 0 || n < q.Limit
+	})
+	return n, err
+}
+
+// CountDistinct returns COUNT(DISTINCT attr) over the query result — the
+// shape of every counting query in Chapter 5 (count(distinct dblp.pid)).
+func (db *DB) CountDistinct(q Query, attr string) (int, error) {
+	seen := make(map[string]struct{})
+	err := db.scan(q, func(r JoinedRow) bool {
+		if v, ok := r.Get(attr); ok && !v.IsNull() {
+			seen[v.Key()] = struct{}{}
+		}
+		return q.Limit <= 0 || len(seen) < q.Limit
+	})
+	return len(seen), err
+}
+
+// DistinctValues returns the distinct non-NULL values of attr over the query
+// result, in first-seen order. The similarity/overlap metrics and coverage
+// computation consume these sets.
+func (db *DB) DistinctValues(q Query, attr string) ([]predicate.Value, error) {
+	seen := make(map[string]struct{})
+	var out []predicate.Value
+	err := db.scan(q, func(r JoinedRow) bool {
+		if v, ok := r.Get(attr); ok && !v.IsNull() {
+			k := v.Key()
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				out = append(out, v)
+			}
+		}
+		return q.Limit <= 0 || len(out) < q.Limit
+	})
+	return out, err
+}
+
+// scan drives query execution, invoking emit for each matching row until
+// emit returns false or rows are exhausted.
+func (db *DB) scan(q Query, emit func(JoinedRow) bool) error {
+	left := db.Table(q.From)
+	if left == nil {
+		return fmt.Errorf("relstore: unknown table %q", q.From)
+	}
+	where := q.Where
+	if where == nil {
+		where = predicate.True{}
+	}
+
+	var right *Table
+	var leftPos, rightPos int
+	if q.Join != nil {
+		right = db.Table(q.Join.Table)
+		if right == nil {
+			return fmt.Errorf("relstore: unknown join table %q", q.Join.Table)
+		}
+		leftPos = left.ColumnIndex(q.Join.LeftCol)
+		rightPos = right.ColumnIndex(q.Join.RightCol)
+		if leftPos < 0 {
+			return fmt.Errorf("relstore: %s has no column %q", q.From, q.Join.LeftCol)
+		}
+		if rightPos < 0 {
+			return fmt.Errorf("relstore: %s has no column %q", q.Join.Table, q.Join.RightCol)
+		}
+		if _, ok := right.indexes[rightPos]; !ok {
+			if err := right.BuildIndex(q.Join.RightCol); err != nil {
+				return err
+			}
+		}
+	}
+
+	leftIDs, usedIndex := candidateIDs(left, where)
+	emitLeft := func(id int) bool {
+		lr := left.Row(id)
+		if right == nil {
+			row := JoinedRow{Left: lr}
+			if where.Eval(row) {
+				return emit(row)
+			}
+			return true
+		}
+		ids, _ := right.lookup(rightPos, left.rows[id][leftPos])
+		for _, rid := range ids {
+			row := JoinedRow{Left: lr, Right: right.Row(rid), HasRight: true}
+			if where.Eval(row) {
+				if !emit(row) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	if usedIndex {
+		for _, id := range leftIDs {
+			if !emitLeft(id) {
+				return nil
+			}
+		}
+		return nil
+	}
+	for id := range left.rows {
+		if !emitLeft(id) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// candidateIDs inspects the predicate for index-usable equality conditions
+// on t's columns and, if any are found, returns a superset of the matching
+// row ids (sorted, deduplicated). The full predicate is still evaluated per
+// row afterwards, so over-approximation is safe; under-approximation is not.
+func candidateIDs(t *Table, p predicate.Predicate) ([]int, bool) {
+	switch node := p.(type) {
+	case *predicate.Cmp:
+		if node.Op != predicate.OpEq {
+			return nil, false
+		}
+		pos := resolveColumn(t, node.Attr)
+		if pos < 0 {
+			return nil, false
+		}
+		ids, ok := t.lookup(pos, node.Val)
+		return ids, ok
+	case *predicate.In:
+		pos := resolveColumn(t, node.Attr)
+		if pos < 0 {
+			return nil, false
+		}
+		if _, ok := t.indexes[pos]; !ok {
+			return nil, false
+		}
+		var all []int
+		for _, v := range node.Vals {
+			ids, _ := t.lookup(pos, v)
+			all = append(all, ids...)
+		}
+		return dedupeIDs(all), true
+	case *predicate.And:
+		// Any single conjunct's candidates are a valid superset of the AND.
+		best := []int(nil)
+		found := false
+		for _, k := range node.Kids {
+			if ids, ok := candidateIDs(t, k); ok {
+				if !found || len(ids) < len(best) {
+					best, found = ids, true
+				}
+			}
+		}
+		return best, found
+	case *predicate.Or:
+		// All disjuncts must be index-usable for the union to be a superset.
+		var all []int
+		for _, k := range node.Kids {
+			ids, ok := candidateIDs(t, k)
+			if !ok {
+				return nil, false
+			}
+			all = append(all, ids...)
+		}
+		return dedupeIDs(all), true
+	default:
+		return nil, false
+	}
+}
+
+// resolveColumn maps an attribute reference (bare or table-qualified) to a
+// column position in t, or -1 when the attribute belongs to another table.
+func resolveColumn(t *Table, attr string) int {
+	if tbl, col, ok := splitQualified(attr); ok {
+		if tbl != t.schema.Name {
+			return -1
+		}
+		return t.ColumnIndex(col)
+	}
+	return t.ColumnIndex(attr)
+}
+
+func dedupeIDs(ids []int) []int {
+	if len(ids) <= 1 {
+		return ids
+	}
+	sort.Ints(ids)
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

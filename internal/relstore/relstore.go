@@ -1,0 +1,226 @@
+// Package relstore is an in-memory relational engine standing in for the
+// MySQL instance the dissertation used. It supports exactly the query
+// surface the HYPRE algorithms need: typed tables, hash indexes, selection
+// with arbitrary predicate trees, one equi-join (dblp ⋈ dblp_author), LIMIT,
+// and COUNT(DISTINCT col). Query answers are tuple sets and counts, which is
+// all the preference-combination algorithms consume, so the engine swap
+// preserves their behaviour.
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hypre/internal/predicate"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Kind predicate.Kind
+}
+
+// Schema describes a relation: its name and ordered columns.
+type Schema struct {
+	Name    string
+	Columns []Column
+}
+
+// Arity returns the number of columns, matching Table 10's "Arity" column.
+func (s *Schema) Arity() int { return len(s.Columns) }
+
+// Table holds the rows of one relation plus optional hash indexes.
+type Table struct {
+	schema  *Schema
+	colIdx  map[string]int      // bare column name -> position
+	rows    [][]predicate.Value // row-major storage
+	indexes map[int]hashIndex   // column position -> value-key -> row ids
+}
+
+type hashIndex map[string][]int
+
+func newTable(s *Schema) *Table {
+	ci := make(map[string]int, len(s.Columns))
+	for i, c := range s.Columns {
+		ci[c.Name] = i
+	}
+	return &Table{schema: s, colIdx: ci, indexes: make(map[int]hashIndex)}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len returns the number of rows (Table 10's "Cardinality").
+func (t *Table) Len() int { return len(t.rows) }
+
+// ColumnIndex resolves a bare column name to its position, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.colIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Insert appends a row. The value count must match the schema arity; values
+// are stored as given (the engine trusts callers on types, like MySQL in
+// non-strict mode).
+func (t *Table) Insert(vals ...predicate.Value) (int, error) {
+	if len(vals) != len(t.schema.Columns) {
+		return 0, fmt.Errorf("relstore: %s expects %d values, got %d",
+			t.schema.Name, len(t.schema.Columns), len(vals))
+	}
+	row := make([]predicate.Value, len(vals))
+	copy(row, vals)
+	id := len(t.rows)
+	t.rows = append(t.rows, row)
+	for col, idx := range t.indexes {
+		k := row[col].Key()
+		idx[k] = append(idx[k], id)
+	}
+	return id, nil
+}
+
+// BuildIndex creates (or rebuilds) a hash index on the named column.
+func (t *Table) BuildIndex(col string) error {
+	pos, ok := t.colIdx[col]
+	if !ok {
+		return fmt.Errorf("relstore: %s has no column %q", t.schema.Name, col)
+	}
+	idx := make(hashIndex, len(t.rows))
+	for id, row := range t.rows {
+		k := row[pos].Key()
+		idx[k] = append(idx[k], id)
+	}
+	t.indexes[pos] = idx
+	return nil
+}
+
+// lookup returns row ids whose column equals v, using the index when
+// present; found reports whether an index existed.
+func (t *Table) lookup(pos int, v predicate.Value) (ids []int, found bool) {
+	idx, ok := t.indexes[pos]
+	if !ok {
+		return nil, false
+	}
+	return idx[v.Key()], true
+}
+
+// Row returns a predicate.Row view of row id.
+func (t *Table) Row(id int) RowRef { return RowRef{t: t, id: id} }
+
+// Value returns the raw value at (row, bare column), or NULL.
+func (t *Table) Value(id int, col string) predicate.Value {
+	pos, ok := t.colIdx[col]
+	if !ok || id < 0 || id >= len(t.rows) {
+		return predicate.Null()
+	}
+	return t.rows[id][pos]
+}
+
+// RowRef is a single-table row view implementing predicate.Row. Attribute
+// lookups accept both "col" and "table.col".
+type RowRef struct {
+	t  *Table
+	id int
+}
+
+// ID returns the row's position in its table.
+func (r RowRef) ID() int { return r.id }
+
+// Get implements predicate.Row.
+func (r RowRef) Get(attr string) (predicate.Value, bool) {
+	name := attr
+	if tbl, col, ok := splitQualified(attr); ok {
+		if tbl != r.t.schema.Name {
+			return predicate.Null(), false
+		}
+		name = col
+	}
+	pos, ok := r.t.colIdx[name]
+	if !ok {
+		return predicate.Null(), false
+	}
+	return r.t.rows[r.id][pos], true
+}
+
+func splitQualified(attr string) (table, col string, ok bool) {
+	for i := len(attr) - 1; i >= 0; i-- {
+		if attr[i] == '.' {
+			return attr[:i], attr[i+1:], true
+		}
+	}
+	return "", attr, false
+}
+
+// DB is a set of named tables. It is safe for concurrent reads after the
+// load phase; writes take the mutex.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	order  []string
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// CreateTable registers a new relation and returns it.
+func (db *DB) CreateTable(name string, cols ...Column) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[name]; exists {
+		return nil, fmt.Errorf("relstore: table %q already exists", name)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("relstore: table %q needs at least one column", name)
+	}
+	seen := map[string]bool{}
+	for _, c := range cols {
+		if seen[c.Name] {
+			return nil, fmt.Errorf("relstore: duplicate column %q in %q", c.Name, name)
+		}
+		seen[c.Name] = true
+	}
+	t := newTable(&Schema{Name: name, Columns: cols})
+	db.tables[name] = t
+	db.order = append(db.order, name)
+	return t, nil
+}
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[name]
+}
+
+// TableNames lists tables in creation order.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, len(db.order))
+	copy(out, db.order)
+	return out
+}
+
+// TableStat is one row of the Table-10-style statistics report.
+type TableStat struct {
+	Name        string
+	Arity       int
+	Cardinality int
+}
+
+// Stats returns per-table arity and cardinality, sorted by table name, the
+// data behind Table 10.
+func (db *DB) Stats() []TableStat {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]TableStat, 0, len(db.tables))
+	for name, t := range db.tables {
+		out = append(out, TableStat{Name: name, Arity: t.schema.Arity(), Cardinality: t.Len()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

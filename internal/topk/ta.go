@@ -1,0 +1,185 @@
+// Package topk implements the Top-K baseline of §7.6.1: Fagin's Threshold
+// Algorithm (TA) over per-attribute sorted grade lists built from
+// quantitative preferences, with the f∧ aggregation function of Eq. 4.3.
+// PEPS is evaluated against it in Figs. 37/38.
+package topk
+
+import (
+	"sort"
+
+	"hypre/internal/combine"
+	"hypre/internal/hypre"
+)
+
+// ListEntry is one (object, grade) pair of an attribute list.
+type ListEntry struct {
+	PID   int64
+	Grade float64
+}
+
+// Lists is the TA input: m sorted lists, one per attribute, each ordered
+// descending by grade, with random access by pid (Definition 20's setup).
+type Lists struct {
+	Names  []string
+	sorted [][]ListEntry
+	grades []map[int64]float64
+}
+
+// NewLists builds the structure from per-attribute grade maps; each list is
+// sorted descending by grade (ties by pid for determinism).
+func NewLists(names []string, gradeMaps []map[int64]float64) *Lists {
+	l := &Lists{Names: names, grades: gradeMaps}
+	for _, m := range gradeMaps {
+		list := make([]ListEntry, 0, len(m))
+		for pid, g := range m {
+			list = append(list, ListEntry{PID: pid, Grade: g})
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].Grade != list[j].Grade {
+				return list[i].Grade > list[j].Grade
+			}
+			return list[i].PID < list[j].PID
+		})
+		l.sorted = append(l.sorted, list)
+	}
+	return l
+}
+
+// Size returns the total number of stored (pid, grade) entries — the
+// storage cost §7.6.1 calls out as TA's scalability problem.
+func (l *Lists) Size() int {
+	n := 0
+	for _, s := range l.sorted {
+		n += len(s)
+	}
+	return n
+}
+
+// aggregate computes the overall grade t(R) = f∧ over the grades of R in
+// every list where it appears (absent lists contribute 0, the identity of
+// f∧), matching §7.6.1's final combination step which "also added all the
+// tuples that are in only one list".
+func (l *Lists) aggregate(pid int64) float64 {
+	vals := make([]float64, 0, len(l.grades))
+	for _, m := range l.grades {
+		if g, ok := m[pid]; ok {
+			vals = append(vals, g)
+		}
+	}
+	return hypre.FAndAll(vals...)
+}
+
+// TA runs Fagin's Threshold Algorithm (Definition 20) and returns the top-k
+// objects by aggregated grade, descending (ties by pid):
+//
+//  1. Sorted access in parallel to each list; every newly seen object is
+//     random-accessed in the other lists and its overall grade computed.
+//  2. After each depth, the threshold τ is the aggregate of the last grades
+//     seen under sorted access; once k objects have grade >= τ, halt.
+func (l *Lists) TA(k int) []combine.ScoredTuple {
+	if k <= 0 || len(l.sorted) == 0 {
+		return nil
+	}
+	type scored struct {
+		pid   int64
+		grade float64
+	}
+	seen := map[int64]bool{}
+	var top []scored
+
+	insert := func(pid int64) {
+		if seen[pid] {
+			return
+		}
+		seen[pid] = true
+		g := l.aggregate(pid)
+		top = append(top, scored{pid, g})
+		sort.Slice(top, func(i, j int) bool {
+			if top[i].grade != top[j].grade {
+				return top[i].grade > top[j].grade
+			}
+			return top[i].pid < top[j].pid
+		})
+		if len(top) > k {
+			top = top[:k]
+		}
+	}
+
+	maxDepth := 0
+	for _, s := range l.sorted {
+		if len(s) > maxDepth {
+			maxDepth = len(s)
+		}
+	}
+	for depth := 0; depth < maxDepth; depth++ {
+		lastGrades := make([]float64, 0, len(l.sorted))
+		exhausted := true
+		for _, s := range l.sorted {
+			if depth < len(s) {
+				insert(s[depth].PID)
+				lastGrades = append(lastGrades, s[depth].Grade)
+				exhausted = false
+			} else if len(s) > 0 {
+				// An exhausted list contributes its floor grade of 0.
+				lastGrades = append(lastGrades, 0)
+			}
+		}
+		if exhausted {
+			break
+		}
+		tau := hypre.FAndAll(lastGrades...)
+		if len(top) >= k && top[len(top)-1].grade >= tau {
+			break
+		}
+	}
+
+	out := make([]combine.ScoredTuple, len(top))
+	for i, s := range top {
+		out[i] = combine.ScoredTuple{PID: s.pid, Intensity: s.grade}
+	}
+	return out
+}
+
+// BuildLists materializes the per-attribute grade tables of §7.6.1
+// (intensity_venue, intensity_author) from a profile: preferences are
+// grouped by attribute; each tuple's grade within an attribute is the f∧
+// combination of the intensities of the matching preferences (the composite
+// grade used for multi-author papers). Only non-negative preferences
+// participate (TA grades live in [0, 1]).
+func BuildLists(ev *combine.Evaluator, prefs []hypre.ScoredPred) (*Lists, error) {
+	type attrAcc struct {
+		name   string
+		grades map[int64]float64
+	}
+	var order []string
+	accs := map[string]*attrAcc{}
+	for _, p := range prefs {
+		if p.Intensity < 0 {
+			continue
+		}
+		attr := p.Attr
+		if attr == "" {
+			attr = "(multi)"
+		}
+		acc, ok := accs[attr]
+		if !ok {
+			acc = &attrAcc{name: attr, grades: map[int64]float64{}}
+			accs[attr] = acc
+			order = append(order, attr)
+		}
+		set, err := ev.PredSet(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, pid := range set {
+			acc.grades[pid] = hypre.FAnd(acc.grades[pid], p.Intensity)
+		}
+	}
+	names := make([]string, 0, len(order))
+	maps := make([]map[int64]float64, 0, len(order))
+	for _, a := range order {
+		names = append(names, a)
+		maps = append(maps, accs[a].grades)
+	}
+	return NewLists(names, maps), nil
+}

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hypre/internal/relstore"
+)
+
+// ParseDBLP reads the DBLP-Citation-network text format the dissertation's
+// dataset (arnetminer V4) ships in: one block per paper, fields marked by
+// line prefixes —
+//
+//	#*  title
+//	#@  author list, comma separated
+//	#t  year
+//	#c  venue
+//	#index  paper id
+//	#%  one cited paper id (repeated)
+//	#!  abstract (ignored beyond storage)
+//
+// Blocks are separated by blank lines. The parser builds the same Network
+// structure the synthetic generator produces — relational tables included —
+// so every experiment and the full HYPRE pipeline run unchanged on the real
+// dump when it is available. Authors are interned to dense ids in order of
+// first appearance; papers without an #index are rejected; citations to
+// unknown ids are kept in the citation table but not in Paper.Cites
+// (dangling references are common in the real dump).
+func ParseDBLP(r io.Reader) (*Network, error) {
+	type rawPaper struct {
+		title   string
+		authors []string
+		year    int
+		venue   string
+		id      int64
+		hasID   bool
+		cites   []int64
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+
+	var papers []rawPaper
+	cur := rawPaper{}
+	started := false
+	flush := func() error {
+		if !started {
+			return nil
+		}
+		if !cur.hasID {
+			return fmt.Errorf("workload: paper block %q has no #index", cur.title)
+		}
+		papers = append(papers, cur)
+		cur = rawPaper{}
+		started = false
+		return nil
+	}
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if strings.TrimSpace(line) == "" {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "#*"):
+			if err := flush(); err != nil { // titles start a new block
+				return nil, err
+			}
+			started = true
+			cur.title = strings.TrimSpace(line[2:])
+		case strings.HasPrefix(line, "#@"):
+			started = true
+			for _, a := range strings.Split(line[2:], ",") {
+				a = strings.TrimSpace(a)
+				if a != "" {
+					cur.authors = append(cur.authors, a)
+				}
+			}
+		case strings.HasPrefix(line, "#t"):
+			started = true
+			y, err := strconv.Atoi(strings.TrimSpace(line[2:]))
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: bad year %q", lineNo, line)
+			}
+			cur.year = y
+		case strings.HasPrefix(line, "#c"):
+			started = true
+			cur.venue = strings.TrimSpace(line[2:])
+		case strings.HasPrefix(line, "#index"):
+			started = true
+			id, err := strconv.ParseInt(strings.TrimSpace(line[6:]), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: bad index %q", lineNo, line)
+			}
+			cur.id = id
+			cur.hasID = true
+		case strings.HasPrefix(line, "#%"):
+			started = true
+			ref := strings.TrimSpace(line[2:])
+			if ref == "" {
+				continue
+			}
+			id, err := strconv.ParseInt(ref, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: bad citation %q", lineNo, line)
+			}
+			cur.cites = append(cur.cites, id)
+		case strings.HasPrefix(line, "#!"):
+			started = true // abstract: acknowledged, not stored
+		default:
+			// The real dump contains stray continuation lines; ignore them.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: scan: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if len(papers) == 0 {
+		return nil, fmt.Errorf("workload: no paper blocks found")
+	}
+
+	// Intern venues and authors.
+	net := &Network{
+		DB:             nil, // filled by loadTables
+		PapersByAuthor: make(map[int][]int),
+		PaperByPID:     make(map[int64]int),
+	}
+	venueIdx := map[string]int{}
+	authorIdx := map[string]int{}
+	for _, rp := range papers {
+		venue := rp.venue
+		if venue == "" {
+			venue = "(unknown)"
+		}
+		if _, ok := venueIdx[venue]; !ok {
+			venueIdx[venue] = len(net.Venues)
+			net.Venues = append(net.Venues, venue)
+		}
+	}
+	known := map[int64]bool{}
+	for _, rp := range papers {
+		known[rp.id] = true
+	}
+	for i, rp := range papers {
+		p := Paper{PID: rp.id, Year: rp.year, Venue: venueIdx[nonEmpty(rp.venue)]}
+		for _, name := range rp.authors {
+			aid, ok := authorIdx[name]
+			if !ok {
+				aid = len(net.Authors)
+				authorIdx[name] = aid
+				net.Authors = append(net.Authors, name)
+			}
+			p.Authors = append(p.Authors, aid)
+			net.PapersByAuthor[aid] = append(net.PapersByAuthor[aid], i)
+		}
+		for _, c := range rp.cites {
+			if known[c] {
+				p.Cites = append(p.Cites, c)
+			}
+		}
+		if _, dup := net.PaperByPID[p.PID]; dup {
+			return nil, fmt.Errorf("workload: duplicate paper id %d", p.PID)
+		}
+		net.Papers = append(net.Papers, p)
+		net.PaperByPID[p.PID] = i
+	}
+
+	// Keep Cfg roughly descriptive so downstream consumers can introspect.
+	net.Cfg = Config{
+		NumPapers:  len(net.Papers),
+		NumAuthors: len(net.Authors),
+		NumVenues:  len(net.Venues),
+	}
+	// Reuse the generator's table loader for schema + indexes.
+	net.DB = relstore.NewDB()
+	if err := loadTables(net); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+func nonEmpty(v string) string {
+	if v == "" {
+		return "(unknown)"
+	}
+	return v
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"hypre/internal/hypre"
+	"hypre/internal/predicate"
+)
+
+const sampleDump = `#*Automated Selection of Materialized Views and Indexes in SQL Databases
+#@Sanjay Agrawal,Surajit Chaudhuri
+#t2000
+#cVLDB
+#index1
+
+#*Composite Subset Measures
+#@Lei Chen,Raghu Ramakrishnan
+#t2006
+#cVLDB
+#index2
+#%1
+
+#*Keymantic: Semantic Keyword-based Searching
+#@Sonia Bergamaschi
+#t2010
+#cPVLDB
+#index3
+#%1
+#%2
+#%999
+#!We study keyword search over data integration systems.
+
+#*Congestion Control in Distributed Media Streaming
+#@Lei Chen
+#t2007
+#cINFOCOM
+#index4
+#%2
+`
+
+func TestParseDBLPBasic(t *testing.T) {
+	net, err := ParseDBLP(strings.NewReader(sampleDump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Papers) != 4 {
+		t.Fatalf("papers = %d", len(net.Papers))
+	}
+	if len(net.Authors) != 5 {
+		t.Fatalf("authors = %d: %v", len(net.Authors), net.Authors)
+	}
+	if len(net.Venues) != 3 {
+		t.Fatalf("venues = %d: %v", len(net.Venues), net.Venues)
+	}
+	// Author interning: "Lei Chen" appears on papers 2 and 4 as one id.
+	var lei int = -1
+	for i, name := range net.Authors {
+		if name == "Lei Chen" {
+			lei = i
+		}
+	}
+	if lei < 0 {
+		t.Fatal("Lei Chen not interned")
+	}
+	if got := len(net.PapersByAuthor[lei]); got != 2 {
+		t.Errorf("Lei Chen papers = %d", got)
+	}
+	// Dangling citation (#%999) must be dropped from Cites.
+	p3 := net.Papers[net.PaperByPID[3]]
+	if len(p3.Cites) != 2 {
+		t.Errorf("paper 3 cites = %v", p3.Cites)
+	}
+	// VenueOf resolves through the interned indexes.
+	if v := net.VenueOf(4); v != "INFOCOM" {
+		t.Errorf("VenueOf(4) = %q", v)
+	}
+}
+
+func TestParseDBLPTables(t *testing.T) {
+	net, err := ParseDBLP(strings.NewReader(sampleDump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := map[string]int{}
+	for _, s := range net.DB.Stats() {
+		stats[s.Name] = s.Cardinality
+	}
+	if stats["dblp"] != 4 || stats["author"] != 5 || stats["dblp_author"] != 6 {
+		t.Errorf("stats = %v", stats)
+	}
+	// The canonical enhanced query runs against parsed data.
+	n, err := net.DB.CountDistinct(
+		BaseQuery(predicate.MustParse(`dblp.venue="VLDB"`)), "dblp.pid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("VLDB papers = %d", n)
+	}
+}
+
+func TestParseDBLPExtractionPipeline(t *testing.T) {
+	// End to end: the real-format dump feeds the §6.2 extraction and a
+	// HYPRE graph build without any special-casing.
+	net, err := ParseDBLP(strings.NewReader(sampleDump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefs := Extract(net, DefaultExtractConfig())
+	if len(prefs.Quant) == 0 {
+		t.Fatal("no preferences extracted from parsed dump")
+	}
+	g := hypre.NewGraph(hypre.DefaultAvg)
+	if _, err := g.Build(prefs.Quant, prefs.Qual); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseDBLPErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty input":     "",
+		"missing index":   "#*Title Only\n#t2000\n",
+		"bad year":        "#*T\n#tnineteen\n#index1\n",
+		"bad citation":    "#*T\n#index1\n#%abc\n",
+		"bad index":       "#*T\n#indexxyz\n",
+		"duplicate index": "#*A\n#index1\n\n#*B\n#index1\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseDBLP(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseDBLPMissingVenueInterned(t *testing.T) {
+	src := "#*No Venue Paper\n#@A Author\n#t2001\n#index7\n"
+	net, err := ParseDBLP(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := net.VenueOf(7); v != "(unknown)" {
+		t.Errorf("venue = %q", v)
+	}
+}
+
+func TestParseDBLPStrayLinesIgnored(t *testing.T) {
+	src := "#*T\nstray continuation\n#index1\n#cVLDB\n"
+	net, err := ParseDBLP(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Papers) != 1 {
+		t.Errorf("papers = %d", len(net.Papers))
+	}
+}

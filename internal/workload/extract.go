@@ -1,0 +1,298 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"hypre/internal/hypre"
+)
+
+// ExtractConfig tunes the preference extraction rules of §6.2.
+type ExtractConfig struct {
+	// TopVenues keeps only the K most published-in venues per user (the
+	// paper keeps Top-5 to avoid the near-zero long tail).
+	TopVenues int
+	// MinAuthorIntensity filters quantitative author preferences below this
+	// threshold (the paper uses 0.1) — the unfiltered list still feeds
+	// qualitative extraction.
+	MinAuthorIntensity float64
+	// NegativeTopAuthors bounds how many top cited authors contribute
+	// negative venue preferences per user (keeps the workload size sane;
+	// the rule itself is the paper's).
+	NegativeTopAuthors int
+}
+
+// DefaultExtractConfig mirrors the dissertation's choices.
+func DefaultExtractConfig() ExtractConfig {
+	return ExtractConfig{TopVenues: 5, MinAuthorIntensity: 0.1, NegativeTopAuthors: 3}
+}
+
+// Prefs is the extracted preference workload: the quantitative_pref and
+// qualitative_pref tables of §6.1, in memory.
+type Prefs struct {
+	Quant []hypre.QuantPref
+	Qual  []hypre.QualPref
+	// Users lists the user ids (author ids) that have at least one
+	// preference, ascending.
+	Users []int64
+}
+
+// CountByUser returns, per user, the total number of preferences
+// (quantitative + qualitative) — the distribution of Fig. 17.
+func (p *Prefs) CountByUser() map[int64]int {
+	m := make(map[int64]int)
+	for _, q := range p.Quant {
+		m[q.UID]++
+	}
+	for _, q := range p.Qual {
+		m[q.UID]++
+	}
+	return m
+}
+
+// venuePref is an intermediate (venue, intensity) pair.
+type scored struct {
+	key       string
+	intensity float64
+}
+
+// Extract derives user preferences from the citation network following the
+// five rules of §6.2:
+//
+//  1. Venue preference (quantitative): share of the user's papers in each
+//     of their top-K venues.
+//  2. Author preference (quantitative): share of the user's citations going
+//     to each cited author, filtered below MinAuthorIntensity.
+//  3. Qualitative author preference: consecutive pairs of the (unfiltered)
+//     author list, strength = intensity difference.
+//  4. Qualitative venue preference: consecutive pairs of the venue list.
+//  5. Negative venue preference (quantitative): −intensityA(B) ×
+//     intensityB(V) for venues V where a cited author B published but the
+//     user A did not.
+func Extract(net *Network, cfg ExtractConfig) *Prefs {
+	if cfg.TopVenues <= 0 {
+		cfg.TopVenues = 5
+	}
+	prefs := &Prefs{}
+	userSet := map[int64]bool{}
+
+	// Per-author venue intensities are needed twice (rules 1 and 5), so
+	// compute them once.
+	venuePrefs := make(map[int][]scored, len(net.PapersByAuthor))
+	venueSets := make(map[int]map[string]bool, len(net.PapersByAuthor))
+	for a, paperIdx := range net.PapersByAuthor {
+		counts := map[string]int{}
+		all := map[string]bool{}
+		for _, pi := range paperIdx {
+			v := net.Venues[net.Papers[pi].Venue]
+			counts[v]++
+			all[v] = true
+		}
+		venueSets[a] = all
+		venuePrefs[a] = topVenueShares(counts, cfg.TopVenues)
+	}
+
+	authors := make([]int, 0, len(net.PapersByAuthor))
+	for a := range net.PapersByAuthor {
+		authors = append(authors, a)
+	}
+	sort.Ints(authors)
+
+	for _, a := range authors {
+		uid := int64(a)
+		emitted := false
+
+		// Rule 1: venue preferences.
+		for _, vp := range venuePrefs[a] {
+			prefs.Quant = append(prefs.Quant, hypre.QuantPref{
+				UID:       uid,
+				Pred:      venuePredicate(vp.key),
+				Intensity: vp.intensity,
+			})
+			emitted = true
+		}
+
+		// Rule 2 input: citation counts per cited author.
+		citedCounts := map[int]int{}
+		totalCited := 0
+		for _, pi := range net.PapersByAuthor[a] {
+			for _, cpid := range net.Papers[pi].Cites {
+				ci := net.PaperByPID[cpid]
+				for _, b := range net.Papers[ci].Authors {
+					if b == a {
+						continue
+					}
+					citedCounts[b]++
+					totalCited++
+				}
+			}
+		}
+		authorList := make([]scored, 0, len(citedCounts))
+		for b, c := range citedCounts {
+			authorList = append(authorList, scored{
+				key:       fmt.Sprintf("%d", b),
+				intensity: float64(c) / float64(totalCited),
+			})
+		}
+		sort.Slice(authorList, func(i, j int) bool {
+			if authorList[i].intensity != authorList[j].intensity {
+				return authorList[i].intensity > authorList[j].intensity
+			}
+			return authorList[i].key < authorList[j].key
+		})
+
+		// Rule 2: filtered quantitative author preferences.
+		for _, ap := range authorList {
+			if ap.intensity < cfg.MinAuthorIntensity {
+				continue
+			}
+			prefs.Quant = append(prefs.Quant, hypre.QuantPref{
+				UID:       uid,
+				Pred:      authorPredicate(ap.key),
+				Intensity: ap.intensity,
+			})
+			emitted = true
+		}
+
+		// Rule 3: qualitative author preferences from consecutive pairs of
+		// the unfiltered list (§6.2.2 uses the larger dataset on purpose).
+		for i := 0; i+1 < len(authorList); i++ {
+			prefs.Qual = append(prefs.Qual, hypre.QualPref{
+				UID:       uid,
+				Left:      authorPredicate(authorList[i].key),
+				Right:     authorPredicate(authorList[i+1].key),
+				Intensity: authorList[i].intensity - authorList[i+1].intensity,
+			})
+			emitted = true
+		}
+
+		// Rule 4: qualitative venue preferences from consecutive pairs.
+		vps := venuePrefs[a]
+		for i := 0; i+1 < len(vps); i++ {
+			prefs.Qual = append(prefs.Qual, hypre.QualPref{
+				UID:       uid,
+				Left:      venuePredicate(vps[i].key),
+				Right:     venuePredicate(vps[i+1].key),
+				Intensity: vps[i].intensity - vps[i+1].intensity,
+			})
+			emitted = true
+		}
+
+		// Rule 5: negative venue preferences from the top cited authors.
+		myVenues := venueSets[a]
+		for i := 0; i < len(authorList) && i < cfg.NegativeTopAuthors; i++ {
+			b := atoiSafe(authorList[i].key)
+			for _, vb := range venuePrefs[b] {
+				if myVenues[vb.key] {
+					continue
+				}
+				prefs.Quant = append(prefs.Quant, hypre.QuantPref{
+					UID:       uid,
+					Pred:      venuePredicate(vb.key),
+					Intensity: -authorList[i].intensity * vb.intensity,
+				})
+				emitted = true
+			}
+		}
+
+		if emitted {
+			userSet[uid] = true
+		}
+	}
+
+	prefs.Users = make([]int64, 0, len(userSet))
+	for u := range userSet {
+		prefs.Users = append(prefs.Users, u)
+	}
+	sort.Slice(prefs.Users, func(i, j int) bool { return prefs.Users[i] < prefs.Users[j] })
+	return prefs
+}
+
+// topVenueShares keeps the K most frequent venues and normalizes the counts
+// by the total over those K (the paper's Top-5 rule).
+func topVenueShares(counts map[string]int, k int) []scored {
+	type vc struct {
+		venue string
+		count int
+	}
+	list := make([]vc, 0, len(counts))
+	for v, c := range counts {
+		list = append(list, vc{v, c})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].count != list[j].count {
+			return list[i].count > list[j].count
+		}
+		return list[i].venue < list[j].venue
+	})
+	if len(list) > k {
+		list = list[:k]
+	}
+	total := 0
+	for _, e := range list {
+		total += e.count
+	}
+	out := make([]scored, len(list))
+	for i, e := range list {
+		out[i] = scored{key: e.venue, intensity: float64(e.count) / float64(total)}
+	}
+	return out
+}
+
+func venuePredicate(venue string) string {
+	return fmt.Sprintf("dblp.venue=%q", venue)
+}
+
+func authorPredicate(aid string) string {
+	return "dblp_author.aid=" + aid
+}
+
+func atoiSafe(s string) int {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// PickUsers selects the "rich" and "modest" exemplar users: the users whose
+// preference counts are closest to the paper's uid=2 (~170 preferences) and
+// uid=38437 (~50 preferences) profiles. Ties break toward the smaller uid.
+func (p *Prefs) PickUsers(richTarget, modestTarget int) (rich, modest int64) {
+	counts := p.CountByUser()
+	best := func(target int) int64 {
+		var bestUID int64 = -1
+		bestDiff := 1 << 30
+		for _, uid := range p.Users {
+			d := counts[uid] - target
+			if d < 0 {
+				d = -d
+			}
+			if d < bestDiff || (d == bestDiff && uid < bestUID) {
+				bestDiff, bestUID = d, uid
+			}
+		}
+		return bestUID
+	}
+	return best(richTarget), best(modestTarget)
+}
+
+// UserPrefs returns the subset of preferences belonging to one user.
+func (p *Prefs) UserPrefs(uid int64) ([]hypre.QuantPref, []hypre.QualPref) {
+	var qt []hypre.QuantPref
+	var ql []hypre.QualPref
+	for _, q := range p.Quant {
+		if q.UID == uid {
+			qt = append(qt, q)
+		}
+	}
+	for _, q := range p.Qual {
+		if q.UID == uid {
+			ql = append(ql, q)
+		}
+	}
+	return qt, ql
+}

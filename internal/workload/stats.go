@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"sort"
+)
+
+// HistogramBin is one bin of the preference-count distribution (Fig. 17):
+// Count users each have PrefCount preferences.
+type HistogramBin struct {
+	PrefCount int
+	Users     int
+}
+
+// PrefDistribution computes the Fig. 17 histogram: for each distinct
+// preference count, how many users have exactly that many preferences,
+// sorted ascending by preference count.
+func (p *Prefs) PrefDistribution() []HistogramBin {
+	byUser := p.CountByUser()
+	byCount := map[int]int{}
+	for _, c := range byUser {
+		byCount[c]++
+	}
+	bins := make([]HistogramBin, 0, len(byCount))
+	for c, u := range byCount {
+		bins = append(bins, HistogramBin{PrefCount: c, Users: u})
+	}
+	sort.Slice(bins, func(i, j int) bool { return bins[i].PrefCount < bins[j].PrefCount })
+	return bins
+}
+
+// TailRatio summarizes the long-tail shape: the fraction of users whose
+// preference count is below the mean. A long-tailed distribution has a
+// large majority below the mean (a few power users pull it up).
+func (p *Prefs) TailRatio() float64 {
+	byUser := p.CountByUser()
+	if len(byUser) == 0 {
+		return 0
+	}
+	total := 0
+	for _, c := range byUser {
+		total += c
+	}
+	mean := float64(total) / float64(len(byUser))
+	below := 0
+	for _, c := range byUser {
+		if float64(c) < mean {
+			below++
+		}
+	}
+	return float64(below) / float64(len(byUser))
+}
+
+// MaxPrefCount returns the largest per-user preference count (the head of
+// the Fig. 17 distribution).
+func (p *Prefs) MaxPrefCount() int {
+	max := 0
+	for _, c := range p.CountByUser() {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
