@@ -1,0 +1,3 @@
+module hypre
+
+go 1.24
