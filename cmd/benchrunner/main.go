@@ -6,9 +6,16 @@
 //
 //	benchrunner [-exp all|table10,fig28,...] [-papers N] [-authors N]
 //	            [-venues N] [-seed N] [-cap N] [-k N] [-runs N]
+//	            [-benchjson FILE]
+//
+// The timed experiments (fig39 PEPS sweep, ablation pair-cache pricing)
+// additionally land in a machine-readable BENCH_*.json file so the
+// performance trajectory can be tracked across PRs; -benchjson "" disables
+// the file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +24,47 @@ import (
 	"hypre/internal/experiments"
 	"hypre/internal/workload"
 )
+
+// benchReport is the machine-readable perf record benchrunner writes.
+// Durations are nanoseconds.
+type benchReport struct {
+	Config    map[string]int64       `json:"config"`
+	Fig39     []fig39JSON            `json:"fig39_peps_time,omitempty"`
+	PairCache []pairCacheJSON        `json:"ablation_pair_cache,omitempty"`
+	PEPS      []pepsVariantsJSON     `json:"ablation_peps_variants,omitempty"`
+	Extra     map[string]interface{} `json:"extra,omitempty"`
+}
+
+type fig39JSON struct {
+	UID           int64            `json:"uid"`
+	PairBuildNs   int64            `json:"pair_build_ns"`
+	Points        []fig39PointJSON `json:"points"`
+	ProfileCap    int              `json:"profile_cap"`
+	RepsPerSample int              `json:"reps_per_sample"`
+}
+
+type fig39PointJSON struct {
+	K          int   `json:"k"`
+	CompleteNs int64 `json:"complete_ns"`
+	ApproxNs   int64 `json:"approximate_ns"`
+	QuantNs    int64 `json:"quant_only_ns"`
+}
+
+type pairCacheJSON struct {
+	UID        int64 `json:"uid"`
+	Pairs      int   `json:"pairs"`
+	CachedNs   int64 `json:"cached_ns"`
+	SQLNs      int64 `json:"sql_ns"`
+	SQLQueries int   `json:"sql_queries"`
+}
+
+type pepsVariantsJSON struct {
+	UID        int64   `json:"uid"`
+	K          int     `json:"k"`
+	CompleteNs int64   `json:"complete_ns"`
+	ApproxNs   int64   `json:"approximate_ns"`
+	Recall     float64 `json:"recall"`
+}
 
 func main() {
 	var (
@@ -30,6 +78,7 @@ func main() {
 		runs    = flag.Int("runs", 100, "seeded runs for the Bias-Random scatter")
 		cites   = flag.Float64("cites", 3, "mean citations per paper")
 		zipf    = flag.Float64("zipf", 1.3, "venue/author popularity skew (>1)")
+		bjson   = flag.String("benchjson", "BENCH_results.json", "write timed experiments to this JSON file (empty = off)")
 	)
 	flag.Parse()
 
@@ -58,6 +107,14 @@ func main() {
 	all := want["all"]
 	run := func(id string) bool { return all || want[id] }
 	out := os.Stdout
+	report := benchReport{Config: map[string]int64{
+		"papers":  int64(*papers),
+		"authors": int64(*authors),
+		"venues":  int64(*venues),
+		"seed":    *seed,
+		"cap":     int64(*cap_),
+		"k":       int64(*k),
+	}}
 
 	if run("table10") {
 		experiments.RunTable10(lab).Render(out)
@@ -155,13 +212,29 @@ func main() {
 		fmt.Println()
 	}
 	if run("fig39") {
+		const fig39Reps = 3
 		ks := []int{10, 100, 200, 300, 400, 500, 600, 700, 800}
 		for _, uid := range lab.Users() {
-			r, err := experiments.RunFig39PEPSTime(lab, uid, ks, 3, *cap_)
+			r, err := experiments.RunFig39PEPSTime(lab, uid, ks, fig39Reps, *cap_)
 			if err != nil {
 				fatal(err)
 			}
 			r.Render(out)
+			fj := fig39JSON{
+				UID:           r.UID,
+				PairBuildNs:   r.PairBuildTime.Nanoseconds(),
+				ProfileCap:    *cap_,
+				RepsPerSample: fig39Reps,
+			}
+			for _, p := range r.Points {
+				fj.Points = append(fj.Points, fig39PointJSON{
+					K:          p.K,
+					CompleteNs: p.CompleteT.Nanoseconds(),
+					ApproxNs:   p.ApproxT.Nanoseconds(),
+					QuantNs:    p.QuantOnlyT.Nanoseconds(),
+				})
+			}
+			report.Fig39 = append(report.Fig39, fj)
 		}
 		fmt.Println()
 	}
@@ -174,12 +247,37 @@ func main() {
 		}
 		r2.Render(out)
 		fmt.Println()
+		report.PEPS = append(report.PEPS, pepsVariantsJSON{
+			UID:        r2.UID,
+			K:          r2.K,
+			CompleteNs: r2.CompleteTime.Nanoseconds(),
+			ApproxNs:   r2.ApproxTime.Nanoseconds(),
+			Recall:     r2.Recall,
+		})
 		r3, err := experiments.RunAblationPairCache(lab, lab.Modest, min(*cap_, 12))
 		if err != nil {
 			fatal(err)
 		}
 		r3.Render(out)
 		fmt.Println()
+		report.PairCache = append(report.PairCache, pairCacheJSON{
+			UID:        r3.UID,
+			Pairs:      r3.Pairs,
+			CachedNs:   r3.CachedTime.Nanoseconds(),
+			SQLNs:      r3.SQLTime.Nanoseconds(),
+			SQLQueries: r3.SQLQueries,
+		})
+	}
+
+	if *bjson != "" && (len(report.Fig39) > 0 || len(report.PairCache) > 0 || len(report.PEPS) > 0) {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*bjson, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# wrote %s\n", *bjson)
 	}
 }
 

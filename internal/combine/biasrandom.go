@@ -25,30 +25,43 @@ type BiasRandomResult struct {
 // bias >= 0 shifts selection pressure: 0 is uniform, larger values weight
 // high-intensity preferences more. The input must be sorted descending by
 // intensity. The run is deterministic for a given rng seed.
+//
+// The current combination's tuple bitmap rides along, so each
+// applicability probe is one word-parallel intersection against the
+// candidate's predicate set rather than a re-evaluation of the whole
+// conjunction.
 func BiasRandom(prefs []hypre.ScoredPred, ev *Evaluator, rng *rand.Rand, bias float64) (BiasRandomResult, error) {
 	var res BiasRandomResult
 	if bias < 0 {
 		bias = 0
 	}
+	bms := make([]*Bitmap, len(prefs))
+	for i, p := range prefs {
+		b, err := ev.PredBitmap(p)
+		if err != nil {
+			return res, err
+		}
+		bms[i] = b
+	}
 	for first := 0; first < len(prefs); first++ {
 		remaining := indexListExcluding(len(prefs), first)
 		// Step 1–2: find an applicable seed pair (first AND second).
 		var cur Combo
+		var curBM *Bitmap
 		haveSeed := false
 		for len(remaining) > 0 {
 			pick := flipCoin(prefs, remaining, rng, bias)
 			second := remaining[pick]
 			remaining = append(remaining[:pick], remaining[pick+1:]...)
-			cand := NewCombo(prefs[first]).And(prefs[second])
-			ok, err := ev.Applicable(cand)
-			if err != nil {
-				return res, err
-			}
-			if !ok {
+			ev.ComboEvals++
+			cand := bms[first].And(bms[second])
+			if cand.Len() == 0 {
 				res.Invalid++
 				continue // Step 4 of Fig. 16: try a new second pick
 			}
-			cur, haveSeed = cand, true
+			cur = NewCombo(prefs[first]).And(prefs[second])
+			curBM = cand
+			haveSeed = true
 			break
 		}
 		if !haveSeed {
@@ -59,22 +72,17 @@ func BiasRandom(prefs []hypre.ScoredPred, ev *Evaluator, rng *rand.Rand, bias fl
 			pick := flipCoin(prefs, remaining, rng, bias)
 			next := remaining[pick]
 			remaining = append(remaining[:pick], remaining[pick+1:]...)
-			cand := cur.And(prefs[next])
-			ok, err := ev.Applicable(cand)
-			if err != nil {
-				return res, err
-			}
-			if !ok {
+			ev.ComboEvals++
+			cand := curBM.And(bms[next])
+			if cand.Len() == 0 {
 				res.Invalid++
 				break // Step 4: run the held combination, restart outer loop
 			}
-			cur = cand
+			cur = cur.And(prefs[next])
+			curBM = cand
 		}
-		r, err := ev.Run(cur)
-		if err != nil {
-			return res, err
-		}
-		res.Records = append(res.Records, r)
+		ev.ComboEvals++
+		res.Records = append(res.Records, ev.record(cur, curBM))
 		res.Valid++
 	}
 	return res, nil

@@ -1,0 +1,174 @@
+package combine
+
+import "math/bits"
+
+// PidDict maps sparse tuple ids (pids) to dense bit positions and back. The
+// Evaluator owns one dictionary per store; every predicate set materialized
+// through it shares the same dense id space, so combination queries reduce
+// to word-parallel bit algebra regardless of how large or sparse the pid
+// domain is.
+type PidDict struct {
+	idx  map[int64]int
+	pids []int64
+}
+
+// NewPidDict returns an empty dictionary.
+func NewPidDict() *PidDict {
+	return &PidDict{idx: make(map[int64]int)}
+}
+
+// Add returns the dense index for pid, assigning the next free slot on
+// first sight.
+func (d *PidDict) Add(pid int64) int {
+	if i, ok := d.idx[pid]; ok {
+		return i
+	}
+	i := len(d.pids)
+	d.idx[pid] = i
+	d.pids = append(d.pids, pid)
+	return i
+}
+
+// PID returns the pid stored at dense index i.
+func (d *PidDict) PID(i int) int64 { return d.pids[i] }
+
+// Size returns the number of distinct pids registered.
+func (d *PidDict) Size() int { return len(d.pids) }
+
+// Bitmap is a dense bitset over PidDict indices with a cached cardinality.
+// All binary operations tolerate operands of different word lengths
+// (missing high words read as zero), because the dictionary grows as
+// predicate sets materialize. Operations never mutate their receiver or
+// argument, so cached predicate bitmaps can be shared freely across
+// goroutines once built.
+type Bitmap struct {
+	words []uint64
+	card  int
+}
+
+// NewBitmap returns an empty bitmap.
+func NewBitmap() *Bitmap { return &Bitmap{} }
+
+// Set marks dense index i, growing the word slice as needed.
+func (b *Bitmap) Set(i int) {
+	w := i >> 6
+	for w >= len(b.words) {
+		b.words = append(b.words, 0)
+	}
+	mask := uint64(1) << (uint(i) & 63)
+	if b.words[w]&mask == 0 {
+		b.words[w] |= mask
+		b.card++
+	}
+}
+
+// Contains reports whether dense index i is set.
+func (b *Bitmap) Contains(i int) bool {
+	w := i >> 6
+	return w < len(b.words) && b.words[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Len returns the cardinality (maintained incrementally; no popcount scan).
+func (b *Bitmap) Len() int { return b.card }
+
+// And returns b ∩ o as a new bitmap, computing the popcount in the same
+// pass over the words.
+func (b *Bitmap) And(o *Bitmap) *Bitmap {
+	n := len(b.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	out := &Bitmap{words: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		w := b.words[i] & o.words[i]
+		out.words[i] = w
+		out.card += bits.OnesCount64(w)
+	}
+	return out
+}
+
+// AndCard returns |b ∩ o| without materializing the intersection — the
+// zero-allocation applicability/count check the pair table and DFS use.
+func (b *Bitmap) AndCard(o *Bitmap) int {
+	n := len(b.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(b.words[i] & o.words[i])
+	}
+	return c
+}
+
+// Any reports whether b and o intersect, with early exit on the first
+// common word (Definition 15's applicability test).
+func (b *Bitmap) Any(o *Bitmap) bool {
+	n := len(b.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if b.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Or returns b ∪ o as a new bitmap.
+func (b *Bitmap) Or(o *Bitmap) *Bitmap {
+	long, short := b.words, o.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	out := &Bitmap{words: make([]uint64, len(long))}
+	for i := range short {
+		w := long[i] | short[i]
+		out.words[i] = w
+		out.card += bits.OnesCount64(w)
+	}
+	for i := len(short); i < len(long); i++ {
+		out.words[i] = long[i]
+		out.card += bits.OnesCount64(long[i])
+	}
+	return out
+}
+
+// AndNot returns b \ o as a new bitmap.
+func (b *Bitmap) AndNot(o *Bitmap) *Bitmap {
+	out := &Bitmap{words: make([]uint64, len(b.words))}
+	for i, w := range b.words {
+		if i < len(o.words) {
+			w &^= o.words[i]
+		}
+		out.words[i] = w
+		out.card += bits.OnesCount64(w)
+	}
+	return out
+}
+
+// AppendPids appends the pids of every set bit to dst (in dense-index
+// order, which is NOT pid order) and returns the result.
+func (b *Bitmap) AppendPids(d *PidDict, dst []int64) []int64 {
+	for wi, w := range b.words {
+		base := wi << 6
+		for w != 0 {
+			dst = append(dst, d.PID(base+bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// ToIntSet converts the bitmap back to the sorted-slice representation via
+// the dictionary. Costs one sort; used only where a Record needs its
+// pid-ordered Tuples view.
+func (b *Bitmap) ToIntSet(d *PidDict) IntSet {
+	if b.card == 0 {
+		return IntSet{}
+	}
+	pids := b.AppendPids(d, make([]int64, 0, b.card))
+	sortInt64(pids)
+	return IntSet(pids)
+}

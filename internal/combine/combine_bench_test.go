@@ -114,3 +114,51 @@ func BenchmarkIntSetIntersect(b *testing.B) {
 		a.Intersect(c)
 	}
 }
+
+func BenchmarkIntSetIntersectGalloping(b *testing.B) {
+	// 20 vs 20000 elements: forces the exponential-search path.
+	xs := make([]int64, 20)
+	ys := make([]int64, 20000)
+	for i := range xs {
+		xs[i] = int64(i * 1000)
+	}
+	for i := range ys {
+		ys[i] = int64(i * 3)
+	}
+	a, c := NewIntSet(xs), NewIntSet(ys)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Intersect(c)
+	}
+}
+
+func benchBitmapPair() (*Bitmap, *Bitmap) {
+	d := NewPidDict()
+	a, c := NewBitmap(), NewBitmap()
+	for i := 0; i < 2000; i++ {
+		a.Set(d.Add(int64(i * 2)))
+	}
+	for i := 0; i < 2000; i++ {
+		c.Set(d.Add(int64(i * 3)))
+	}
+	return a, c
+}
+
+func BenchmarkBitmapAnd(b *testing.B) {
+	x, y := benchBitmapPair()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.And(y)
+	}
+}
+
+func BenchmarkBitmapAndCard(b *testing.B) {
+	x, y := benchBitmapPair()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.AndCard(y)
+	}
+}

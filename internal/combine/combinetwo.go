@@ -28,21 +28,33 @@ func (s Semantics) String() string {
 // every pair in anchor-major order, including inapplicable ones
 // (NumTuples == 0) so the experiments can show the starvation cases of
 // Figs. 29–31. Record.AnchorIndex / PartnerIndex identify the pair.
+//
+// Every predicate set is materialized once up front; the O(N²) pair loop
+// is then one word-parallel AND (or OR) per pair.
 func CombineTwo(prefs []hypre.ScoredPred, ev *Evaluator, sem Semantics) (Records, error) {
+	bms := make([]*Bitmap, len(prefs))
+	for i, p := range prefs {
+		b, err := ev.PredBitmap(p)
+		if err != nil {
+			return nil, err
+		}
+		bms[i] = b
+	}
 	var out Records
 	for i := 0; i < len(prefs); i++ {
 		for j := i + 1; j < len(prefs); j++ {
 			var c Combo
+			var bm *Bitmap
 			p1, p2 := prefs[i], prefs[j]
 			if sem == SemanticsANDOR && p1.Attr != "" && p1.Attr == p2.Attr {
 				c = NewCombo(p1).Or(p2)
+				bm = bms[i].Or(bms[j])
 			} else {
 				c = NewCombo(p1).And(p2)
+				bm = bms[i].And(bms[j])
 			}
-			r, err := ev.Run(c)
-			if err != nil {
-				return nil, err
-			}
+			ev.ComboEvals++
+			r := ev.record(c, bm)
 			r.AnchorIndex = i
 			r.PartnerIndex = j
 			out = append(out, r)

@@ -165,9 +165,11 @@ type Record struct {
 	NumTuples int
 	Intensity float64
 	Combo     Combo
-	// Tuples is the distinct tuple-id set the combination matched (filled
-	// by Evaluator.Run; PEPS consumes it to emit ranked tuples without
-	// re-running the query).
+	// Tuples is the distinct tuple-id set the combination matched, in pid
+	// order (filled by Evaluator.Run from the combination's bitmap). PEPS
+	// itself now credits tuples straight from the bitmaps — this slice view
+	// serves the other Chapter 5 algorithms, the experiments, and the
+	// equivalence oracles.
 	Tuples IntSet
 	// AnchorIndex / PartnerIndex identify the input positions for
 	// Combine-Two (the "first/second/third preference" series of Fig. 29);

@@ -1,6 +1,8 @@
 package combine
 
 import (
+	"sync"
+
 	"hypre/internal/hypre"
 	"hypre/internal/predicate"
 	"hypre/internal/relstore"
@@ -8,16 +10,30 @@ import (
 
 // Evaluator answers combination queries. It materializes the distinct
 // tuple-id set of each atomic preference once (one relational query per
-// predicate, like the pre-computed table of §5.5) and evaluates a Combo
-// with set algebra: union within an OR group, intersection across AND
-// groups. Results are exactly those of running the rewritten SQL query —
-// verified by tests against the relational engine — but pair/chain
-// enumeration no longer re-scans the store.
+// predicate, like the pre-computed table of §5.5) as both a sorted slice
+// (IntSet) and a dense bitmap keyed by a shared pid dictionary, and
+// evaluates a Combo with word-parallel set algebra: union within an OR
+// group, intersection across AND groups. Results are exactly those of
+// running the rewritten SQL query — verified by tests against the
+// relational engine — but pair/chain enumeration no longer re-scans the
+// store.
+//
+// Concurrency: the predicate caches are guarded by a mutex, so once every
+// profile preference has been materialized (see Materialize), PredSet,
+// PredBitmap, and the bitmap algebra they feed are safe for concurrent
+// readers — the parallel pair-table build relies on this. The Queries and
+// ComboEvals counters are plain ints and must only be touched from one
+// goroutine at a time; the concurrent paths avoid them.
 type Evaluator struct {
 	db      *relstore.DB
 	base    func(predicate.Predicate) relstore.Query
 	keyAttr string
-	sets    map[string]IntSet
+
+	mu   sync.RWMutex
+	dict *PidDict
+	sets map[string]IntSet
+	bits map[string]*Bitmap
+
 	// Queries counts how many real relational queries were issued (cache
 	// misses), for the efficiency experiments.
 	Queries int
@@ -33,88 +49,208 @@ func NewEvaluator(db *relstore.DB, base func(predicate.Predicate) relstore.Query
 		db:      db,
 		base:    base,
 		keyAttr: keyAttr,
+		dict:    NewPidDict(),
 		sets:    make(map[string]IntSet),
+		bits:    make(map[string]*Bitmap),
 	}
 }
 
-// PredSet returns the distinct tuple ids matching one preference,
-// materializing and caching it on first use.
+// Dict exposes the dense pid dictionary shared by every bitmap the
+// evaluator hands out.
+func (ev *Evaluator) Dict() *PidDict { return ev.dict }
+
+// Materialize runs the one relational query per preference for every entry
+// of prefs that is not cached yet. It is the single-threaded phase that
+// must precede any concurrent use of the evaluator.
+func (ev *Evaluator) Materialize(prefs []hypre.ScoredPred) error {
+	for _, p := range prefs {
+		if _, err := ev.PredBitmap(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PredSet returns the distinct tuple ids matching one preference as a
+// sorted slice, materializing and caching it on first use.
 func (ev *Evaluator) PredSet(p hypre.ScoredPred) (IntSet, error) {
-	if s, ok := ev.sets[p.Pred]; ok {
+	ev.mu.RLock()
+	s, ok := ev.sets[p.Pred]
+	ev.mu.RUnlock()
+	if ok {
 		return s, nil
 	}
-	vals, err := ev.db.DistinctValues(ev.base(p.P), ev.keyAttr)
-	if err != nil {
+	if _, err := ev.PredBitmap(p); err != nil {
 		return nil, err
 	}
-	ids := make([]int64, len(vals))
-	for i, v := range vals {
-		ids[i] = v.AsInt()
-	}
-	s := NewIntSet(ids)
-	ev.sets[p.Pred] = s
-	ev.Queries++
+	ev.mu.RLock()
+	s = ev.sets[p.Pred]
+	ev.mu.RUnlock()
 	return s, nil
 }
 
-// ComboSet evaluates a combination to its tuple-id set.
-func (ev *Evaluator) ComboSet(c Combo) (IntSet, error) {
-	ev.ComboEvals++
-	var acc IntSet
-	first := true
+// PredBitmap returns the same set as PredSet in its dense-bitmap form.
+func (ev *Evaluator) PredBitmap(p hypre.ScoredPred) (*Bitmap, error) {
+	ev.mu.RLock()
+	b, ok := ev.bits[p.Pred]
+	ev.mu.RUnlock()
+	if ok {
+		return b, nil
+	}
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	if b, ok := ev.bits[p.Pred]; ok {
+		return b, nil
+	}
+	ids, err := ev.db.DistinctInts(ev.base(p.P), ev.keyAttr)
+	if err != nil {
+		return nil, err
+	}
+	b = NewBitmap()
+	for _, pid := range ids {
+		b.Set(ev.dict.Add(pid))
+	}
+	ev.sets[p.Pred] = NewIntSet(ids)
+	ev.bits[p.Pred] = b
+	ev.Queries++
+	return b, nil
+}
+
+// groupBitmap folds one OR group to its union. Single-member groups (the
+// common case: every pure AND combination) return the cached predicate
+// bitmap itself — safe because bitmap operations never mutate operands.
+func (ev *Evaluator) groupBitmap(g []hypre.ScoredPred) (*Bitmap, error) {
+	b, err := ev.PredBitmap(g[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range g[1:] {
+		nb, err := ev.PredBitmap(p)
+		if err != nil {
+			return nil, err
+		}
+		b = b.Or(nb)
+	}
+	return b, nil
+}
+
+// comboBitmap evaluates a combination to its dense tuple-id bitmap:
+// union within OR groups, intersection across AND groups, with an early
+// exit once the running intersection empties. It does not touch the work
+// counters, so concurrent readers may use it after materialization.
+func (ev *Evaluator) comboBitmap(c Combo) (*Bitmap, error) {
+	var acc *Bitmap
 	for _, g := range c.Groups {
-		var gset IntSet
-		for _, p := range g {
-			s, err := ev.PredSet(p)
-			if err != nil {
-				return nil, err
-			}
-			gset = gset.Union(s)
+		gb, err := ev.groupBitmap(g)
+		if err != nil {
+			return nil, err
 		}
-		if first {
-			acc, first = gset, false
+		if acc == nil {
+			acc = gb
 		} else {
-			acc = acc.Intersect(gset)
+			acc = acc.And(gb)
 		}
-		if len(acc) == 0 {
-			return acc, nil
+		if acc.Len() == 0 {
+			return NewBitmap(), nil
 		}
 	}
-	if first {
-		return IntSet{}, nil
+	if acc == nil {
+		return NewBitmap(), nil
 	}
 	return acc, nil
 }
 
+// ComboBitmap is the exported counting wrapper around comboBitmap.
+func (ev *Evaluator) ComboBitmap(c Combo) (*Bitmap, error) {
+	ev.ComboEvals++
+	return ev.comboBitmap(c)
+}
+
+// ComboSet evaluates a combination to its sorted tuple-id set.
+func (ev *Evaluator) ComboSet(c Combo) (IntSet, error) {
+	ev.ComboEvals++
+	b, err := ev.comboBitmap(c)
+	if err != nil {
+		return nil, err
+	}
+	return b.ToIntSet(ev.dict), nil
+}
+
 // Count returns the number of distinct tuples the combination matches.
+// For the ubiquitous two-group AND shape it popcounts the word-wise AND
+// without materializing anything.
 func (ev *Evaluator) Count(c Combo) (int, error) {
-	s, err := ev.ComboSet(c)
+	ev.ComboEvals++
+	if len(c.Groups) == 2 {
+		a, err := ev.groupBitmap(c.Groups[0])
+		if err != nil {
+			return 0, err
+		}
+		b, err := ev.groupBitmap(c.Groups[1])
+		if err != nil {
+			return 0, err
+		}
+		return a.AndCard(b), nil
+	}
+	b, err := ev.comboBitmap(c)
 	if err != nil {
 		return 0, err
 	}
-	return s.Len(), nil
+	return b.Len(), nil
 }
 
 // Applicable reports whether the combination returns at least one tuple
-// (Definition 15).
+// (Definition 15). The final intersection short-circuits on the first
+// overlapping word.
 func (ev *Evaluator) Applicable(c Combo) (bool, error) {
-	n, err := ev.Count(c)
-	return n > 0, err
+	ev.ComboEvals++
+	n := len(c.Groups)
+	if n == 0 {
+		return false, nil
+	}
+	acc, err := ev.groupBitmap(c.Groups[0])
+	if err != nil {
+		return false, err
+	}
+	if n == 1 {
+		return acc.Len() > 0, nil
+	}
+	for _, g := range c.Groups[1 : n-1] {
+		gb, err := ev.groupBitmap(g)
+		if err != nil {
+			return false, err
+		}
+		acc = acc.And(gb)
+		if acc.Len() == 0 {
+			return false, nil
+		}
+	}
+	last, err := ev.groupBitmap(c.Groups[n-1])
+	if err != nil {
+		return false, err
+	}
+	return acc.Any(last), nil
 }
 
 // Run evaluates the combination and produces its Record row.
 func (ev *Evaluator) Run(c Combo) (Record, error) {
-	s, err := ev.ComboSet(c)
+	ev.ComboEvals++
+	b, err := ev.comboBitmap(c)
 	if err != nil {
 		return Record{}, err
 	}
+	return ev.record(c, b), nil
+}
+
+// record builds the Record row for an already-evaluated combination.
+func (ev *Evaluator) record(c Combo, b *Bitmap) Record {
 	return Record{
 		NumPreds:  c.NumPreds(),
-		NumTuples: s.Len(),
+		NumTuples: b.Len(),
 		Intensity: c.Intensity(),
 		Combo:     c,
-		Tuples:    s,
-	}, nil
+		Tuples:    b.ToIntSet(ev.dict),
+	}
 }
 
 // CountSQL answers the same count through the relational engine without the
@@ -135,13 +271,9 @@ func (ev *Evaluator) CountSQL(c Combo) (int, error) {
 			ps[i] = p.P
 		}
 		ev.Queries++
-		vals, err := ev.db.DistinctValues(ev.base(predicate.NewOr(ps...)), ev.keyAttr)
+		ids, err := ev.db.DistinctInts(ev.base(predicate.NewOr(ps...)), ev.keyAttr)
 		if err != nil {
 			return 0, err
-		}
-		ids := make([]int64, len(vals))
-		for i, v := range vals {
-			ids[i] = v.AsInt()
 		}
 		gset := NewIntSet(ids)
 		if first {

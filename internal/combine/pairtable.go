@@ -1,0 +1,110 @@
+package combine
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hypre/internal/hypre"
+)
+
+// PairEntry is one row of the pre-computed combinations-of-two table of
+// §5.5: an applicable AND pair of profile preferences with its combined
+// intensity and tuple count.
+type PairEntry struct {
+	I, J      int // indexes into the profile (I < J)
+	Intensity float64
+	Count     int
+}
+
+// PairTable holds every applicable two-preference combination, sorted
+// descending by combined intensity, with a per-first-preference index. It
+// is rebuilt when the preference graph changes (the paper updates it on
+// graph updates).
+type PairTable struct {
+	Prefs   []hypre.ScoredPred
+	Pairs   []PairEntry
+	byFirst map[int][]PairEntry
+}
+
+// BuildPairTable computes the table: all (i, j) with i < j whose AND
+// combination is applicable (returns tuples). It runs in two phases: a
+// single-threaded materialization of every predicate bitmap (one relational
+// query each, through the evaluator's cache), then a parallel sweep where a
+// worker pool popcounts the word-wise AND of each pair without touching the
+// store — the evaluator is read-only concurrent-safe at that point. Output
+// is deterministic: per-anchor rows are filled into fixed slots and
+// flattened in anchor order before the stable intensity sort.
+func BuildPairTable(prefs []hypre.ScoredPred, ev *Evaluator) (*PairTable, error) {
+	pt := &PairTable{Prefs: prefs, byFirst: make(map[int][]PairEntry)}
+	n := len(prefs)
+	if n == 0 {
+		return pt, nil
+	}
+
+	// Phase 1 (single-threaded): one query per predicate, shared dict.
+	bms := make([]*Bitmap, n)
+	for i, p := range prefs {
+		b, err := ev.PredBitmap(p)
+		if err != nil {
+			return nil, err
+		}
+		bms[i] = b
+	}
+
+	// Phase 2 (parallel): pure bitmap algebra, no evaluator writes. Anchors
+	// are handed out via an atomic counter so early (long) rows and late
+	// (short) rows balance across the pool.
+	rows := make([][]PairEntry, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				var row []PairEntry
+				for j := i + 1; j < n; j++ {
+					cnt := bms[i].AndCard(bms[j])
+					if cnt == 0 {
+						continue
+					}
+					row = append(row, PairEntry{
+						I:         i,
+						J:         j,
+						Intensity: hypre.FAndAll(prefs[i].Intensity, prefs[j].Intensity),
+						Count:     cnt,
+					})
+				}
+				rows[i] = row
+			}
+		}()
+	}
+	wg.Wait()
+	ev.ComboEvals += n * (n - 1) / 2
+
+	for _, row := range rows {
+		pt.Pairs = append(pt.Pairs, row...)
+	}
+	sort.SliceStable(pt.Pairs, func(a, b int) bool {
+		return pt.Pairs[a].Intensity > pt.Pairs[b].Intensity
+	})
+	for _, e := range pt.Pairs {
+		pt.byFirst[e.I] = append(pt.byFirst[e.I], e)
+	}
+	return pt, nil
+}
+
+// CombsOfTwo returns the valid pairs starting at preference index i,
+// descending by combined intensity — the CombsOfTwo(p) lookup of
+// Algorithm 6.
+func (pt *PairTable) CombsOfTwo(i int) []PairEntry { return pt.byFirst[i] }

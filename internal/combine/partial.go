@@ -24,18 +24,43 @@ import "hypre/internal/hypre"
 //
 // which this implementation reproduces (see tests). The output records
 // every combination run, in run order.
+//
+// Each recorded combination keeps its tuple bitmap, so the AND extensions
+// of Conditions 1 and 3a — the O(N·C) bulk of the algorithm — are one
+// incremental intersection against the parent instead of a re-evaluation
+// of the whole conjunction. OR extensions refold one group and are
+// re-evaluated.
 func PartiallyCombineAll(prefs []hypre.ScoredPred, ev *Evaluator) (Records, error) {
+	type liveCombo struct {
+		c  Combo
+		bm *Bitmap
+	}
 	var out Records
-	var combos []Combo // queriesRan, in run order
+	var combos []liveCombo // queriesRan, in run order
 	attributesUsed := map[string]bool{}
 
-	run := func(c Combo) error {
-		r, err := ev.Run(c)
+	record := func(c Combo, bm *Bitmap) {
+		ev.ComboEvals++
+		out = append(out, ev.record(c, bm))
+		combos = append(combos, liveCombo{c: c, bm: bm})
+	}
+	// runFresh evaluates the combination from its predicate sets (used for
+	// the first combination and OR refolds).
+	runFresh := func(c Combo) error {
+		bm, err := ev.comboBitmap(c)
 		if err != nil {
 			return err
 		}
-		out = append(out, r)
-		combos = append(combos, c)
+		record(c, bm)
+		return nil
+	}
+	// runExtend AND-extends an existing combination with one intersection.
+	runExtend := func(parent liveCombo, p hypre.ScoredPred) error {
+		pb, err := ev.PredBitmap(p)
+		if err != nil {
+			return err
+		}
+		record(parent.c.And(p), parent.bm.And(pb))
 		return nil
 	}
 
@@ -44,7 +69,7 @@ func PartiallyCombineAll(prefs []hypre.ScoredPred, ev *Evaluator) (Records, erro
 		switch {
 		case len(combos) == 0:
 			// First preference starts the first combination.
-			if err := run(NewCombo(p)); err != nil {
+			if err := runFresh(NewCombo(p)); err != nil {
 				return nil, err
 			}
 			attributesUsed[attr] = true
@@ -52,9 +77,9 @@ func PartiallyCombineAll(prefs []hypre.ScoredPred, ev *Evaluator) (Records, erro
 		case attr == "" || !attributesUsed[attr]:
 			// Condition 1: a brand-new attribute is AND-ed onto every
 			// combination created so far.
-			snapshot := append([]Combo(nil), combos...)
-			for _, c := range snapshot {
-				if err := run(c.And(p)); err != nil {
+			snapshot := append([]liveCombo(nil), combos...)
+			for _, lc := range snapshot {
+				if err := runExtend(lc, p); err != nil {
 					return nil, err
 				}
 			}
@@ -62,27 +87,27 @@ func PartiallyCombineAll(prefs []hypre.ScoredPred, ev *Evaluator) (Records, erro
 
 		default:
 			last := combos[len(combos)-1]
-			if !last.HasAnd() {
+			if !last.c.HasAnd() {
 				// Condition 2: only one attribute in play; extend the last
 				// combination with OR.
-				if err := run(last.Or(p)); err != nil {
+				if err := runFresh(last.c.Or(p)); err != nil {
 					return nil, err
 				}
 				continue
 			}
 			// Condition 3a: AND onto prior combinations lacking the
 			// attribute.
-			snapshot := append([]Combo(nil), combos...)
-			for _, c := range snapshot {
-				if c.HasAttr(attr) {
+			snapshot := append([]liveCombo(nil), combos...)
+			for _, lc := range snapshot {
+				if lc.c.HasAttr(attr) {
 					continue
 				}
-				if err := run(c.And(p)); err != nil {
+				if err := runExtend(lc, p); err != nil {
 					return nil, err
 				}
 			}
 			// Condition 3b: OR into the last original combination's group.
-			if err := run(last.Or(p)); err != nil {
+			if err := runFresh(last.c.Or(p)); err != nil {
 				return nil, err
 			}
 		}

@@ -2,61 +2,11 @@ package combine
 
 import (
 	"math"
+	"math/bits"
 	"sort"
 
 	"hypre/internal/hypre"
 )
-
-// PairEntry is one row of the pre-computed combinations-of-two table of
-// §5.5: an applicable AND pair of profile preferences with its combined
-// intensity and tuple count.
-type PairEntry struct {
-	I, J      int // indexes into the profile (I < J)
-	Intensity float64
-	Count     int
-}
-
-// PairTable holds every applicable two-preference combination, sorted
-// descending by combined intensity, with a per-first-preference index. It
-// is rebuilt when the preference graph changes (the paper updates it on
-// graph updates).
-type PairTable struct {
-	Prefs   []hypre.ScoredPred
-	Pairs   []PairEntry
-	byFirst map[int][]PairEntry
-}
-
-// BuildPairTable computes the table: all (i, j) with i < j whose AND
-// combination is applicable (returns tuples).
-func BuildPairTable(prefs []hypre.ScoredPred, ev *Evaluator) (*PairTable, error) {
-	pt := &PairTable{Prefs: prefs, byFirst: make(map[int][]PairEntry)}
-	for i := 0; i < len(prefs); i++ {
-		for j := i + 1; j < len(prefs); j++ {
-			c := NewCombo(prefs[i]).And(prefs[j])
-			n, err := ev.Count(c)
-			if err != nil {
-				return nil, err
-			}
-			if n == 0 {
-				continue
-			}
-			e := PairEntry{I: i, J: j, Intensity: c.Intensity(), Count: n}
-			pt.Pairs = append(pt.Pairs, e)
-		}
-	}
-	sort.SliceStable(pt.Pairs, func(a, b int) bool {
-		return pt.Pairs[a].Intensity > pt.Pairs[b].Intensity
-	})
-	for _, e := range pt.Pairs {
-		pt.byFirst[e.I] = append(pt.byFirst[e.I], e)
-	}
-	return pt, nil
-}
-
-// CombsOfTwo returns the valid pairs starting at preference index i,
-// descending by combined intensity — the CombsOfTwo(p) lookup of
-// Algorithm 6.
-func (pt *PairTable) CombsOfTwo(i int) []PairEntry { return pt.byFirst[i] }
 
 // Variant selects between the Complete and Approximate PEPS algorithms
 // (§5.5.1 / §5.5.2).
@@ -102,6 +52,120 @@ type TopKResult struct {
 // triggers on the dissertation's workload sizes.
 const maxChainExpansions = 200000
 
+// topTracker incrementally maintains, per tuple, the best combined
+// intensity among the combinations that returned it — the structure the
+// old implementation rebuilt from scratch (collect + full sort) on every
+// anchor boundary. best is dense over the evaluator's pid dictionary;
+// unset entries are -1 (valid intensities are >= 0).
+type topTracker struct {
+	dict *PidDict
+	best []float64
+	n    int // distinct tuples seen
+}
+
+func newTopTracker(dict *PidDict) *topTracker {
+	best := make([]float64, dict.Size())
+	for i := range best {
+		best[i] = -1
+	}
+	return &topTracker{dict: dict, best: best}
+}
+
+// update credits every tuple of bm with intensity if it beats the tuple's
+// current best.
+func (t *topTracker) update(bm *Bitmap, intensity float64) {
+	for wi, w := range bm.words {
+		base := wi << 6
+		for w != 0 {
+			i := base + bits.TrailingZeros64(w)
+			if t.best[i] < intensity {
+				if t.best[i] < 0 {
+					t.n++
+				}
+				t.best[i] = intensity
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// kth returns the k-th highest best intensity and the number of distinct
+// tuples collected so far; the intensity is -1 when fewer than k tuples
+// exist. A bounded min-heap of size k replaces the old full sort.
+func (t *topTracker) kth(k int) (float64, int) {
+	if t.n < k {
+		return -1, t.n
+	}
+	heap := make([]float64, 0, k)
+	for _, v := range t.best {
+		if v < 0 {
+			continue
+		}
+		if len(heap) < k {
+			heap = append(heap, v)
+			siftUp(heap, len(heap)-1)
+		} else if v > heap[0] {
+			heap[0] = v
+			siftDown(heap, 0)
+		}
+	}
+	return heap[0], t.n
+}
+
+// tuples materializes the ranked result: (intensity desc, pid asc),
+// truncated at limit — the same order collectTuples produced.
+func (t *topTracker) tuples(limit int) []ScoredTuple {
+	out := make([]ScoredTuple, 0, t.n)
+	for i, v := range t.best {
+		if v >= 0 {
+			out = append(out, ScoredTuple{PID: t.dict.PID(i), Intensity: v})
+		}
+	}
+	sortScoredTuples(out)
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+func sortScoredTuples(out []ScoredTuple) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Intensity != out[j].Intensity {
+			return out[i].Intensity > out[j].Intensity
+		}
+		return out[i].PID < out[j].PID
+	})
+}
+
+func siftUp(h []float64, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func siftDown(h []float64, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && h[l] < h[m] {
+			m = l
+		}
+		if r < len(h) && h[r] < h[m] {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[m], h[i] = h[i], h[m]
+		i = m
+	}
+}
+
 // PEPS is the Practical and Efficient Preference Selection algorithm
 // (Algorithm 6): using the pre-computed pair table, it expands applicable
 // AND chains anchored at each profile preference in descending-intensity
@@ -109,10 +173,30 @@ const maxChainExpansions = 200000
 // distinct tuples ranked by combined intensity. Single preferences
 // participate as 1-predicate combinations so flooding/starvation cases
 // still fill K.
+//
+// The DFS is incremental: each step extends the parent chain's tuple
+// bitmap with exactly one word-parallel intersection (replacing the old
+// Applicable + Run double evaluation, each of which recomputed the full
+// conjunction from scratch), and carries the chain's Π(1−pᵢ) product so
+// the combined intensity needs one multiplication per step while staying
+// bit-identical to FAndAll over the member list. Tuple credits flow into
+// an incrementally maintained best-intensity map, so the anchor-boundary
+// early-exit check no longer rebuilds and sorts the full result set.
 func PEPS(prefs []hypre.ScoredPred, pt *PairTable, ev *Evaluator, k int, variant Variant) (TopKResult, error) {
 	var res TopKResult
 	if k <= 0 || len(prefs) == 0 {
 		return res, nil
+	}
+
+	// One relational query per predicate, then everything below is pure
+	// bitmap algebra over the shared dictionary.
+	bms := make([]*Bitmap, len(prefs))
+	for i, p := range prefs {
+		b, err := ev.PredBitmap(p)
+		if err != nil {
+			return res, err
+		}
+		bms[i] = b
 	}
 
 	// suffixBound[a] = f∧ over prefs[a:] — the best intensity any chain
@@ -129,26 +213,14 @@ func PEPS(prefs []hypre.ScoredPred, pt *PairTable, ev *Evaluator, k int, variant
 		suffixBound[a] = 1 - prod
 	}
 
-	var order Records
+	tr := newTopTracker(ev.dict)
 	expansions := 0
 
-	// Singles participate with their own intensity.
+	// Singles participate with their own intensity (f∧ of one member).
 	for i := range prefs {
-		r, err := ev.Run(NewCombo(prefs[i]))
-		if err != nil {
-			return res, err
+		if bms[i].Len() > 0 {
+			tr.update(bms[i], 1-(1-prefs[i].Intensity))
 		}
-		if r.NumTuples > 0 {
-			order = append(order, r)
-		}
-	}
-
-	kthIntensity := func() (float64, int) {
-		tuples := collectTuples(order, math.MaxInt32)
-		if len(tuples) < k {
-			return -1, len(tuples)
-		}
-		return tuples[k-1].Intensity, len(tuples)
 	}
 
 	for a := 0; a < len(prefs); a++ {
@@ -179,62 +251,59 @@ func PEPS(prefs []hypre.ScoredPred, pt *PairTable, ev *Evaluator, k int, variant
 
 		// DFS expansion: a chain i1 < i2 < ... where every consecutive pair
 		// is in the table and the whole conjunction stays applicable. Every
-		// applicable chain lands in ORDER — not just maximal ones — so a
-		// tuple that drops out of a longer extension still gets credited
+		// applicable chain credits the tracker — not just maximal ones — so
+		// a tuple that drops out of a longer extension still gets credited
 		// with the f∧ of exactly the preferences it matches (this is what
 		// keeps PEPS's assigned intensities equal to TA's aggregates on
-		// quantitative-only profiles, §7.6.3).
-		var dfs func(chain []int, c Combo) error
-		dfs = func(chain []int, c Combo) error {
+		// quantitative-only profiles, §7.6.3). Each frame receives the
+		// parent's tuple bitmap and Π(1−pᵢ) product; extending the chain is
+		// one AND and one multiply.
+		var dfs func(last int, bm *Bitmap, prod float64) error
+		dfs = func(last int, bm *Bitmap, prod float64) error {
 			if expansions >= maxChainExpansions {
 				return nil
 			}
 			expansions++
-			r, err := ev.Run(c)
-			if err != nil {
-				return err
-			}
-			order = append(order, r)
+			tr.update(bm, 1-prod)
 			res.CombosExpanded++
-			last := chain[len(chain)-1]
 			for _, e := range pt.CombsOfTwo(last) {
 				next := e.J
-				cand := c.And(pt.Prefs[next])
-				ok, err := ev.Applicable(cand)
-				if err != nil {
-					return err
-				}
-				if !ok {
+				child := bm.And(bms[next])
+				if child.Len() == 0 {
 					continue
 				}
-				if err := dfs(append(chain, next), cand); err != nil {
+				if err := dfs(next, child, prod*(1-prefs[next].Intensity)); err != nil {
 					return err
 				}
 			}
 			return nil
 		}
 		for _, e := range seeds {
-			c := NewCombo(pt.Prefs[e.I]).And(pt.Prefs[e.J])
-			if err := dfs([]int{e.I, e.J}, c); err != nil {
+			seed := bms[e.I].And(bms[e.J])
+			seedProd := (1 - prefs[e.I].Intensity) * (1 - prefs[e.J].Intensity)
+			if err := dfs(e.J, seed, seedProd); err != nil {
 				return res, err
 			}
 		}
 
 		// Early exit: if k tuples are already collected and no chain
 		// anchored later can beat the current k-th intensity, stop.
-		if kth, n := kthIntensity(); n >= k && a+1 < len(prefs) && suffixBound[a+1] <= kth {
+		if kth, n := tr.kth(k); n >= k && a+1 < len(prefs) && suffixBound[a+1] <= kth {
 			break
 		}
 	}
 
-	res.Tuples = collectTuples(order, k)
+	res.Tuples = tr.tuples(k)
 	return res, nil
 }
 
 // collectTuples assigns every tuple the best combined intensity among the
 // combinations that returned it, then ranks tuples by (intensity desc, pid
 // asc) and truncates at limit. The pid tie-break matches the TA baseline's,
-// so rankings are directly comparable.
+// so rankings are directly comparable. The incremental topTracker subsumes
+// this inside PEPS; it remains the reference reduction for Records
+// produced by the other Chapter 5 algorithms and for the equivalence
+// tests.
 func collectTuples(order Records, limit int) []ScoredTuple {
 	best := map[int64]float64{}
 	for _, r := range order {
@@ -248,12 +317,7 @@ func collectTuples(order Records, limit int) []ScoredTuple {
 	for pid, in := range best {
 		out = append(out, ScoredTuple{PID: pid, Intensity: in})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Intensity != out[j].Intensity {
-			return out[i].Intensity > out[j].Intensity
-		}
-		return out[i].PID < out[j].PID
-	})
+	sortScoredTuples(out)
 	if len(out) > limit {
 		out = out[:limit]
 	}

@@ -88,8 +88,9 @@ func (s IntSet) Intersect(o IntSet) IntSet {
 	if len(small) == 0 {
 		return out
 	}
-	// Galloping would help for very lopsided sizes; linear merge is fine at
-	// this scale.
+	if len(large) >= gallopFactor*len(small) {
+		return small.gallopIntersect(large)
+	}
 	i, j := 0, 0
 	for i < len(small) && j < len(large) {
 		switch {
@@ -104,6 +105,61 @@ func (s IntSet) Intersect(o IntSet) IntSet {
 		}
 	}
 	return out
+}
+
+// gallopFactor is the size ratio beyond which the galloping (exponential
+// search) intersection beats the linear merge: the merge is O(n+m), the
+// gallop O(n log m), so it wins once m/n clears a small constant.
+const gallopFactor = 8
+
+// gallopIntersect intersects a small sorted set with a much larger one by
+// exponential search: for each element of the receiver it doubles a probe
+// offset into the remaining suffix of large, then binary-searches the
+// bracketed window.
+func (s IntSet) gallopIntersect(large IntSet) IntSet {
+	var out IntSet
+	lo := 0
+	for _, v := range s {
+		lo = gallopSearch(large, lo, v)
+		if lo >= len(large) {
+			break
+		}
+		if large[lo] == v {
+			out = append(out, v)
+			lo++
+		}
+	}
+	return out
+}
+
+// gallopSearch returns the smallest index i >= from with large[i] >= v,
+// probing at exponentially growing offsets before binary-searching the
+// final window.
+func gallopSearch(large IntSet, from int, v int64) int {
+	if from >= len(large) || large[from] >= v {
+		return from
+	}
+	step := 1
+	lo := from
+	hi := from + step
+	for hi < len(large) && large[hi] < v {
+		lo = hi
+		step <<= 1
+		hi = from + step
+	}
+	if hi > len(large) {
+		hi = len(large)
+	}
+	// Invariant: large[lo] < v <= large[hi] (if hi in range).
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if large[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Union returns s ∪ o.
@@ -151,6 +207,23 @@ func (s IntSet) Minus(o IntSet) IntSet {
 // IntersectsAny reports whether the intersection is non-empty without
 // materializing it — the applicability check of Definition 15.
 func (s IntSet) IntersectsAny(o IntSet) bool {
+	small, large := s, o
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	if len(large) >= gallopFactor*len(small) {
+		lo := 0
+		for _, v := range small {
+			lo = gallopSearch(large, lo, v)
+			if lo >= len(large) {
+				return false
+			}
+			if large[lo] == v {
+				return true
+			}
+		}
+		return false
+	}
 	i, j := 0, 0
 	for i < len(s) && j < len(o) {
 		switch {

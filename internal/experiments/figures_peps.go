@@ -67,14 +67,14 @@ func RunFig37PEPSvsTA(l *Lab, uid int64, k, profileCap int) (Fig37Result, error)
 	res.QTOverlap = metrics.Overlap(metrics.PIDs(pepsQT.Tuples), metrics.PIDs(taQT))
 
 	// Phase 2: hybrid graph (full HYPRE profile) vs TA (which can only see
-	// quantitative preferences).
+	// quantitative preferences). The evaluator is shared with phase 1 so
+	// predicate sets common to both profiles materialize once.
 	hProfile := l.ProfileFor(uid, profileCap)
-	ev2 := l.Evaluator()
-	pt2, err := combine.BuildPairTable(hProfile, ev2)
+	pt2, err := combine.BuildPairTable(hProfile, ev)
 	if err != nil {
 		return res, err
 	}
-	pepsH, err := combine.PEPS(hProfile, pt2, ev2, k, combine.Complete)
+	pepsH, err := combine.PEPS(hProfile, pt2, ev, k, combine.Complete)
 	if err != nil {
 		return res, err
 	}

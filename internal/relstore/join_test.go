@@ -213,3 +213,64 @@ func TestIndexedOrEqualsScanProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestJoinRightIndexAssist(t *testing.T) {
+	// Only the joined table is constrained and only it is indexed: the
+	// right-driven access path must walk the author index back through the
+	// join and agree with the full-scan result.
+	db := dblpDB(t)
+	if err := db.Table("dblp_author").BuildIndex("aid"); err != nil {
+		t.Fatal(err)
+	}
+	where := predicate.MustParse(`dblp_author.aid=2`)
+	n, err := db.Count(joinQuery(where))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 { // links t1, t2, t5, t9
+		t.Fatalf("right-driven join count = %d, want 4", n)
+	}
+	pids, err := db.DistinctValues(joinQuery(where), "dblp.pid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pids) != 4 {
+		t.Fatalf("distinct pids = %d, want 4", len(pids))
+	}
+}
+
+func TestJoinBareSharedColumnBindsLeft(t *testing.T) {
+	// Regression: both tables carry a bare column "v"; evaluation binds
+	// bare names left-first, so a right-side index on v must NOT be used
+	// as the candidate source (it would under-approximate: the predicate
+	// filters left.v, not right.v).
+	db := NewDB()
+	lt, err := db.CreateTable("lt", Column{"k", predicate.KindInt}, Column{"v", predicate.KindInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := db.CreateTable("rt", Column{"k", predicate.KindInt}, Column{"v", predicate.KindInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt.Insert(i(1), i(5))
+	lt.Insert(i(2), i(0))
+	rt.Insert(i(1), i(0))
+	rt.Insert(i(2), i(5))
+	if err := rt.BuildIndex("v"); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{
+		From:  "lt",
+		Join:  &JoinSpec{Table: "rt", LeftCol: "k", RightCol: "k"},
+		Where: &predicate.Cmp{Attr: "v", Op: predicate.OpEq, Val: i(5)},
+	}
+	n, err := db.Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// left.v=5 only holds for k=1 (whose joined right.v is 0).
+	if n != 1 {
+		t.Fatalf("bare shared column count = %d, want 1 (left binding)", n)
+	}
+}

@@ -68,38 +68,101 @@ func (db *DB) Count(q Query) (int, error) {
 // CountDistinct returns COUNT(DISTINCT attr) over the query result — the
 // shape of every counting query in Chapter 5 (count(distinct dblp.pid)).
 func (db *DB) CountDistinct(q Query, attr string) (int, error) {
-	seen := make(map[string]struct{})
-	err := db.scan(q, func(r JoinedRow) bool {
-		if v, ok := r.Get(attr); ok && !v.IsNull() {
-			seen[v.Key()] = struct{}{}
-		}
-		return q.Limit <= 0 || len(seen) < q.Limit
-	})
-	return len(seen), err
+	vals, err := db.DistinctValues(q, attr)
+	return len(vals), err
 }
 
 // DistinctValues returns the distinct non-NULL values of attr over the query
 // result, in first-seen order. The similarity/overlap metrics and coverage
 // computation consume these sets.
 func (db *DB) DistinctValues(q Query, attr string) ([]predicate.Value, error) {
-	seen := make(map[string]struct{})
+	seen := make(map[predicate.Value]struct{})
 	var out []predicate.Value
-	err := db.scan(q, func(r JoinedRow) bool {
-		if v, ok := r.Get(attr); ok && !v.IsNull() {
-			k := v.Key()
-			if _, dup := seen[k]; !dup {
-				seen[k] = struct{}{}
-				out = append(out, v)
-			}
+	err := db.scanAttr(q, attr, func(v predicate.Value) bool {
+		k := indexKey(v)
+		if _, dup := seen[k]; !dup {
+			seen[k] = struct{}{}
+			out = append(out, v)
 		}
 		return q.Limit <= 0 || len(out) < q.Limit
 	})
 	return out, err
 }
 
+// DistinctInts returns the distinct non-NULL values of an integer attribute
+// (the tuple-id collection query behind every predicate-set
+// materialization), deduplicated without per-value key allocation. Values
+// are widened with AsInt, matching DistinctValues followed by AsInt on each
+// element.
+func (db *DB) DistinctInts(q Query, attr string) ([]int64, error) {
+	seen := make(map[int64]struct{})
+	var out []int64
+	err := db.scanAttr(q, attr, func(v predicate.Value) bool {
+		i := v.AsInt()
+		if _, dup := seen[i]; !dup {
+			seen[i] = struct{}{}
+			out = append(out, i)
+		}
+		return q.Limit <= 0 || len(out) < q.Limit
+	})
+	return out, err
+}
+
+// scanAttr streams the non-NULL values of attr for every matching row,
+// resolving the attribute to a (side, column) slot once instead of per row.
+func (db *DB) scanAttr(q Query, attr string, emit func(predicate.Value) bool) error {
+	left := db.Table(q.From)
+	if left == nil {
+		return fmt.Errorf("relstore: unknown table %q", q.From)
+	}
+	var right *Table
+	if q.Join != nil {
+		right = db.Table(q.Join.Table)
+	}
+	side, pos := bindAttr(attr, left, right)
+	return db.scanIDs(q, func(lid, rid int, hasRight bool) bool {
+		var v predicate.Value
+		switch {
+		case side == sideLeft:
+			v = left.rows[lid][pos]
+		case side == sideRight && hasRight:
+			v = right.rows[rid][pos]
+		default:
+			return true
+		}
+		if v.IsNull() {
+			return true
+		}
+		return emit(v)
+	})
+}
+
 // scan drives query execution, invoking emit for each matching row until
 // emit returns false or rows are exhausted.
 func (db *DB) scan(q Query, emit func(JoinedRow) bool) error {
+	left := db.Table(q.From)
+	var right *Table
+	if q.Join != nil && left != nil {
+		right = db.Table(q.Join.Table)
+	}
+	return db.scanIDs(q, func(lid, rid int, hasRight bool) bool {
+		row := JoinedRow{Left: left.Row(lid)}
+		if hasRight {
+			row.Right = right.Row(rid)
+			row.HasRight = true
+		}
+		return emit(row)
+	})
+}
+
+// scanIDs is the row-id core of query execution: it streams the (left,
+// right) row-id pairs that satisfy the query. The WHERE tree is compiled
+// once into a closure over raw row slices (no per-row attribute-name
+// resolution), and the access path is chosen among: left-index candidates,
+// right-index candidates walked through the join (for predicates that only
+// constrain the joined table, e.g. dblp_author.aid=6), and a full left
+// scan.
+func (db *DB) scanIDs(q Query, emit func(lid, rid int, hasRight bool) bool) error {
 	left := db.Table(q.From)
 	if left == nil {
 		return fmt.Errorf("relstore: unknown table %q", q.From)
@@ -131,21 +194,34 @@ func (db *DB) scan(q Query, emit func(JoinedRow) bool) error {
 		}
 	}
 
-	leftIDs, usedIndex := candidateIDs(left, where)
-	emitLeft := func(id int) bool {
-		lr := left.Row(id)
+	filter, compiled := compileFilter(where, left, right)
+	match := func(lid, rid int, hasRight bool) bool {
+		if compiled {
+			var rrow []predicate.Value
+			if hasRight {
+				rrow = right.rows[rid]
+			}
+			return filter(left.rows[lid], rrow)
+		}
+		row := JoinedRow{Left: left.Row(lid)}
+		if hasRight {
+			row.Right = right.Row(rid)
+			row.HasRight = true
+		}
+		return where.Eval(row)
+	}
+
+	emitLeft := func(lid int) bool {
 		if right == nil {
-			row := JoinedRow{Left: lr}
-			if where.Eval(row) {
-				return emit(row)
+			if match(lid, 0, false) {
+				return emit(lid, 0, false)
 			}
 			return true
 		}
-		ids, _ := right.lookup(rightPos, left.rows[id][leftPos])
+		ids, _ := right.lookup(rightPos, left.rows[lid][leftPos])
 		for _, rid := range ids {
-			row := JoinedRow{Left: lr, Right: right.Row(rid), HasRight: true}
-			if where.Eval(row) {
-				if !emit(row) {
+			if match(lid, rid, true) {
+				if !emit(lid, rid, true) {
 					return false
 				}
 			}
@@ -153,20 +229,226 @@ func (db *DB) scan(q Query, emit func(JoinedRow) bool) error {
 		return true
 	}
 
-	if usedIndex {
-		for _, id := range leftIDs {
-			if !emitLeft(id) {
+	if leftIDs, ok := candidateIDs(left, where); ok {
+		for _, lid := range leftIDs {
+			if !emitLeft(lid) {
 				return nil
 			}
 		}
 		return nil
 	}
-	for id := range left.rows {
-		if !emitLeft(id) {
+
+	// Right-driven path: the predicate constrains only the joined table
+	// (no usable left index), but a right index narrows the right rows;
+	// walk them back through the join via the left join-column index.
+	// Candidates must come from attributes that actually *evaluate*
+	// against the right table (bindAttr, which resolves bare names
+	// left-first like JoinedRow.Get) — resolveColumn alone would happily
+	// match a bare name that both tables carry, under-approximating the
+	// result set.
+	if right != nil {
+		if rightIDs, ok := rightCandidateIDs(left, right, where); ok {
+			if _, ok := left.indexes[leftPos]; !ok {
+				if err := left.BuildIndex(q.Join.LeftCol); err != nil {
+					return err
+				}
+			}
+			for _, rid := range rightIDs {
+				lids, _ := left.lookup(leftPos, right.rows[rid][rightPos])
+				for _, lid := range lids {
+					if match(lid, rid, true) {
+						if !emit(lid, rid, true) {
+							return nil
+						}
+					}
+				}
+			}
+			return nil
+		}
+	}
+
+	for lid := range left.rows {
+		if !emitLeft(lid) {
 			return nil
 		}
 	}
 	return nil
+}
+
+// attrSide tags which table a bound attribute lives in.
+type attrSide uint8
+
+const (
+	sideNone attrSide = iota
+	sideLeft
+	sideRight
+)
+
+// bindAttr resolves an attribute reference to a (side, column position)
+// slot, mirroring JoinedRow.Get's semantics exactly: qualified names bind
+// to the named table only, bare names bind left-first. sideNone means the
+// attribute resolves on neither side (lookups on it always miss).
+func bindAttr(attr string, left, right *Table) (attrSide, int) {
+	if tbl, col, ok := splitQualified(attr); ok {
+		if tbl == left.schema.Name {
+			if pos := left.ColumnIndex(col); pos >= 0 {
+				return sideLeft, pos
+			}
+			return sideNone, 0
+		}
+		if right != nil && tbl == right.schema.Name {
+			if pos := right.ColumnIndex(col); pos >= 0 {
+				return sideRight, pos
+			}
+		}
+		return sideNone, 0
+	}
+	if pos := left.ColumnIndex(attr); pos >= 0 {
+		return sideLeft, pos
+	}
+	if right != nil {
+		if pos := right.ColumnIndex(attr); pos >= 0 {
+			return sideRight, pos
+		}
+	}
+	return sideNone, 0
+}
+
+// rowFilter evaluates a compiled predicate over raw row slices (rrow is
+// nil for unjoined rows).
+type rowFilter func(lrow, rrow []predicate.Value) bool
+
+// compileFilter lowers a predicate tree to a closure tree with every
+// attribute pre-resolved to a row slot. Returns ok=false for node types it
+// does not know, in which case the caller falls back to Predicate.Eval.
+// The compiled form replicates Eval's collapsed three-valued logic:
+// comparisons against NULL or unresolvable attributes are false.
+func compileFilter(p predicate.Predicate, left, right *Table) (rowFilter, bool) {
+	switch node := p.(type) {
+	case predicate.True:
+		return func(_, _ []predicate.Value) bool { return true }, true
+	case *predicate.Cmp:
+		side, pos := bindAttr(node.Attr, left, right)
+		if side == sideNone {
+			return func(_, _ []predicate.Value) bool { return false }, true
+		}
+		op, val := node.Op, node.Val
+		return func(lrow, rrow []predicate.Value) bool {
+			v, ok := slotValue(side, pos, lrow, rrow)
+			if !ok || v.IsNull() {
+				return false
+			}
+			r, ok := predicate.Compare(v, val)
+			if !ok {
+				return false
+			}
+			switch op {
+			case predicate.OpEq:
+				return r == 0
+			case predicate.OpNe:
+				return r != 0
+			case predicate.OpLt:
+				return r < 0
+			case predicate.OpLe:
+				return r <= 0
+			case predicate.OpGt:
+				return r > 0
+			case predicate.OpGe:
+				return r >= 0
+			default:
+				return false
+			}
+		}, true
+	case *predicate.Between:
+		side, pos := bindAttr(node.Attr, left, right)
+		if side == sideNone {
+			return func(_, _ []predicate.Value) bool { return false }, true
+		}
+		lo, hi := node.Lo, node.Hi
+		return func(lrow, rrow []predicate.Value) bool {
+			v, ok := slotValue(side, pos, lrow, rrow)
+			if !ok || v.IsNull() {
+				return false
+			}
+			cl, ok1 := predicate.Compare(v, lo)
+			ch, ok2 := predicate.Compare(v, hi)
+			return ok1 && ok2 && cl >= 0 && ch <= 0
+		}, true
+	case *predicate.In:
+		side, pos := bindAttr(node.Attr, left, right)
+		if side == sideNone {
+			return func(_, _ []predicate.Value) bool { return false }, true
+		}
+		vals := node.Vals
+		return func(lrow, rrow []predicate.Value) bool {
+			v, ok := slotValue(side, pos, lrow, rrow)
+			if !ok || v.IsNull() {
+				return false
+			}
+			for _, w := range vals {
+				if v.Equal(w) {
+					return true
+				}
+			}
+			return false
+		}, true
+	case *predicate.Not:
+		kid, ok := compileFilter(node.Kid, left, right)
+		if !ok {
+			return nil, false
+		}
+		return func(lrow, rrow []predicate.Value) bool { return !kid(lrow, rrow) }, true
+	case *predicate.And:
+		kids, ok := compileKids(node.Kids, left, right)
+		if !ok {
+			return nil, false
+		}
+		return func(lrow, rrow []predicate.Value) bool {
+			for _, k := range kids {
+				if !k(lrow, rrow) {
+					return false
+				}
+			}
+			return true
+		}, true
+	case *predicate.Or:
+		kids, ok := compileKids(node.Kids, left, right)
+		if !ok {
+			return nil, false
+		}
+		return func(lrow, rrow []predicate.Value) bool {
+			for _, k := range kids {
+				if k(lrow, rrow) {
+					return true
+				}
+			}
+			return false
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+func compileKids(ps []predicate.Predicate, left, right *Table) ([]rowFilter, bool) {
+	out := make([]rowFilter, len(ps))
+	for i, p := range ps {
+		k, ok := compileFilter(p, left, right)
+		if !ok {
+			return nil, false
+		}
+		out[i] = k
+	}
+	return out, true
+}
+
+func slotValue(side attrSide, pos int, lrow, rrow []predicate.Value) (predicate.Value, bool) {
+	if side == sideLeft {
+		return lrow[pos], true
+	}
+	if rrow == nil {
+		return predicate.Null(), false
+	}
+	return rrow[pos], true
 }
 
 // candidateIDs inspects the predicate for index-usable equality conditions
@@ -174,19 +456,38 @@ func (db *DB) scan(q Query, emit func(JoinedRow) bool) error {
 // row ids (sorted, deduplicated). The full predicate is still evaluated per
 // row afterwards, so over-approximation is safe; under-approximation is not.
 func candidateIDs(t *Table, p predicate.Predicate) ([]int, bool) {
+	return candidateIDsResolve(t, p, func(attr string) int {
+		return resolveColumn(t, attr)
+	})
+}
+
+// rightCandidateIDs is candidateIDs for the joined table, resolving
+// attributes exactly as evaluation does (bare names bind left-first), so a
+// bare column name both tables carry never yields right-table candidates
+// for a predicate that semantically filters the left table.
+func rightCandidateIDs(left, right *Table, p predicate.Predicate) ([]int, bool) {
+	return candidateIDsResolve(right, p, func(attr string) int {
+		if side, pos := bindAttr(attr, left, right); side == sideRight {
+			return pos
+		}
+		return -1
+	})
+}
+
+func candidateIDsResolve(t *Table, p predicate.Predicate, resolve func(string) int) ([]int, bool) {
 	switch node := p.(type) {
 	case *predicate.Cmp:
 		if node.Op != predicate.OpEq {
 			return nil, false
 		}
-		pos := resolveColumn(t, node.Attr)
+		pos := resolve(node.Attr)
 		if pos < 0 {
 			return nil, false
 		}
 		ids, ok := t.lookup(pos, node.Val)
 		return ids, ok
 	case *predicate.In:
-		pos := resolveColumn(t, node.Attr)
+		pos := resolve(node.Attr)
 		if pos < 0 {
 			return nil, false
 		}
@@ -204,7 +505,7 @@ func candidateIDs(t *Table, p predicate.Predicate) ([]int, bool) {
 		best := []int(nil)
 		found := false
 		for _, k := range node.Kids {
-			if ids, ok := candidateIDs(t, k); ok {
+			if ids, ok := candidateIDsResolve(t, k, resolve); ok {
 				if !found || len(ids) < len(best) {
 					best, found = ids, true
 				}
@@ -215,7 +516,7 @@ func candidateIDs(t *Table, p predicate.Predicate) ([]int, bool) {
 		// All disjuncts must be index-usable for the union to be a superset.
 		var all []int
 		for _, k := range node.Kids {
-			ids, ok := candidateIDs(t, k)
+			ids, ok := candidateIDsResolve(t, k, resolve)
 			if !ok {
 				return nil, false
 			}

@@ -38,7 +38,22 @@ type Table struct {
 	indexes map[int]hashIndex   // column position -> value-key -> row ids
 }
 
-type hashIndex map[string][]int
+type hashIndex map[predicate.Value][]int
+
+// indexKey canonicalizes a value for hash-index and DISTINCT keying:
+// integral floats collapse to ints so Int(3) and Float(3) collide, matching
+// Value.Equal's widening semantics (and what Value.Key encoded as a
+// string). Keying by the Value itself avoids the per-row string allocation
+// Key() cost on every insert, index build, and join probe.
+func indexKey(v predicate.Value) predicate.Value {
+	if v.Kind() == predicate.KindFloat {
+		f := v.AsFloat()
+		if f == float64(int64(f)) {
+			return predicate.Int(int64(f))
+		}
+	}
+	return v
+}
 
 func newTable(s *Schema) *Table {
 	ci := make(map[string]int, len(s.Columns))
@@ -75,7 +90,7 @@ func (t *Table) Insert(vals ...predicate.Value) (int, error) {
 	id := len(t.rows)
 	t.rows = append(t.rows, row)
 	for col, idx := range t.indexes {
-		k := row[col].Key()
+		k := indexKey(row[col])
 		idx[k] = append(idx[k], id)
 	}
 	return id, nil
@@ -89,7 +104,7 @@ func (t *Table) BuildIndex(col string) error {
 	}
 	idx := make(hashIndex, len(t.rows))
 	for id, row := range t.rows {
-		k := row[pos].Key()
+		k := indexKey(row[pos])
 		idx[k] = append(idx[k], id)
 	}
 	t.indexes[pos] = idx
@@ -103,7 +118,7 @@ func (t *Table) lookup(pos int, v predicate.Value) (ids []int, found bool) {
 	if !ok {
 		return nil, false
 	}
-	return idx[v.Key()], true
+	return idx[indexKey(v)], true
 }
 
 // Row returns a predicate.Row view of row id.
