@@ -193,6 +193,30 @@ func BenchmarkFig39_40_PEPSTime(b *testing.B) {
 	}
 }
 
+// BenchmarkMaterializeProfile is the cold-cache predicate materialization
+// cost: a fresh evaluator per iteration, so every profile predicate runs
+// one real scan through the columnar store and the parallel bulk path —
+// the Lab-setup cost every figure pays before any set algebra.
+func BenchmarkMaterializeProfile(b *testing.B) {
+	l := benchSetup(b)
+	for _, tc := range []struct {
+		name string
+		uid  int64
+	}{{"Modest", l.Modest}, {"Rich", l.Rich}} {
+		b.Run(tc.name, func(b *testing.B) {
+			prefs := l.ProfileFor(tc.uid, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := l.Evaluator()
+				if err := ev.MaterializeAll(prefs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkAblation_Composition(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.RunAblationComposition()

@@ -28,11 +28,21 @@ import (
 // benchReport is the machine-readable perf record benchrunner writes.
 // Durations are nanoseconds.
 type benchReport struct {
-	Config    map[string]int64       `json:"config"`
-	Fig39     []fig39JSON            `json:"fig39_peps_time,omitempty"`
-	PairCache []pairCacheJSON        `json:"ablation_pair_cache,omitempty"`
-	PEPS      []pepsVariantsJSON     `json:"ablation_peps_variants,omitempty"`
-	Extra     map[string]interface{} `json:"extra,omitempty"`
+	Config      map[string]int64       `json:"config"`
+	Fig39       []fig39JSON            `json:"fig39_peps_time,omitempty"`
+	PairCache   []pairCacheJSON        `json:"ablation_pair_cache,omitempty"`
+	PEPS        []pepsVariantsJSON     `json:"ablation_peps_variants,omitempty"`
+	Materialize []materializeJSON      `json:"materialize_profile,omitempty"`
+	Extra       map[string]interface{} `json:"extra,omitempty"`
+}
+
+type materializeJSON struct {
+	UID     int64 `json:"uid"`
+	Prefs   int   `json:"prefs"`
+	Queries int   `json:"queries"`
+	BestNs  int64 `json:"best_ns"`
+	MeanNs  int64 `json:"mean_ns"`
+	Reps    int   `json:"reps"`
 }
 
 type fig39JSON struct {
@@ -68,7 +78,7 @@ type pepsVariantsJSON struct {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiment ids (table10,table11,table12,fig13,fig17,fig18,fig26,fig28,fig29,fig32,fig35,fig37,fig39,ablation) or 'all'")
+		exp     = flag.String("exp", "all", "comma-separated experiment ids (table10,table11,table12,fig13,fig17,fig18,fig26,fig28,fig29,fig32,fig35,fig37,fig39,ablation,materialize) or 'all'")
 		papers  = flag.Int("papers", 4000, "number of papers in the synthetic network")
 		authors = flag.Int("authors", 1200, "number of authors")
 		venues  = flag.Int("venues", 40, "number of venues")
@@ -269,7 +279,27 @@ func main() {
 		})
 	}
 
-	if *bjson != "" && (len(report.Fig39) > 0 || len(report.PairCache) > 0 || len(report.PEPS) > 0) {
+	if run("materialize") {
+		const matReps = 5
+		for _, uid := range lab.Users() {
+			r, err := experiments.RunMaterializeBench(lab, uid, matReps)
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(out)
+			report.Materialize = append(report.Materialize, materializeJSON{
+				UID:     r.UID,
+				Prefs:   r.Prefs,
+				Queries: r.Queries,
+				BestNs:  r.Best.Nanoseconds(),
+				MeanNs:  r.Mean.Nanoseconds(),
+				Reps:    r.Reps,
+			})
+		}
+		fmt.Println()
+	}
+
+	if *bjson != "" && (len(report.Fig39) > 0 || len(report.PairCache) > 0 || len(report.PEPS) > 0 || len(report.Materialize) > 0) {
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fatal(err)

@@ -17,6 +17,21 @@ func NewPidDict() *PidDict {
 	return &PidDict{idx: make(map[int64]int)}
 }
 
+// Reserve rebuilds the index map with room for n total pids, keeping every
+// existing assignment (and the *PidDict identity callers may hold). Bulk
+// seeding calls it once to avoid incremental map growth.
+func (d *PidDict) Reserve(n int) {
+	if n <= len(d.pids) {
+		return
+	}
+	idx := make(map[int64]int, n)
+	for i, pid := range d.pids {
+		idx[pid] = i
+	}
+	d.idx = idx
+	d.pids = append(make([]int64, 0, n), d.pids...)
+}
+
 // Add returns the dense index for pid, assigning the next free slot on
 // first sight.
 func (d *PidDict) Add(pid int64) int {
@@ -148,16 +163,23 @@ func (b *Bitmap) AndNot(o *Bitmap) *Bitmap {
 	return out
 }
 
-// AppendPids appends the pids of every set bit to dst (in dense-index
-// order, which is NOT pid order) and returns the result.
-func (b *Bitmap) AppendPids(d *PidDict, dst []int64) []int64 {
+// ForEachPid invokes fn with the pid of every set bit, in dense-index order
+// (which is NOT pid order) — the allocation-free iteration the Top-K list
+// builder uses in place of materialized IntSet slices.
+func (b *Bitmap) ForEachPid(d *PidDict, fn func(int64)) {
 	for wi, w := range b.words {
 		base := wi << 6
 		for w != 0 {
-			dst = append(dst, d.PID(base+bits.TrailingZeros64(w)))
+			fn(d.PID(base + bits.TrailingZeros64(w)))
 			w &= w - 1
 		}
 	}
+}
+
+// AppendPids appends the pids of every set bit to dst (in dense-index
+// order, which is NOT pid order) and returns the result.
+func (b *Bitmap) AppendPids(d *PidDict, dst []int64) []int64 {
+	b.ForEachPid(d, func(pid int64) { dst = append(dst, pid) })
 	return dst
 }
 

@@ -1,7 +1,10 @@
 package combine
 
 import (
+	"math/bits"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"hypre/internal/hypre"
 	"hypre/internal/predicate"
@@ -9,14 +12,17 @@ import (
 )
 
 // Evaluator answers combination queries. It materializes the distinct
-// tuple-id set of each atomic preference once (one relational query per
-// predicate, like the pre-computed table of §5.5) as both a sorted slice
-// (IntSet) and a dense bitmap keyed by a shared pid dictionary, and
-// evaluates a Combo with word-parallel set algebra: union within an OR
-// group, intersection across AND groups. Results are exactly those of
-// running the rewritten SQL query — verified by tests against the
-// relational engine — but pair/chain enumeration no longer re-scans the
-// store.
+// tuple-id set of each atomic preference once (one vectorized relational
+// scan per predicate, like the pre-computed table of §5.5) as a dense
+// bitmap keyed by a shared pid dictionary (the sorted IntSet view is
+// derived lazily), and evaluates a Combo with word-parallel set algebra:
+// union within an OR group, intersection across AND groups. Bulk
+// materialization (MaterializeAll) fans the per-predicate scans out over a
+// worker pool; dense dictionary ids are then assigned serially in
+// first-seen order, so bitmaps stay as compact as serial materialization
+// produced. Results are exactly those of running the rewritten SQL query —
+// verified by tests against the relational engine — but pair/chain
+// enumeration no longer re-scans the store.
 //
 // Concurrency: the predicate caches are guarded by a mutex, so once every
 // profile preference has been materialized (see Materialize), PredSet,
@@ -29,13 +35,29 @@ type Evaluator struct {
 	base    func(predicate.Predicate) relstore.Query
 	keyAttr string
 
-	mu   sync.RWMutex
-	dict *PidDict
-	sets map[string]IntSet
-	bits map[string]*Bitmap
+	mu     sync.RWMutex
+	dict   *PidDict
+	sets   map[string]IntSet
+	bits   map[string]*Bitmap
+	seeded bool // scan plumbing (pidByRow, join structures) built
+	// rowDense maps base-table row id -> dense dict index, assigned lazily
+	// in first-seen order (-1 = not assigned yet), so dense numbering stays
+	// as compact as serial materialization while scans set bits with one
+	// array read instead of a pid hash.
+	rowDense []int32
+	// pidByRow caches the key attribute per base-table row, so dense-id
+	// assignment during bitmap conversion never re-reads the store.
+	pidByRow []int64
+	// seedFrom is the base table the row plumbing was built against; a base
+	// closure that routes a predicate to a different From table bypasses
+	// the row remap (its row ids would index the wrong pidByRow).
+	seedFrom string
 
-	// Queries counts how many real relational queries were issued (cache
-	// misses), for the efficiency experiments.
+	// Queries counts predicate materializations that had to touch the
+	// store (cache misses) plus explicit SQL-path queries (CountSQL), for
+	// the efficiency experiments. One-time scan plumbing (seedLocked's
+	// universe pass) is not counted, keeping the figure comparable to the
+	// one-query-per-predicate accounting of earlier PRs.
 	Queries int
 	// ComboEvals counts combination evaluations (set-algebra operations).
 	ComboEvals int
@@ -60,19 +82,196 @@ func NewEvaluator(db *relstore.DB, base func(predicate.Predicate) relstore.Query
 func (ev *Evaluator) Dict() *PidDict { return ev.dict }
 
 // Materialize runs the one relational query per preference for every entry
-// of prefs that is not cached yet. It is the single-threaded phase that
-// must precede any concurrent use of the evaluator.
+// of prefs that is not cached yet, after which PredSet, PredBitmap, and the
+// bitmap algebra they feed are safe for concurrent readers. It delegates to
+// MaterializeAll, which fans the scans out over a worker pool.
 func (ev *Evaluator) Materialize(prefs []hypre.ScoredPred) error {
+	return ev.MaterializeAll(prefs)
+}
+
+// MaterializeAll bulk-materializes every uncached preference of a profile:
+// the uncached predicates are partitioned across a worker pool, each scanned
+// by relstore's vectorized ScanAttrRows into a row-selection bitmap (no
+// intermediate id slices, no per-row predicate interpretation), then a
+// serial conversion pass assigns dense dictionary ids lazily in first-seen
+// order — so dense numbering stays exactly as compact and deterministic as
+// the serial materialization it replaces. The sorted IntSet views are
+// derived lazily by PredSet.
+func (ev *Evaluator) MaterializeAll(prefs []hypre.ScoredPred) error {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	pending := make([]hypre.ScoredPred, 0, len(prefs))
+	seen := make(map[string]bool, len(prefs))
 	for _, p := range prefs {
-		if _, err := ev.PredBitmap(p); err != nil {
+		if _, ok := ev.bits[p.Pred]; ok || seen[p.Pred] {
+			continue
+		}
+		seen[p.Pred] = true
+		pending = append(pending, p)
+	}
+	if len(pending) == 0 {
+		return nil
+	}
+	if err := ev.seedLocked(); err != nil {
+		return err
+	}
+	if len(pending) == 1 {
+		b, err := ev.scanBitmapLocked(pending[0])
+		if err != nil {
 			return err
 		}
+		ev.bits[pending[0].Pred] = b
+		ev.Queries++
+		return nil
+	}
+
+	// Parallel phase: workers only read the store — no dict access at all.
+	// Each produces the selection vector of matching base-table rows; pids
+	// the row scan cannot place (non-left key attributes) are collected and
+	// folded in serially.
+	type result struct {
+		sel      []uint64
+		leftover []int64
+	}
+	results := make([]result, len(pending))
+	errs := make([]error, len(pending))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pending) {
+					return
+				}
+				results[i].sel, results[i].leftover, errs[i] = ev.scanSel(pending[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range pending {
+		if errs[i] != nil {
+			return errs[i]
+		}
+	}
+
+	// Serial conversion: row selections become dense bitmaps, assigning
+	// dictionary slots on first sight in pending order.
+	for i, p := range pending {
+		ev.bits[p.Pred] = ev.convertLocked(results[i].sel, results[i].leftover)
+		ev.Queries++
 	}
 	return nil
 }
 
+// seedLocked builds the one-time scan plumbing: the store's join access
+// structures, a presized dictionary index, the row→dense remap (all
+// unassigned), and the per-row key attribute cache used to assign dense ids
+// without re-reading the store.
+func (ev *Evaluator) seedLocked() error {
+	if ev.seeded {
+		return nil
+	}
+	base := ev.base(predicate.True{})
+	if err := ev.db.PrepareQuery(base); err != nil {
+		return err
+	}
+	// PrepareQuery has already errored on an unknown base table.
+	n := ev.db.Table(base.From).Len()
+	ev.seedFrom = base.From
+	ev.dict.Reserve(n)
+	ev.rowDense = make([]int32, n)
+	for i := range ev.rowDense {
+		ev.rowDense[i] = -1
+	}
+	ev.pidByRow = make([]int64, n)
+	// The per-row key cache is read joinless so it covers every base-table
+	// row — a base closure that varies the join per predicate can still
+	// select rows the seeded join shape would have excluded.
+	seedQ := relstore.Query{From: base.From, Where: predicate.True{}}
+	if err := ev.db.ScanAttrRows(seedQ, ev.keyAttr, func(lid int, pid int64) {
+		if lid < n {
+			ev.pidByRow[lid] = pid
+		}
+	}); err != nil {
+		// A key attribute the row scan cannot serve: leave the plumbing
+		// empty; scans fall back to pid collection.
+		ev.rowDense, ev.pidByRow = nil, nil
+	}
+	ev.seeded = true
+	return nil
+}
+
+// convertLocked turns a base-row selection vector (plus any stray pids)
+// into a dense bitmap, assigning dictionary slots in first-seen order.
+func (ev *Evaluator) convertLocked(sel []uint64, leftover []int64) *Bitmap {
+	b := NewBitmap()
+	for wi, w := range sel {
+		base := wi << 6
+		for w != 0 {
+			lid := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			di := ev.rowDense[lid]
+			if di < 0 {
+				di = int32(ev.dict.Add(ev.pidByRow[lid]))
+				ev.rowDense[lid] = di
+			}
+			b.Set(int(di))
+		}
+	}
+	for _, pid := range leftover {
+		b.Set(ev.dict.Add(pid))
+	}
+	return b
+}
+
+// scanSel runs one predicate's scan into a base-row selection vector plus
+// any pids the row scan could not place (non-left key attributes fall back
+// to the general distinct scan). It reads only the store and fields frozen
+// by seedLocked, so MaterializeAll workers may call it concurrently.
+func (ev *Evaluator) scanSel(p hypre.ScoredPred) (sel []uint64, leftover []int64, err error) {
+	q := ev.base(p.P)
+	if q.From == ev.seedFrom && len(ev.rowDense) > 0 {
+		nrows := len(ev.rowDense)
+		sel = make([]uint64, (nrows+63)/64)
+		err = ev.db.ScanAttrRows(q, ev.keyAttr, func(lid int, pid int64) {
+			if lid < nrows {
+				sel[lid>>6] |= 1 << (uint(lid) & 63)
+			} else {
+				leftover = append(leftover, pid)
+			}
+		})
+		if err == nil {
+			return sel, leftover, nil
+		}
+	}
+	// Different base table than the seeded plumbing, or a key attribute the
+	// row scan cannot serve: collect raw pids instead of row ids.
+	sel, leftover = nil, nil
+	err = ev.db.ScanAttrInts(q, ev.keyAttr, func(pid int64) {
+		leftover = append(leftover, pid)
+	})
+	return sel, leftover, err
+}
+
+// scanBitmapLocked runs one predicate's scan into a fresh dense bitmap.
+func (ev *Evaluator) scanBitmapLocked(p hypre.ScoredPred) (*Bitmap, error) {
+	sel, leftover, err := ev.scanSel(p)
+	if err != nil {
+		return nil, err
+	}
+	return ev.convertLocked(sel, leftover), nil
+}
+
 // PredSet returns the distinct tuple ids matching one preference as a
-// sorted slice, materializing and caching it on first use.
+// sorted slice. The slice view is derived lazily from the cached bitmap, so
+// bulk materialization never pays for sets nobody reads.
 func (ev *Evaluator) PredSet(p hypre.ScoredPred) (IntSet, error) {
 	ev.mu.RLock()
 	s, ok := ev.sets[p.Pred]
@@ -80,16 +279,23 @@ func (ev *Evaluator) PredSet(p hypre.ScoredPred) (IntSet, error) {
 	if ok {
 		return s, nil
 	}
-	if _, err := ev.PredBitmap(p); err != nil {
+	b, err := ev.PredBitmap(p)
+	if err != nil {
 		return nil, err
 	}
-	ev.mu.RLock()
-	s = ev.sets[p.Pred]
-	ev.mu.RUnlock()
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	if s, ok := ev.sets[p.Pred]; ok {
+		return s, nil
+	}
+	s = b.ToIntSet(ev.dict)
+	ev.sets[p.Pred] = s
 	return s, nil
 }
 
-// PredBitmap returns the same set as PredSet in its dense-bitmap form.
+// PredBitmap returns the distinct tuple ids matching one preference in
+// dense-bitmap form, materializing and caching it on first use via the
+// vectorized scan.
 func (ev *Evaluator) PredBitmap(p hypre.ScoredPred) (*Bitmap, error) {
 	ev.mu.RLock()
 	b, ok := ev.bits[p.Pred]
@@ -102,15 +308,13 @@ func (ev *Evaluator) PredBitmap(p hypre.ScoredPred) (*Bitmap, error) {
 	if b, ok := ev.bits[p.Pred]; ok {
 		return b, nil
 	}
-	ids, err := ev.db.DistinctInts(ev.base(p.P), ev.keyAttr)
+	if err := ev.seedLocked(); err != nil {
+		return nil, err
+	}
+	b, err := ev.scanBitmapLocked(p)
 	if err != nil {
 		return nil, err
 	}
-	b = NewBitmap()
-	for _, pid := range ids {
-		b.Set(ev.dict.Add(pid))
-	}
-	ev.sets[p.Pred] = NewIntSet(ids)
 	ev.bits[p.Pred] = b
 	ev.Queries++
 	return b, nil

@@ -29,13 +29,14 @@ type PairTable struct {
 }
 
 // BuildPairTable computes the table: all (i, j) with i < j whose AND
-// combination is applicable (returns tuples). It runs in two phases: a
-// single-threaded materialization of every predicate bitmap (one relational
-// query each, through the evaluator's cache), then a parallel sweep where a
-// worker pool popcounts the word-wise AND of each pair without touching the
-// store — the evaluator is read-only concurrent-safe at that point. Output
-// is deterministic: per-anchor rows are filled into fixed slots and
-// flattened in anchor order before the stable intensity sort.
+// combination is applicable (returns tuples). It runs in two phases: a bulk
+// materialization of every predicate bitmap (MaterializeAll's worker pool
+// of vectorized scans, through the evaluator's cache), then a parallel
+// sweep where a worker pool popcounts the word-wise AND of each pair
+// without touching the store — the evaluator is read-only concurrent-safe
+// at that point. Output is deterministic: per-anchor rows are filled into
+// fixed slots and flattened in anchor order before the stable intensity
+// sort.
 func BuildPairTable(prefs []hypre.ScoredPred, ev *Evaluator) (*PairTable, error) {
 	pt := &PairTable{Prefs: prefs, byFirst: make(map[int][]PairEntry)}
 	n := len(prefs)
@@ -43,7 +44,11 @@ func BuildPairTable(prefs []hypre.ScoredPred, ev *Evaluator) (*PairTable, error)
 		return pt, nil
 	}
 
-	// Phase 1 (single-threaded): one query per predicate, shared dict.
+	// Phase 1 (bulk): one vectorized scan per uncached predicate, fanned
+	// out over the worker pool into the shared-dict bitmap cache.
+	if err := ev.MaterializeAll(prefs); err != nil {
+		return nil, err
+	}
 	bms := make([]*Bitmap, n)
 	for i, p := range prefs {
 		b, err := ev.PredBitmap(p)

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"io"
+	"time"
+)
+
+// MaterializeResult reports the cold-cache cost of materializing one user's
+// full preference profile — the setup phase every figure pays before any
+// combination algebra runs, and the workload BenchmarkMaterializeProfile
+// tracks across PRs.
+type MaterializeResult struct {
+	UID     int64
+	Prefs   int           // profile size (distinct predicates counted once each)
+	Queries int           // predicate cache misses in one cold materialization
+	Best    time.Duration // fastest cold run
+	Mean    time.Duration // mean over Reps cold runs
+	Reps    int
+}
+
+// RunMaterializeBench times reps cold-cache bulk materializations of uid's
+// full positive profile (a fresh evaluator each run, so every predicate is
+// scanned, none served from cache).
+func RunMaterializeBench(l *Lab, uid int64, reps int) (*MaterializeResult, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	prefs := l.ProfileFor(uid, 0)
+	res := &MaterializeResult{UID: uid, Prefs: len(prefs), Reps: reps}
+	var total time.Duration
+	for r := 0; r < reps; r++ {
+		ev := l.Evaluator()
+		start := time.Now()
+		if err := ev.MaterializeAll(prefs); err != nil {
+			return nil, err
+		}
+		d := time.Since(start)
+		total += d
+		if r == 0 || d < res.Best {
+			res.Best = d
+		}
+		res.Queries = ev.Queries
+	}
+	res.Mean = total / time.Duration(reps)
+	return res, nil
+}
+
+// Render prints the timing row.
+func (r *MaterializeResult) Render(w io.Writer) {
+	fprintf(w, "Profile materialization (uid=%d): %d prefs, %d predicate queries, best %v, mean %v over %d cold runs\n",
+		r.UID, r.Prefs, r.Queries, r.Best, r.Mean, r.Reps)
+}

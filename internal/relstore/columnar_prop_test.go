@@ -1,0 +1,481 @@
+package relstore
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hypre/internal/predicate"
+)
+
+// This file proves the columnar engine answers every query exactly like a
+// row-major reference scan: randomized tables over all Value kinds
+// (including NULLs, integral floats that collapse onto ints under indexKey,
+// and the odd NaN), randomized predicate trees over every node type, with
+// and without hash indexes, with and without a join — so whichever access
+// path the engine picks (index candidates, vectorized kernels with zone
+// maps, right-driven stitching, row-at-a-time fallback), the answers match.
+
+// refTable is the retained row-major reference: rows are plain Value slices
+// and every query is answered by a naive scan with predicate.Eval.
+type refTable struct {
+	name string
+	cols []string
+	rows [][]predicate.Value
+}
+
+func (rt *refTable) colIdx(name string) int {
+	for i, c := range rt.cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// refRow mirrors JoinedRow.Get / RowRef.Get semantics exactly: qualified
+// names bind to the named table only, bare names bind left-first.
+type refRow struct {
+	left, right *refTable
+	lrow, rrow  []predicate.Value
+	hasRight    bool
+}
+
+func refGetOne(t *refTable, row []predicate.Value, attr string) (predicate.Value, bool) {
+	name := attr
+	if tbl, col, ok := splitQualified(attr); ok {
+		if tbl != t.name {
+			return predicate.Null(), false
+		}
+		name = col
+	}
+	pos := t.colIdx(name)
+	if pos < 0 {
+		return predicate.Null(), false
+	}
+	return row[pos], true
+}
+
+func (r refRow) Get(attr string) (predicate.Value, bool) {
+	if v, ok := refGetOne(r.left, r.lrow, attr); ok {
+		return v, true
+	}
+	if r.hasRight {
+		return refGetOne(r.right, r.rrow, attr)
+	}
+	return predicate.Null(), false
+}
+
+// refScan enumerates the matching (lid, rid) pairs (rid = -1 when
+// unjoined) in left-ascending order, the reference result set.
+func refScan(left, right *refTable, join *JoinSpec, where predicate.Predicate, limit int) [][2]int {
+	if where == nil {
+		where = predicate.True{}
+	}
+	var out [][2]int
+	if join == nil {
+		for lid, lrow := range left.rows {
+			if where.Eval(refRow{left: left, lrow: lrow}) {
+				out = append(out, [2]int{lid, -1})
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+		return out
+	}
+	lpos, rpos := left.colIdx(join.LeftCol), right.colIdx(join.RightCol)
+	for lid, lrow := range left.rows {
+		lk := indexKey(lrow[lpos])
+		for rid, rrow := range right.rows {
+			if indexKey(rrow[rpos]) != lk {
+				continue
+			}
+			if where.Eval(refRow{left: left, right: right, lrow: lrow, rrow: rrow, hasRight: true}) {
+				out = append(out, [2]int{lid, rid})
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// propValue draws one random value: every kind, NULLs, integral floats that
+// must collide with ints, and rare NaNs.
+func propValue(rng *rand.Rand) predicate.Value {
+	switch r := rng.Float64(); {
+	case r < 0.10:
+		return predicate.Null()
+	case r < 0.45:
+		return predicate.Int(int64(rng.Intn(21) - 5))
+	case r < 0.60:
+		return predicate.Float(float64(rng.Intn(21) - 5)) // integral float
+	case r < 0.72:
+		return predicate.Float(float64(rng.Intn(40))/4 - 3)
+	case r < 0.73:
+		return predicate.Float(math.NaN())
+	default:
+		return predicate.String([]string{"A", "B", "C", "DD", "e"}[rng.Intn(5)])
+	}
+}
+
+func propOp(rng *rand.Rand) predicate.Op {
+	return []predicate.Op{predicate.OpEq, predicate.OpNe, predicate.OpLt,
+		predicate.OpLe, predicate.OpGt, predicate.OpGe}[rng.Intn(6)]
+}
+
+// propPred builds a random predicate tree over the attribute pool (which
+// includes qualified, bare, and unresolvable names).
+func propPred(rng *rand.Rand, attrs []string, depth int) predicate.Predicate {
+	attr := func() string { return attrs[rng.Intn(len(attrs))] }
+	if depth <= 0 || rng.Float64() < 0.55 {
+		switch rng.Intn(4) {
+		case 0:
+			return &predicate.Cmp{Attr: attr(), Op: propOp(rng), Val: propValue(rng)}
+		case 1:
+			return &predicate.Between{Attr: attr(), Lo: propValue(rng), Hi: propValue(rng)}
+		case 2:
+			n := 1 + rng.Intn(3)
+			vals := make([]predicate.Value, n)
+			for i := range vals {
+				vals[i] = propValue(rng)
+			}
+			return &predicate.In{Attr: attr(), Vals: vals}
+		default:
+			return &predicate.Cmp{Attr: attr(), Op: predicate.OpEq, Val: propValue(rng)}
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return &predicate.Not{Kid: propPred(rng, attrs, depth-1)}
+	case 1:
+		kids := make([]predicate.Predicate, 2+rng.Intn(2))
+		for i := range kids {
+			kids[i] = propPred(rng, attrs, depth-1)
+		}
+		return &predicate.And{Kids: kids}
+	default:
+		kids := make([]predicate.Predicate, 2+rng.Intn(2))
+		for i := range kids {
+			kids[i] = propPred(rng, attrs, depth-1)
+		}
+		return &predicate.Or{Kids: kids}
+	}
+}
+
+// buildPropTables creates one (columnar, reference) table pair with random
+// contents. Column "s" holds row/8 so consecutive blocks carry tight
+// numeric ranges, forcing the zone-map skip/accept paths on range scans.
+func buildPropTables(t *testing.T, rng *rand.Rand, db *DB, name string, cols []string, nRows int) (*Table, *refTable) {
+	t.Helper()
+	specs := make([]Column, len(cols))
+	for i, c := range cols {
+		specs[i] = Column{Name: c, Kind: predicate.KindInt}
+	}
+	tab, err := db.CreateTable(name, specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := &refTable{name: name, cols: cols}
+	for r := 0; r < nRows; r++ {
+		row := make([]predicate.Value, len(cols))
+		for i, c := range cols {
+			if c == "s" {
+				row[i] = predicate.Int(int64(r / 8))
+			} else {
+				row[i] = propValue(rng)
+			}
+		}
+		if _, err := tab.Insert(row...); err != nil {
+			t.Fatal(err)
+		}
+		ref.rows = append(ref.rows, row)
+	}
+	return tab, ref
+}
+
+func pairKeys(pairs [][2]int) []string {
+	out := make([]string, len(pairs))
+	for i, p := range pairs {
+		out[i] = fmt.Sprintf("%d/%d", p[0], p[1])
+	}
+	sort.Strings(out)
+	return out
+}
+
+func gotPairs(rows []JoinedRow) [][2]int {
+	out := make([][2]int, len(rows))
+	for i, r := range rows {
+		rid := -1
+		if r.HasRight {
+			rid = r.Right.ID()
+		}
+		out[i] = [2]int{r.Left.ID(), rid}
+	}
+	return out
+}
+
+func valueKeySet(vals []predicate.Value) []string {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = v.Key()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func eqStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// refDistinct computes the reference DISTINCT attr over the matched rows.
+func refDistinct(left, right *refTable, pairs [][2]int, attr string) []predicate.Value {
+	seen := map[predicate.Value]struct{}{}
+	var out []predicate.Value
+	for _, p := range pairs {
+		row := refRow{left: left, lrow: left.rows[p[0]]}
+		if p[1] >= 0 {
+			row.right, row.rrow, row.hasRight = right, right.rows[p[1]], true
+		}
+		v, ok := row.Get(attr)
+		if !ok || v.IsNull() {
+			continue
+		}
+		k := indexKey(v)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestColumnarMatchesRowReferenceSingleTable(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := NewDB()
+		sizes := []int{0, 1, 37, 257, 1023, 1024, 1500, 2600}
+		n := sizes[rng.Intn(len(sizes))]
+		tab, ref := buildPropTables(t, rng, db, "lt", []string{"a", "b", "s"}, n)
+
+		// Random index coverage exercises the candidate access path.
+		if rng.Float64() < 0.5 {
+			if err := tab.BuildIndex("a"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if rng.Float64() < 0.3 {
+			if err := tab.BuildIndex("s"); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		attrs := []string{"a", "b", "s", "lt.a", "lt.s", "zz", "other.a"}
+		for qi := 0; qi < 25; qi++ {
+			where := propPred(rng, attrs, 2)
+			limit := 0
+			if rng.Float64() < 0.25 {
+				limit = 1 + rng.Intn(5)
+			}
+			q := Query{From: "lt", Where: where, Limit: limit}
+			want := refScan(ref, nil, nil, where, limit)
+
+			rows, err := db.Select(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !eqStrings(pairKeys(gotPairs(rows)), pairKeys(want)) {
+				t.Fatalf("seed %d q %d: Select mismatch for %s: got %d rows, want %d",
+					seed, qi, where, len(rows), len(want))
+			}
+			cnt, err := db.Count(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cnt != len(want) {
+				t.Fatalf("seed %d q %d: Count = %d, want %d (%s)", seed, qi, cnt, len(want), where)
+			}
+			if limit == 0 {
+				dv, err := db.DistinctValues(q, "a")
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantDV := refDistinct(ref, nil, refScan(ref, nil, nil, where, 0), "a")
+				if !eqStrings(valueKeySet(dv), valueKeySet(wantDV)) {
+					t.Fatalf("seed %d q %d: DistinctValues mismatch (%s)", seed, qi, where)
+				}
+				min, max, ok, err := db.MinMax(q, "s")
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantMin, wantMax, wantOK := refMinMax(ref, nil, want, "s")
+				if ok != wantOK || (ok && (min.Key() != wantMin.Key() || max.Key() != wantMax.Key())) {
+					t.Fatalf("seed %d q %d: MinMax mismatch (%s)", seed, qi, where)
+				}
+			}
+		}
+	}
+}
+
+func refMinMax(left, right *refTable, pairs [][2]int, attr string) (min, max predicate.Value, ok bool) {
+	for _, p := range pairs {
+		row := refRow{left: left, lrow: left.rows[p[0]]}
+		if p[1] >= 0 {
+			row.right, row.rrow, row.hasRight = right, right.rows[p[1]], true
+		}
+		v, has := row.Get(attr)
+		if !has || v.IsNull() {
+			continue
+		}
+		if !ok {
+			min, max, ok = v, v, true
+			continue
+		}
+		if c, cmp := predicate.Compare(v, min); cmp && c < 0 {
+			min = v
+		}
+		if c, cmp := predicate.Compare(v, max); cmp && c > 0 {
+			max = v
+		}
+	}
+	return min, max, ok
+}
+
+func TestColumnarMatchesRowReferenceJoin(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := NewDB()
+		nl := []int{3, 60, 300, 1200}[rng.Intn(4)]
+		nr := []int{0, 5, 40, 200}[rng.Intn(4)]
+		lt, lref := buildPropTables(t, rng, db, "lt", []string{"k", "a", "s"}, nl)
+		_, rref := buildPropTables(t, rng, db, "rt", []string{"k", "x"}, nr)
+		if rng.Float64() < 0.5 {
+			if err := lt.BuildIndex("a"); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		join := &JoinSpec{Table: "rt", LeftCol: "k", RightCol: "k"}
+		attrs := []string{"a", "s", "x", "k", "lt.a", "rt.x", "rt.k", "zz"}
+		for qi := 0; qi < 20; qi++ {
+			where := propPred(rng, attrs, 2)
+			q := Query{From: "lt", Join: join, Where: where}
+			want := refScan(lref, rref, join, where, 0)
+
+			rows, err := db.Select(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !eqStrings(pairKeys(gotPairs(rows)), pairKeys(want)) {
+				t.Fatalf("seed %d q %d: join Select mismatch for %s: got %d rows, want %d",
+					seed, qi, where, len(rows), len(want))
+			}
+
+			// COUNT(DISTINCT) and the aggregate surface.
+			cd, err := db.CountDistinct(q, "lt.s")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantCD := len(refDistinct(lref, rref, want, "lt.s")); cd != wantCD {
+				t.Fatalf("seed %d q %d: CountDistinct = %d, want %d (%s)", seed, qi, cd, wantCD, where)
+			}
+			groups, err := db.CountGroupBy(q, "x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantG := refGroupCount(lref, rref, want, "x"); !eqGroups(groups, wantG) {
+				t.Fatalf("seed %d q %d: CountGroupBy mismatch (%s)", seed, qi, where)
+			}
+
+			// The bulk scan APIs: distinct ints and at-most-once row visits.
+			wantInts := map[int64]bool{}
+			for _, v := range refDistinct(lref, rref, want, "lt.s") {
+				wantInts[v.AsInt()] = true
+			}
+			gotInts := map[int64]bool{}
+			if err := db.ScanAttrInts(q, "lt.s", func(v int64) { gotInts[v] = true }); err != nil {
+				t.Fatal(err)
+			}
+			if !eqInt64Sets(gotInts, wantInts) {
+				t.Fatalf("seed %d q %d: ScanAttrInts mismatch (%s)", seed, qi, where)
+			}
+			wantRows := map[int]bool{}
+			for _, p := range want {
+				if v, ok := refGetOne(lref, lref.rows[p[0]], "lt.s"); ok && !v.IsNull() {
+					wantRows[p[0]] = true
+				}
+			}
+			gotRows := map[int]bool{}
+			if err := db.ScanAttrRows(q, "lt.s", func(lid int, _ int64) {
+				if gotRows[lid] {
+					t.Fatalf("seed %d q %d: ScanAttrRows visited row %d twice", seed, qi, lid)
+				}
+				gotRows[lid] = true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(gotRows) != len(wantRows) {
+				t.Fatalf("seed %d q %d: ScanAttrRows rows = %d, want %d (%s)",
+					seed, qi, len(gotRows), len(wantRows), where)
+			}
+			for lid := range wantRows {
+				if !gotRows[lid] {
+					t.Fatalf("seed %d q %d: ScanAttrRows missed row %d (%s)", seed, qi, lid, where)
+				}
+			}
+		}
+	}
+}
+
+func refGroupCount(left, right *refTable, pairs [][2]int, attr string) map[string]int {
+	out := map[string]int{}
+	for _, p := range pairs {
+		row := refRow{left: left, lrow: left.rows[p[0]]}
+		if p[1] >= 0 {
+			row.right, row.rrow, row.hasRight = right, right.rows[p[1]], true
+		}
+		v, ok := row.Get(attr)
+		if !ok || v.IsNull() {
+			continue
+		}
+		out[v.Key()]++
+	}
+	return out
+}
+
+func eqGroups(got []GroupCount, want map[string]int) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for _, g := range got {
+		if want[g.Key.Key()] != g.Count {
+			return false
+		}
+	}
+	return true
+}
+
+func eqInt64Sets(a, b map[int64]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

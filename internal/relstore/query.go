@@ -2,6 +2,7 @@ package relstore
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"hypre/internal/predicate"
@@ -108,6 +109,279 @@ func (db *DB) DistinctInts(q Query, attr string) ([]int64, error) {
 	return out, err
 }
 
+// ScanAttrInts is the bulk materialization scan: it streams the integer
+// widening of a non-NULL left-table attribute for the rows matching q,
+// visiting each left row at most once no matter how many join partners it
+// has. Values may repeat only when distinct left rows share one (and never
+// for a key column like dblp.pid), so set-building callers dedupe — the
+// evaluator's bitmap does it for free. Queries with a Limit or a non-left
+// attribute fall back to the exact DistinctInts semantics.
+func (db *DB) ScanAttrInts(q Query, attr string, emit func(int64)) error {
+	left := db.Table(q.From)
+	if left == nil {
+		return fmt.Errorf("relstore: unknown table %q", q.From)
+	}
+	var right *Table
+	if q.Join != nil {
+		right = db.Table(q.Join.Table)
+	}
+	if q.Limit <= 0 {
+		if side, _ := bindAttr(attr, left, right); side == sideLeft {
+			return db.ScanAttrRows(q, attr, func(_ int, v int64) { emit(v) })
+		}
+	}
+	seen := make(map[int64]struct{})
+	cnt := 0
+	return db.scanAttr(q, attr, func(v predicate.Value) bool {
+		i := v.AsInt()
+		if _, dup := seen[i]; !dup {
+			seen[i] = struct{}{}
+			emit(i)
+			cnt++
+		}
+		return q.Limit <= 0 || cnt < q.Limit
+	})
+}
+
+// ScanAttrRows is ScanAttrInts with the matching left row id alongside each
+// value, so a caller that has precomputed a per-row mapping (the evaluator's
+// row→dense-index remap) can skip value hashing entirely. attr must bind to
+// the left table and q.Limit must be 0. Each matching left row is emitted
+// exactly once (ascending on the vectorized path), rows whose attr is NULL
+// are skipped. When the WHERE tree splits into single-side conjuncts, the
+// scan is fully vectorized: one kernel pass per side with zone-map pruning,
+// stitched through the join-column index, with no per-row predicate
+// interpretation and no intermediate id slices.
+func (db *DB) ScanAttrRows(q Query, attr string, emit func(lid int, v int64)) error {
+	left := db.Table(q.From)
+	if left == nil {
+		return fmt.Errorf("relstore: unknown table %q", q.From)
+	}
+	var right *Table
+	var leftPos, rightPos int
+	if q.Join != nil {
+		var err error
+		right, leftPos, rightPos, err = db.resolveJoin(q)
+		if err != nil {
+			return err
+		}
+	}
+	side, pos := bindAttr(attr, left, right)
+	if side != sideLeft {
+		return fmt.Errorf("relstore: ScanAttrRows needs a left-table attribute, got %q", attr)
+	}
+	if q.Limit > 0 {
+		return fmt.Errorf("relstore: ScanAttrRows does not support Limit")
+	}
+	where := q.Where
+	if where == nil {
+		where = predicate.True{}
+	}
+	if db.scanAttrRowsVec(left, right, leftPos, rightPos, pos, where, emit) {
+		return nil
+	}
+	// Row-at-a-time fallback, deduped by left row id.
+	seen := make([]uint64, selWords(left.Len()))
+	c := left.cols[pos]
+	return db.scanIDs(q, func(lid, _ int, _ bool) bool {
+		w, m := lid>>6, uint64(1)<<(uint(lid)&63)
+		if seen[w]&m != 0 {
+			return true
+		}
+		seen[w] |= m
+		if v, ok := c.intAt(lid); ok {
+			emit(lid, v)
+		}
+		return true
+	})
+}
+
+// scanAttrRowsVec is the vectorized core of ScanAttrRows. It reports false
+// when the query shape defeats vectorization (non-conjunctive cross-side
+// predicates, unknown node types), in which case the caller falls back.
+func (db *DB) scanAttrRowsVec(left, right *Table, leftPos, rightPos, attrPos int,
+	where predicate.Predicate, emit func(lid int, v int64)) bool {
+	resolveL := func(a string) int {
+		if side, p := bindAttr(a, left, right); side == sideLeft {
+			return p
+		}
+		return -1
+	}
+	if right == nil {
+		sel, ok := left.evalVec(where, resolveL)
+		if !ok {
+			return false
+		}
+		emitSelRows(left, attrPos, sel, emit)
+		return true
+	}
+
+	// Split the conjunction by side: each conjunct must read only one
+	// table's columns for its kernel to run against that table alone.
+	var leftParts, rightParts []predicate.Predicate
+	for _, c := range flattenAnd(where) {
+		side, ok := classifySide(c, left, right)
+		if !ok {
+			return false
+		}
+		if side == sideRight {
+			rightParts = append(rightParts, c)
+		} else {
+			leftParts = append(leftParts, c)
+		}
+	}
+	var lsel []uint64
+	if len(leftParts) > 0 {
+		var ok bool
+		lsel, ok = left.evalVec(predicate.NewAnd(leftParts...), resolveL)
+		if !ok {
+			return false
+		}
+	}
+	if len(rightParts) == 0 {
+		if lsel == nil {
+			lsel = make([]uint64, selWords(left.n))
+			selSetRange(lsel, 0, left.n)
+		}
+		// The join only demands existence: AND with the cached vector of
+		// left rows that have at least one partner.
+		selAnd(lsel, left.existsVec(right, leftPos, rightPos))
+	} else {
+		// Walk the matching right rows back through the join via the cached
+		// right→left CSR: every left row they reach is a hit, then
+		// intersect with the left selection.
+		rightPred := predicate.NewAnd(rightParts...)
+		hit := make([]uint64, selWords(left.n))
+		je := left.joinEntry(right, leftPos, rightPos)
+		stitch := func(rid int) {
+			for _, lid := range je.lids[je.off[rid]:je.off[rid+1]] {
+				selSet(hit, int(lid))
+			}
+		}
+		// Index-usable right predicates (the ubiquitous dblp_author.aid=N)
+		// touch only their candidate rows; everything else gets one
+		// vectorized pass over the right table.
+		if rids, ok := rightCandidateIDs(left, right, rightPred); ok {
+			rf, okc := compileIDFilter(rightPred, left, right)
+			if !okc {
+				return false
+			}
+			for _, rid := range rids {
+				if rf(0, rid, true) {
+					stitch(rid)
+				}
+			}
+		} else {
+			resolveR := func(a string) int {
+				if side, p := bindAttr(a, left, right); side == sideRight {
+					return p
+				}
+				return -1
+			}
+			rsel, ok := right.evalVec(rightPred, resolveR)
+			if !ok {
+				return false
+			}
+			selForEach(rsel, func(rid int) bool {
+				stitch(rid)
+				return true
+			})
+		}
+		if lsel == nil {
+			lsel = hit
+		} else {
+			selAnd(lsel, hit)
+		}
+	}
+	emitSelRows(left, attrPos, lsel, emit)
+	return true
+}
+
+func emitSelRows(t *Table, pos int, sel []uint64, emit func(lid int, v int64)) {
+	c := t.cols[pos]
+	selForEach(sel, func(lid int) bool {
+		if v, ok := c.intAt(lid); ok {
+			emit(lid, v)
+		}
+		return true
+	})
+}
+
+// flattenAnd returns the conjuncts of p (p itself when it is not an AND).
+func flattenAnd(p predicate.Predicate) []predicate.Predicate {
+	a, ok := p.(*predicate.And)
+	if !ok {
+		return []predicate.Predicate{p}
+	}
+	var out []predicate.Predicate
+	for _, k := range a.Kids {
+		out = append(out, flattenAnd(k)...)
+	}
+	return out
+}
+
+// classifySide reports which single table's columns a predicate subtree
+// reads: sideLeft (including attribute-free and unresolvable-only subtrees,
+// whose leaves are constant under either table) or sideRight. ok=false
+// means the subtree mixes both sides.
+func classifySide(p predicate.Predicate, left, right *Table) (attrSide, bool) {
+	hasL, hasR := false, false
+	for _, a := range p.Attributes(nil) {
+		switch side, _ := bindAttr(a, left, right); side {
+		case sideLeft:
+			hasL = true
+		case sideRight:
+			hasR = true
+		}
+	}
+	if hasL && hasR {
+		return sideNone, false
+	}
+	if hasR {
+		return sideRight, true
+	}
+	return sideLeft, true
+}
+
+// PrepareQuery eagerly builds the lazy access structures the query's scans
+// use (join-column hash indexes and the join-existence vector), so that a
+// following parallel materialization phase takes only read paths.
+func (db *DB) PrepareQuery(q Query) error {
+	left := db.Table(q.From)
+	if left == nil {
+		return fmt.Errorf("relstore: unknown table %q", q.From)
+	}
+	if q.Join == nil {
+		return nil
+	}
+	right, leftPos, rightPos, err := db.resolveJoin(q)
+	if err != nil {
+		return err
+	}
+	right.ensureIndex(rightPos)
+	left.ensureIndex(leftPos)
+	left.existsVec(right, leftPos, rightPos)
+	return nil
+}
+
+// resolveJoin validates the join spec and resolves its column positions.
+func (db *DB) resolveJoin(q Query) (right *Table, leftPos, rightPos int, err error) {
+	left := db.Table(q.From)
+	right = db.Table(q.Join.Table)
+	if right == nil {
+		return nil, 0, 0, fmt.Errorf("relstore: unknown join table %q", q.Join.Table)
+	}
+	leftPos = left.ColumnIndex(q.Join.LeftCol)
+	rightPos = right.ColumnIndex(q.Join.RightCol)
+	if leftPos < 0 {
+		return nil, 0, 0, fmt.Errorf("relstore: %s has no column %q", q.From, q.Join.LeftCol)
+	}
+	if rightPos < 0 {
+		return nil, 0, 0, fmt.Errorf("relstore: %s has no column %q", q.Join.Table, q.Join.RightCol)
+	}
+	return right, leftPos, rightPos, nil
+}
+
 // scanAttr streams the non-NULL values of attr for every matching row,
 // resolving the attribute to a (side, column) slot once instead of per row.
 func (db *DB) scanAttr(q Query, attr string, emit func(predicate.Value) bool) error {
@@ -124,9 +398,9 @@ func (db *DB) scanAttr(q Query, attr string, emit func(predicate.Value) bool) er
 		var v predicate.Value
 		switch {
 		case side == sideLeft:
-			v = left.rows[lid][pos]
+			v = left.cols[pos].value(lid)
 		case side == sideRight && hasRight:
-			v = right.rows[rid][pos]
+			v = right.cols[pos].value(rid)
 		default:
 			return true
 		}
@@ -157,11 +431,12 @@ func (db *DB) scan(q Query, emit func(JoinedRow) bool) error {
 
 // scanIDs is the row-id core of query execution: it streams the (left,
 // right) row-id pairs that satisfy the query. The WHERE tree is compiled
-// once into a closure over raw row slices (no per-row attribute-name
-// resolution), and the access path is chosen among: left-index candidates,
-// right-index candidates walked through the join (for predicates that only
-// constrain the joined table, e.g. dblp_author.aid=6), and a full left
-// scan.
+// once into typed closures over the column vectors (no per-row
+// attribute-name resolution or Value boxing), and the access path is chosen
+// among: left-index candidates, a vectorized full scan when the tree reads
+// only left columns, right-index candidates walked through the join (for
+// predicates that only constrain the joined table, e.g. dblp_author.aid=6),
+// and a full left scan.
 func (db *DB) scanIDs(q Query, emit func(lid, rid int, hasRight bool) bool) error {
 	left := db.Table(q.From)
 	if left == nil {
@@ -174,34 +449,20 @@ func (db *DB) scanIDs(q Query, emit func(lid, rid int, hasRight bool) bool) erro
 
 	var right *Table
 	var leftPos, rightPos int
+	var rightIdx hashIndex
 	if q.Join != nil {
-		right = db.Table(q.Join.Table)
-		if right == nil {
-			return fmt.Errorf("relstore: unknown join table %q", q.Join.Table)
+		var err error
+		right, leftPos, rightPos, err = db.resolveJoin(q)
+		if err != nil {
+			return err
 		}
-		leftPos = left.ColumnIndex(q.Join.LeftCol)
-		rightPos = right.ColumnIndex(q.Join.RightCol)
-		if leftPos < 0 {
-			return fmt.Errorf("relstore: %s has no column %q", q.From, q.Join.LeftCol)
-		}
-		if rightPos < 0 {
-			return fmt.Errorf("relstore: %s has no column %q", q.Join.Table, q.Join.RightCol)
-		}
-		if _, ok := right.indexes[rightPos]; !ok {
-			if err := right.BuildIndex(q.Join.RightCol); err != nil {
-				return err
-			}
-		}
+		rightIdx = right.ensureIndex(rightPos)
 	}
 
-	filter, compiled := compileFilter(where, left, right)
+	filter, compiled := compileIDFilter(where, left, right)
 	match := func(lid, rid int, hasRight bool) bool {
 		if compiled {
-			var rrow []predicate.Value
-			if hasRight {
-				rrow = right.rows[rid]
-			}
-			return filter(left.rows[lid], rrow)
+			return filter(lid, rid, hasRight)
 		}
 		row := JoinedRow{Left: left.Row(lid)}
 		if hasRight {
@@ -218,8 +479,8 @@ func (db *DB) scanIDs(q Query, emit func(lid, rid int, hasRight bool) bool) erro
 			}
 			return true
 		}
-		ids, _ := right.lookup(rightPos, left.rows[lid][leftPos])
-		for _, rid := range ids {
+		rids := rightIdx[indexKey(left.cols[leftPos].value(lid))]
+		for _, rid := range rids {
 			if match(lid, rid, true) {
 				if !emit(lid, rid, true) {
 					return false
@@ -238,6 +499,31 @@ func (db *DB) scanIDs(q Query, emit func(lid, rid int, hasRight bool) bool) erro
 		return nil
 	}
 
+	// Vectorized full scan: when the WHERE tree reads only left columns,
+	// one kernel pass computes the whole left selection; selected rows emit
+	// their join partners (if any) with no per-row re-evaluation.
+	if side, ok := classifySide(where, left, right); ok && side == sideLeft && compiled {
+		if sel, ok := left.evalVec(where, func(a string) int {
+			if s, p := bindAttr(a, left, right); s == sideLeft {
+				return p
+			}
+			return -1
+		}); ok {
+			selForEach(sel, func(lid int) bool {
+				if right == nil {
+					return emit(lid, 0, false)
+				}
+				for _, rid := range rightIdx[indexKey(left.cols[leftPos].value(lid))] {
+					if !emit(lid, rid, true) {
+						return false
+					}
+				}
+				return true
+			})
+			return nil
+		}
+	}
+
 	// Right-driven path: the predicate constrains only the joined table
 	// (no usable left index), but a right index narrows the right rows;
 	// walk them back through the join via the left join-column index.
@@ -248,13 +534,9 @@ func (db *DB) scanIDs(q Query, emit func(lid, rid int, hasRight bool) bool) erro
 	// result set.
 	if right != nil {
 		if rightIDs, ok := rightCandidateIDs(left, right, where); ok {
-			if _, ok := left.indexes[leftPos]; !ok {
-				if err := left.BuildIndex(q.Join.LeftCol); err != nil {
-					return err
-				}
-			}
+			lidx := left.ensureIndex(leftPos)
 			for _, rid := range rightIDs {
-				lids, _ := left.lookup(leftPos, right.rows[rid][rightPos])
+				lids := lidx[indexKey(right.cols[rightPos].value(rid))]
 				for _, lid := range lids {
 					if match(lid, rid, true) {
 						if !emit(lid, rid, true) {
@@ -267,7 +549,7 @@ func (db *DB) scanIDs(q Query, emit func(lid, rid int, hasRight bool) bool) erro
 		}
 	}
 
-	for lid := range left.rows {
+	for lid := 0; lid < left.n; lid++ {
 		if !emitLeft(lid) {
 			return nil
 		}
@@ -314,111 +596,110 @@ func bindAttr(attr string, left, right *Table) (attrSide, int) {
 	return sideNone, 0
 }
 
-// rowFilter evaluates a compiled predicate over raw row slices (rrow is
-// nil for unjoined rows).
-type rowFilter func(lrow, rrow []predicate.Value) bool
+// idFilter evaluates a compiled predicate over (left row id, right row id)
+// pairs; hasRight is false for unjoined rows.
+type idFilter func(lid, rid int, hasRight bool) bool
 
-// compileFilter lowers a predicate tree to a closure tree with every
-// attribute pre-resolved to a row slot. Returns ok=false for node types it
-// does not know, in which case the caller falls back to Predicate.Eval.
-// The compiled form replicates Eval's collapsed three-valued logic:
-// comparisons against NULL or unresolvable attributes are false.
-func compileFilter(p predicate.Predicate, left, right *Table) (rowFilter, bool) {
+// compileIDFilter lowers a predicate tree to a closure tree with every
+// attribute pre-resolved to a typed column and every literal pre-analyzed,
+// so per-row evaluation touches the column vectors directly with no Value
+// boxing. Returns ok=false for node types it does not know, in which case
+// the caller falls back to Predicate.Eval. The compiled form replicates
+// Eval's collapsed three-valued logic: comparisons against NULL or
+// unresolvable attributes are false.
+func compileIDFilter(p predicate.Predicate, left, right *Table) (idFilter, bool) {
+	alwaysFalse := func(int, int, bool) bool { return false }
 	switch node := p.(type) {
 	case predicate.True:
-		return func(_, _ []predicate.Value) bool { return true }, true
+		return func(int, int, bool) bool { return true }, true
 	case *predicate.Cmp:
 		side, pos := bindAttr(node.Attr, left, right)
 		if side == sideNone {
-			return func(_, _ []predicate.Value) bool { return false }, true
+			return alwaysFalse, true
 		}
-		op, val := node.Op, node.Val
-		return func(lrow, rrow []predicate.Value) bool {
-			v, ok := slotValue(side, pos, lrow, rrow)
-			if !ok || v.IsNull() {
+		op, lit := node.Op, analyzeLit(node.Val)
+		if side == sideLeft {
+			c := left.cols[pos]
+			return func(lid, _ int, _ bool) bool {
+				c3, ok := c.cmp3At(lid, lit)
+				return ok && opMatch(c3, op)
+			}, true
+		}
+		c := right.cols[pos]
+		return func(_, rid int, hasRight bool) bool {
+			if !hasRight {
 				return false
 			}
-			r, ok := predicate.Compare(v, val)
-			if !ok {
-				return false
-			}
-			switch op {
-			case predicate.OpEq:
-				return r == 0
-			case predicate.OpNe:
-				return r != 0
-			case predicate.OpLt:
-				return r < 0
-			case predicate.OpLe:
-				return r <= 0
-			case predicate.OpGt:
-				return r > 0
-			case predicate.OpGe:
-				return r >= 0
-			default:
-				return false
-			}
+			c3, ok := c.cmp3At(rid, lit)
+			return ok && opMatch(c3, op)
 		}, true
 	case *predicate.Between:
 		side, pos := bindAttr(node.Attr, left, right)
 		if side == sideNone {
-			return func(_, _ []predicate.Value) bool { return false }, true
+			return alwaysFalse, true
 		}
-		lo, hi := node.Lo, node.Hi
-		return func(lrow, rrow []predicate.Value) bool {
-			v, ok := slotValue(side, pos, lrow, rrow)
-			if !ok || v.IsNull() {
-				return false
-			}
-			cl, ok1 := predicate.Compare(v, lo)
-			ch, ok2 := predicate.Compare(v, hi)
+		lo, hi := analyzeLit(node.Lo), analyzeLit(node.Hi)
+		check := func(c *column, row int) bool {
+			cl, ok1 := c.cmp3At(row, lo)
+			ch, ok2 := c.cmp3At(row, hi)
 			return ok1 && ok2 && cl >= 0 && ch <= 0
-		}, true
+		}
+		if side == sideLeft {
+			c := left.cols[pos]
+			return func(lid, _ int, _ bool) bool { return check(c, lid) }, true
+		}
+		c := right.cols[pos]
+		return func(_, rid int, hasRight bool) bool { return hasRight && check(c, rid) }, true
 	case *predicate.In:
 		side, pos := bindAttr(node.Attr, left, right)
 		if side == sideNone {
-			return func(_, _ []predicate.Value) bool { return false }, true
+			return alwaysFalse, true
 		}
-		vals := node.Vals
-		return func(lrow, rrow []predicate.Value) bool {
-			v, ok := slotValue(side, pos, lrow, rrow)
-			if !ok || v.IsNull() {
-				return false
-			}
-			for _, w := range vals {
-				if v.Equal(w) {
+		lits := make([]litVal, len(node.Vals))
+		for i, v := range node.Vals {
+			lits[i] = analyzeLit(v)
+		}
+		check := func(c *column, row int) bool {
+			for _, lv := range lits {
+				if c3, ok := c.cmp3At(row, lv); ok && c3 == 0 {
 					return true
 				}
 			}
 			return false
-		}, true
+		}
+		if side == sideLeft {
+			c := left.cols[pos]
+			return func(lid, _ int, _ bool) bool { return check(c, lid) }, true
+		}
+		c := right.cols[pos]
+		return func(_, rid int, hasRight bool) bool { return hasRight && check(c, rid) }, true
 	case *predicate.Not:
-		kid, ok := compileFilter(node.Kid, left, right)
+		kid, ok := compileIDFilter(node.Kid, left, right)
 		if !ok {
 			return nil, false
 		}
-		return func(lrow, rrow []predicate.Value) bool { return !kid(lrow, rrow) }, true
+		return func(lid, rid int, hasRight bool) bool { return !kid(lid, rid, hasRight) }, true
 	case *predicate.And:
-		kids, ok := compileKids(node.Kids, left, right)
+		kids, ok := compileIDKids(node.Kids, left, right)
 		if !ok {
 			return nil, false
 		}
-		return func(lrow, rrow []predicate.Value) bool {
+		return func(lid, rid int, hasRight bool) bool {
 			for _, k := range kids {
-				if !k(lrow, rrow) {
+				if !k(lid, rid, hasRight) {
 					return false
 				}
 			}
 			return true
 		}, true
 	case *predicate.Or:
-		kids, ok := compileKids(node.Kids, left, right)
+		kids, ok := compileIDKids(node.Kids, left, right)
 		if !ok {
 			return nil, false
 		}
-		return func(lrow, rrow []predicate.Value) bool {
+		return func(lid, rid int, hasRight bool) bool {
 			for _, k := range kids {
-				if k(lrow, rrow) {
+				if k(lid, rid, hasRight) {
 					return true
 				}
 			}
@@ -429,26 +710,16 @@ func compileFilter(p predicate.Predicate, left, right *Table) (rowFilter, bool) 
 	}
 }
 
-func compileKids(ps []predicate.Predicate, left, right *Table) ([]rowFilter, bool) {
-	out := make([]rowFilter, len(ps))
+func compileIDKids(ps []predicate.Predicate, left, right *Table) ([]idFilter, bool) {
+	out := make([]idFilter, len(ps))
 	for i, p := range ps {
-		k, ok := compileFilter(p, left, right)
+		k, ok := compileIDFilter(p, left, right)
 		if !ok {
 			return nil, false
 		}
 		out[i] = k
 	}
 	return out, true
-}
-
-func slotValue(side attrSide, pos int, lrow, rrow []predicate.Value) (predicate.Value, bool) {
-	if side == sideLeft {
-		return lrow[pos], true
-	}
-	if rrow == nil {
-		return predicate.Null(), false
-	}
-	return rrow[pos], true
 }
 
 // candidateIDs inspects the predicate for index-usable equality conditions
@@ -481,7 +752,7 @@ func candidateIDsResolve(t *Table, p predicate.Predicate, resolve func(string) i
 			return nil, false
 		}
 		pos := resolve(node.Attr)
-		if pos < 0 {
+		if pos < 0 || !indexUsable(t, pos, node.Val) {
 			return nil, false
 		}
 		ids, ok := t.lookup(pos, node.Val)
@@ -491,11 +762,14 @@ func candidateIDsResolve(t *Table, p predicate.Predicate, resolve func(string) i
 		if pos < 0 {
 			return nil, false
 		}
-		if _, ok := t.indexes[pos]; !ok {
+		if _, ok := t.indexFor(pos); !ok {
 			return nil, false
 		}
 		var all []int
 		for _, v := range node.Vals {
+			if !indexUsable(t, pos, v) {
+				return nil, false
+			}
 			ids, _ := t.lookup(pos, v)
 			all = append(all, ids...)
 		}
@@ -526,6 +800,17 @@ func candidateIDsResolve(t *Table, p predicate.Predicate, resolve func(string) i
 	default:
 		return nil, false
 	}
+}
+
+// indexUsable reports whether hash-index equality on (column pos, literal)
+// reproduces Compare's equality. NaN breaks it from both sides: a NaN
+// literal "equals" every number but hashes to an unreachable key, and NaN
+// rows "equal" every numeric literal but live under unreachable keys.
+func indexUsable(t *Table, pos int, lit predicate.Value) bool {
+	if lit.Kind() == predicate.KindFloat && math.IsNaN(lit.AsFloat()) {
+		return false
+	}
+	return !t.cols[pos].anyNaN()
 }
 
 // resolveColumn maps an attribute reference (bare or table-qualified) to a

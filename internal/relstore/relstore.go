@@ -5,6 +5,12 @@
 // and COUNT(DISTINCT col). Query answers are tuple sets and counts, which is
 // all the preference-combination algorithms consume, so the engine swap
 // preserves their behaviour.
+//
+// Storage is columnar: each table keeps one typed vector per attribute
+// (int64/float64 payload words, dictionary-encoded strings) with per-block
+// min/max zone maps, and predicates compile to vectorized kernels that
+// evaluate a whole block per step into selection bitmaps (see vecscan.go).
+// The row-oriented API (Row, Value, Select) reboxes values on demand.
 package relstore
 
 import (
@@ -30,15 +36,46 @@ type Schema struct {
 // Arity returns the number of columns, matching Table 10's "Arity" column.
 func (s *Schema) Arity() int { return len(s.Columns) }
 
-// Table holds the rows of one relation plus optional hash indexes.
+// Table holds the rows of one relation as typed column vectors plus optional
+// hash indexes. Reads are safe concurrently; lazy structures (indexes, the
+// join-existence vectors) are built under mu, and Insert takes mu, so the
+// "concurrent reads after the load phase" contract of DB extends to scans
+// that race with index builds.
 type Table struct {
-	schema  *Schema
-	colIdx  map[string]int      // bare column name -> position
-	rows    [][]predicate.Value // row-major storage
-	indexes map[int]hashIndex   // column position -> value-key -> row ids
+	schema *Schema
+	colIdx map[string]int // bare column name -> position
+	cols   []*column
+	n      int // row count
+
+	mu      sync.RWMutex
+	gen     uint64            // bumped on every Insert; invalidates exists vectors
+	indexes map[int]hashIndex // column position -> value-key -> row ids
+	exists  map[existsKey]*existsEntry
 }
 
 type hashIndex map[predicate.Value][]int
+
+// existsKey identifies a cached join-existence vector: which right table and
+// which (left, right) join columns it was computed for.
+type existsKey struct {
+	right    *Table
+	leftPos  int
+	rightPos int
+}
+
+// existsEntry caches the join plumbing for one (left, right, columns)
+// combination: the join-existence vector (bit lid set when the left row has
+// at least one partner in the right table) and the right-row → left-rows
+// mapping in CSR form, so scans stitch right selections back to left rows
+// with two array reads instead of a hash probe per row. Generations of both
+// tables at build time detect staleness after inserts.
+type existsEntry struct {
+	sel  []uint64
+	off  []int32 // len right.n+1; lids[off[rid]:off[rid+1]] = left partners
+	lids []int32
+	lgen uint64
+	rgen uint64
+}
 
 // indexKey canonicalizes a value for hash-index and DISTINCT keying:
 // integral floats collapse to ints so Int(3) and Float(3) collide, matching
@@ -57,17 +94,19 @@ func indexKey(v predicate.Value) predicate.Value {
 
 func newTable(s *Schema) *Table {
 	ci := make(map[string]int, len(s.Columns))
+	cols := make([]*column, len(s.Columns))
 	for i, c := range s.Columns {
 		ci[c.Name] = i
+		cols[i] = &column{}
 	}
-	return &Table{schema: s, colIdx: ci, indexes: make(map[int]hashIndex)}
+	return &Table{schema: s, colIdx: ci, cols: cols, indexes: make(map[int]hashIndex)}
 }
 
 // Schema returns the table's schema.
 func (t *Table) Schema() *Schema { return t.schema }
 
 // Len returns the number of rows (Table 10's "Cardinality").
-func (t *Table) Len() int { return len(t.rows) }
+func (t *Table) Len() int { return t.n }
 
 // ColumnIndex resolves a bare column name to its position, or -1.
 func (t *Table) ColumnIndex(name string) int {
@@ -85,12 +124,16 @@ func (t *Table) Insert(vals ...predicate.Value) (int, error) {
 		return 0, fmt.Errorf("relstore: %s expects %d values, got %d",
 			t.schema.Name, len(t.schema.Columns), len(vals))
 	}
-	row := make([]predicate.Value, len(vals))
-	copy(row, vals)
-	id := len(t.rows)
-	t.rows = append(t.rows, row)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.n
+	for i, v := range vals {
+		t.cols[i].append(v)
+	}
+	t.n++
+	t.gen++
 	for col, idx := range t.indexes {
-		k := indexKey(row[col])
+		k := indexKey(t.cols[col].value(id))
 		idx[k] = append(idx[k], id)
 	}
 	return id, nil
@@ -102,23 +145,99 @@ func (t *Table) BuildIndex(col string) error {
 	if !ok {
 		return fmt.Errorf("relstore: %s has no column %q", t.schema.Name, col)
 	}
-	idx := make(hashIndex, len(t.rows))
-	for id, row := range t.rows {
-		k := indexKey(row[pos])
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buildIndexLocked(pos)
+	return nil
+}
+
+func (t *Table) buildIndexLocked(pos int) hashIndex {
+	idx := make(hashIndex, t.n)
+	c := t.cols[pos]
+	for id := 0; id < t.n; id++ {
+		k := indexKey(c.value(id))
 		idx[k] = append(idx[k], id)
 	}
 	t.indexes[pos] = idx
-	return nil
+	return idx
+}
+
+// indexFor returns the hash index on column pos if one exists. The returned
+// map is safe for concurrent reads (only Insert mutates it, and concurrent
+// Insert+scan was never supported).
+func (t *Table) indexFor(pos int) (hashIndex, bool) {
+	t.mu.RLock()
+	idx, ok := t.indexes[pos]
+	t.mu.RUnlock()
+	return idx, ok
+}
+
+// ensureIndex returns the hash index on pos, building it if missing.
+func (t *Table) ensureIndex(pos int) hashIndex {
+	if idx, ok := t.indexFor(pos); ok {
+		return idx
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx, ok := t.indexes[pos]; ok {
+		return idx
+	}
+	return t.buildIndexLocked(pos)
 }
 
 // lookup returns row ids whose column equals v, using the index when
 // present; found reports whether an index existed.
 func (t *Table) lookup(pos int, v predicate.Value) (ids []int, found bool) {
-	idx, ok := t.indexes[pos]
+	idx, ok := t.indexFor(pos)
 	if !ok {
 		return nil, false
 	}
 	return idx[indexKey(v)], true
+}
+
+// existsVec returns the cached join-existence selection vector for
+// left ⋈ right on (leftPos = rightPos): bit lid set iff the left row has at
+// least one matching right row.
+func (t *Table) existsVec(right *Table, leftPos, rightPos int) []uint64 {
+	return t.joinEntry(right, leftPos, rightPos).sel
+}
+
+// joinEntry returns the cached join plumbing (existence vector + right→left
+// CSR), rebuilding it when either table changed.
+func (t *Table) joinEntry(right *Table, leftPos, rightPos int) *existsEntry {
+	key := existsKey{right: right, leftPos: leftPos, rightPos: rightPos}
+	t.mu.RLock()
+	e, ok := t.exists[key]
+	lgen := t.gen
+	t.mu.RUnlock()
+	right.mu.RLock()
+	rgen := right.gen
+	right.mu.RUnlock()
+	if ok && e.lgen == lgen && e.rgen == rgen {
+		return e
+	}
+
+	// Build outside t.mu using only read paths, then publish.
+	lidx := t.ensureIndex(leftPos)
+	sel := make([]uint64, selWords(t.n))
+	off := make([]int32, right.n+1)
+	var lids []int32
+	rc := right.cols[rightPos]
+	for rid := 0; rid < right.n; rid++ {
+		for _, lid := range lidx[indexKey(rc.value(rid))] {
+			sel[lid>>6] |= 1 << (uint(lid) & 63)
+			lids = append(lids, int32(lid))
+		}
+		off[rid+1] = int32(len(lids))
+	}
+	e = &existsEntry{sel: sel, off: off, lids: lids, lgen: lgen, rgen: rgen}
+	t.mu.Lock()
+	if t.exists == nil {
+		t.exists = make(map[existsKey]*existsEntry)
+	}
+	t.exists[key] = e
+	t.mu.Unlock()
+	return e
 }
 
 // Row returns a predicate.Row view of row id.
@@ -127,10 +246,10 @@ func (t *Table) Row(id int) RowRef { return RowRef{t: t, id: id} }
 // Value returns the raw value at (row, bare column), or NULL.
 func (t *Table) Value(id int, col string) predicate.Value {
 	pos, ok := t.colIdx[col]
-	if !ok || id < 0 || id >= len(t.rows) {
+	if !ok || id < 0 || id >= t.n {
 		return predicate.Null()
 	}
-	return t.rows[id][pos]
+	return t.cols[pos].value(id)
 }
 
 // RowRef is a single-table row view implementing predicate.Row. Attribute
@@ -156,7 +275,7 @@ func (r RowRef) Get(attr string) (predicate.Value, bool) {
 	if !ok {
 		return predicate.Null(), false
 	}
-	return r.t.rows[r.id][pos], true
+	return r.t.cols[pos].value(r.id), true
 }
 
 func splitQualified(attr string) (table, col string, ok bool) {

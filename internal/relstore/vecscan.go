@@ -1,0 +1,418 @@
+package relstore
+
+import (
+	"math/bits"
+
+	"hypre/internal/predicate"
+)
+
+// This file is the vectorized half of the engine: predicates evaluate one
+// column block at a time into selection bitmaps (one bit per row id, tail
+// bits always zero), with zone maps skipping blocks that cannot match and
+// bulk-accepting blocks that cannot fail. AND/OR/NOT compose selections with
+// word-parallel algebra, so a whole WHERE tree costs a handful of tight
+// typed loops instead of one interpreted predicate walk per row.
+
+// selWords returns the number of 64-bit words covering n rows.
+func selWords(n int) int { return (n + 63) / 64 }
+
+func selSet(sel []uint64, i int) { sel[i>>6] |= 1 << (uint(i) & 63) }
+
+// selSetRange sets bits [lo, hi).
+func selSetRange(sel []uint64, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	lw, hw := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - uint(hi-1)&63)
+	if lw == hw {
+		sel[lw] |= loMask & hiMask
+		return
+	}
+	sel[lw] |= loMask
+	for w := lw + 1; w < hw; w++ {
+		sel[w] = ^uint64(0)
+	}
+	sel[hw] |= hiMask
+}
+
+func selAnd(dst, src []uint64) {
+	for i := range dst {
+		dst[i] &= src[i]
+	}
+}
+
+func selOr(dst, src []uint64) {
+	for i := range dst {
+		dst[i] |= src[i]
+	}
+}
+
+// selNot complements dst in place, keeping bits >= n zero.
+func selNot(dst []uint64, n int) {
+	for i := range dst {
+		dst[i] = ^dst[i]
+	}
+	if tail := uint(n) & 63; tail != 0 {
+		dst[len(dst)-1] &= ^uint64(0) >> (64 - tail)
+	}
+}
+
+func selAny(sel []uint64) bool {
+	for _, w := range sel {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// selForEach invokes fn for every set bit in ascending order; fn returning
+// false stops the walk.
+func selForEach(sel []uint64, fn func(i int) bool) {
+	for wi, w := range sel {
+		base := wi << 6
+		for w != 0 {
+			i := base + bits.TrailingZeros64(w)
+			if !fn(i) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// evalVec evaluates a predicate over every row of t as a selection bitmap.
+// resolve maps attribute references to column positions; -1 means the
+// attribute does not bind to this table, which makes the leaf constant
+// false — exactly the collapsed three-valued semantics of the row filter.
+// ok=false means the tree contains a node the vectorized engine does not
+// know; callers fall back to the row-at-a-time scan.
+func (t *Table) evalVec(p predicate.Predicate, resolve func(string) int) ([]uint64, bool) {
+	switch node := p.(type) {
+	case predicate.True:
+		sel := make([]uint64, selWords(t.n))
+		selSetRange(sel, 0, t.n)
+		return sel, true
+	case *predicate.Cmp:
+		sel := make([]uint64, selWords(t.n))
+		if pos := resolve(node.Attr); pos >= 0 {
+			t.scanCmp(pos, node.Op, node.Val, sel)
+		}
+		return sel, true
+	case *predicate.Between:
+		sel := make([]uint64, selWords(t.n))
+		if pos := resolve(node.Attr); pos >= 0 {
+			t.scanBetween(pos, node.Lo, node.Hi, sel)
+		}
+		return sel, true
+	case *predicate.In:
+		sel := make([]uint64, selWords(t.n))
+		if pos := resolve(node.Attr); pos >= 0 {
+			t.scanIn(pos, node.Vals, sel)
+		}
+		return sel, true
+	case *predicate.Not:
+		sel, ok := t.evalVec(node.Kid, resolve)
+		if !ok {
+			return nil, false
+		}
+		selNot(sel, t.n)
+		return sel, true
+	case *predicate.And:
+		var acc []uint64
+		for _, k := range node.Kids {
+			sel, ok := t.evalVec(k, resolve)
+			if !ok {
+				return nil, false
+			}
+			if acc == nil {
+				acc = sel
+			} else {
+				selAnd(acc, sel)
+			}
+			if !selAny(acc) {
+				return acc, true
+			}
+		}
+		if acc == nil { // empty conjunction is TRUE
+			acc = make([]uint64, selWords(t.n))
+			selSetRange(acc, 0, t.n)
+		}
+		return acc, true
+	case *predicate.Or:
+		acc := make([]uint64, selWords(t.n))
+		for _, k := range node.Kids {
+			sel, ok := t.evalVec(k, resolve)
+			if !ok {
+				return nil, false
+			}
+			selOr(acc, sel)
+		}
+		return acc, true
+	default:
+		return nil, false
+	}
+}
+
+// scanCmp is the vectorized kernel for Attr Op Literal: per block it applies
+// the zone-map test, then either skips, bulk-accepts, or runs the tight
+// typed row loop. NULL literals match nothing (Compare against NULL fails).
+func (t *Table) scanCmp(pos int, op predicate.Op, val predicate.Value, sel []uint64) {
+	c := t.cols[pos]
+	lit := analyzeLit(val)
+	switch {
+	case lit.isNum:
+		t.scanCmpNum(c, op, lit.f, sel)
+	case lit.isStr:
+		t.scanCmpStr(c, op, lit.s, sel)
+	}
+}
+
+func (t *Table) scanCmpNum(c *column, op predicate.Op, lit float64, sel []uint64) {
+	for bi := range c.zones {
+		z := &c.zones[bi]
+		lo, hi := bi*blockSize, min((bi+1)*blockSize, t.n)
+		if !z.hasNum {
+			continue
+		}
+		if !z.hasNaN {
+			if zoneSkipCmp(z, op, lit) {
+				continue
+			}
+			if z.pureNum() && zoneFullCmp(z, op, lit) {
+				selSetRange(sel, lo, hi)
+				continue
+			}
+		}
+		if z.pureInt() {
+			nums := c.nums[lo:hi]
+			for i, u := range nums {
+				if opMatch(cmp3f(float64(int64(u)), lit), op) {
+					selSet(sel, lo+i)
+				}
+			}
+			continue
+		}
+		for r := lo; r < hi; r++ {
+			if v, ok := c.numAt(r); ok && opMatch(cmp3f(v, lit), op) {
+				selSet(sel, r)
+			}
+		}
+	}
+}
+
+// zoneSkipCmp reports that no numeric row of the block can match (valid only
+// when the block has no NaN, which would "equal" everything).
+func zoneSkipCmp(z *zone, op predicate.Op, lit float64) bool {
+	switch op {
+	case predicate.OpEq:
+		return lit < z.min || lit > z.max
+	case predicate.OpNe:
+		return z.min == z.max && z.min == lit
+	case predicate.OpLt:
+		return z.min >= lit
+	case predicate.OpLe:
+		return z.min > lit
+	case predicate.OpGt:
+		return z.max <= lit
+	case predicate.OpGe:
+		return z.max < lit
+	default:
+		return true
+	}
+}
+
+// zoneFullCmp reports that every row of a pure-numeric block matches.
+func zoneFullCmp(z *zone, op predicate.Op, lit float64) bool {
+	switch op {
+	case predicate.OpEq:
+		return z.min == z.max && z.min == lit
+	case predicate.OpNe:
+		return lit < z.min || lit > z.max
+	case predicate.OpLt:
+		return z.max < lit
+	case predicate.OpLe:
+		return z.max <= lit
+	case predicate.OpGt:
+		return z.min > lit
+	case predicate.OpGe:
+		return z.min >= lit
+	default:
+		return false
+	}
+}
+
+func (t *Table) scanCmpStr(c *column, op predicate.Op, lit string, sel []uint64) {
+	if op == predicate.OpEq {
+		// Dictionary equality: one code comparison per row, and a literal
+		// absent from the dictionary empties the scan before touching any.
+		code, ok := c.dict.code(lit)
+		if !ok {
+			return
+		}
+		for bi := range c.zones {
+			z := &c.zones[bi]
+			if !z.hasStr {
+				continue
+			}
+			lo, hi := bi*blockSize, min((bi+1)*blockSize, t.n)
+			if z.pureStr() {
+				codes := c.codes[lo:hi]
+				for i, cd := range codes {
+					if cd == code {
+						selSet(sel, lo+i)
+					}
+				}
+				continue
+			}
+			for r := lo; r < hi; r++ {
+				if c.kinds[r] == predicate.KindString && c.codes[r] == code {
+					selSet(sel, r)
+				}
+			}
+		}
+		return
+	}
+	lv := litVal{isStr: true, s: lit}
+	for bi := range c.zones {
+		z := &c.zones[bi]
+		if !z.hasStr {
+			continue
+		}
+		lo, hi := bi*blockSize, min((bi+1)*blockSize, t.n)
+		for r := lo; r < hi; r++ {
+			if c3, ok := c.cmp3At(r, lv); ok && opMatch(c3, op) {
+				selSet(sel, r)
+			}
+		}
+	}
+}
+
+// scanBetween is the kernel for Attr BETWEEN Lo AND Hi. A row matches when
+// it is comparable with both bounds and lies inside; bounds of different
+// classes (one numeric, one string) can never both compare, so the result
+// is empty.
+func (t *Table) scanBetween(pos int, lov, hiv predicate.Value, sel []uint64) {
+	c := t.cols[pos]
+	llo, lhi := analyzeLit(lov), analyzeLit(hiv)
+	switch {
+	case llo.isNum && lhi.isNum:
+		for bi := range c.zones {
+			z := &c.zones[bi]
+			lo, hi := bi*blockSize, min((bi+1)*blockSize, t.n)
+			if !z.hasNum {
+				continue
+			}
+			if !z.hasNaN {
+				if z.max < llo.f || z.min > lhi.f {
+					continue
+				}
+				if z.pureNum() && z.min >= llo.f && z.max <= lhi.f {
+					selSetRange(sel, lo, hi)
+					continue
+				}
+			}
+			if z.pureInt() {
+				nums := c.nums[lo:hi]
+				for i, u := range nums {
+					v := float64(int64(u))
+					if cmp3f(v, llo.f) >= 0 && cmp3f(v, lhi.f) <= 0 {
+						selSet(sel, lo+i)
+					}
+				}
+				continue
+			}
+			for r := lo; r < hi; r++ {
+				if v, ok := c.numAt(r); ok && cmp3f(v, llo.f) >= 0 && cmp3f(v, lhi.f) <= 0 {
+					selSet(sel, r)
+				}
+			}
+		}
+	case llo.isStr && lhi.isStr:
+		for bi := range c.zones {
+			z := &c.zones[bi]
+			if !z.hasStr {
+				continue
+			}
+			lo, hi := bi*blockSize, min((bi+1)*blockSize, t.n)
+			for r := lo; r < hi; r++ {
+				if c.kinds[r] != predicate.KindString {
+					continue
+				}
+				s := c.dict.strs[c.codes[r]]
+				if s >= llo.s && s <= lhi.s {
+					selSet(sel, r)
+				}
+			}
+		}
+	}
+}
+
+// scanIn is the kernel for Attr IN (v1, ...): numeric members match by
+// widened three-way equality, string members resolve to dictionary codes
+// once (absent strings can never match).
+func (t *Table) scanIn(pos int, vals []predicate.Value, sel []uint64) {
+	c := t.cols[pos]
+	var nums []float64
+	var codes []uint32
+	nanVal := false
+	for _, v := range vals {
+		lv := analyzeLit(v)
+		switch {
+		case lv.isNum:
+			nums = append(nums, lv.f)
+			if lv.f != lv.f { // a NaN member "equals" every number
+				nanVal = true
+			}
+		case lv.isStr:
+			if code, ok := c.dict.code(lv.s); ok {
+				codes = append(codes, code)
+			}
+		}
+	}
+	if len(nums) == 0 && len(codes) == 0 {
+		return
+	}
+	for bi := range c.zones {
+		z := &c.zones[bi]
+		lo, hi := bi*blockSize, min((bi+1)*blockSize, t.n)
+		if !z.hasNum && !z.hasStr {
+			continue
+		}
+		if !z.hasStr && !z.hasNaN && !nanVal && len(nums) > 0 {
+			inRange := false
+			for _, f := range nums {
+				if f >= z.min && f <= z.max {
+					inRange = true
+					break
+				}
+			}
+			if !inRange {
+				continue
+			}
+		}
+		for r := lo; r < hi; r++ {
+			switch c.kinds[r] {
+			case predicate.KindInt, predicate.KindFloat:
+				v, _ := c.numAt(r)
+				for _, f := range nums {
+					if cmp3f(v, f) == 0 {
+						selSet(sel, r)
+						break
+					}
+				}
+			case predicate.KindString:
+				cd := c.codes[r]
+				for _, code := range codes {
+					if cd == code {
+						selSet(sel, r)
+						break
+					}
+				}
+			}
+		}
+	}
+}
+

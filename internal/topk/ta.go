@@ -69,6 +69,68 @@ func (l *Lists) aggregate(pid int64) float64 {
 	return hypre.FAndAll(vals...)
 }
 
+// taHeap is a bounded min-heap over scored objects, rooted at the worst
+// kept entry under the (grade descending, pid ascending) ranking — so
+// keeping the k best costs O(log k) per newly seen object instead of the
+// O(k log k) full re-sort the insert step used to pay.
+type taHeap []taScored
+
+type taScored struct {
+	pid   int64
+	grade float64
+}
+
+// better reports whether a ranks strictly above b (higher grade, ties by
+// smaller pid — the determinism rule of the final TA output).
+func (a taScored) better(b taScored) bool {
+	if a.grade != b.grade {
+		return a.grade > b.grade
+	}
+	return a.pid < b.pid
+}
+
+func (h taHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[parent].better(h[i]) { // parent already worse or equal: heap holds
+			return
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+func (h taHeap) siftDown(i int) {
+	for {
+		worst := i
+		if l := 2*i + 1; l < len(h) && h[worst].better(h[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h) && h[worst].better(h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}
+
+// push keeps the k best entries: below capacity it inserts, at capacity it
+// replaces the root (the worst kept) only when s outranks it.
+func (h *taHeap) push(s taScored, k int) {
+	if len(*h) < k {
+		*h = append(*h, s)
+		h.siftUp(len(*h) - 1)
+		return
+	}
+	if s.better((*h)[0]) {
+		(*h)[0] = s
+		h.siftDown(0)
+	}
+}
+
 // TA runs Fagin's Threshold Algorithm (Definition 20) and returns the top-k
 // objects by aggregated grade, descending (ties by pid):
 //
@@ -80,29 +142,15 @@ func (l *Lists) TA(k int) []combine.ScoredTuple {
 	if k <= 0 || len(l.sorted) == 0 {
 		return nil
 	}
-	type scored struct {
-		pid   int64
-		grade float64
-	}
 	seen := map[int64]bool{}
-	var top []scored
+	top := make(taHeap, 0, k)
 
 	insert := func(pid int64) {
 		if seen[pid] {
 			return
 		}
 		seen[pid] = true
-		g := l.aggregate(pid)
-		top = append(top, scored{pid, g})
-		sort.Slice(top, func(i, j int) bool {
-			if top[i].grade != top[j].grade {
-				return top[i].grade > top[j].grade
-			}
-			return top[i].pid < top[j].pid
-		})
-		if len(top) > k {
-			top = top[:k]
-		}
+		top.push(taScored{pid: pid, grade: l.aggregate(pid)}, k)
 	}
 
 	maxDepth := 0
@@ -128,11 +176,13 @@ func (l *Lists) TA(k int) []combine.ScoredTuple {
 			break
 		}
 		tau := hypre.FAndAll(lastGrades...)
-		if len(top) >= k && top[len(top)-1].grade >= tau {
+		// top[0] is the k-th (worst kept) grade, the halting bound.
+		if len(top) >= k && top[0].grade >= tau {
 			break
 		}
 	}
 
+	sort.Slice(top, func(i, j int) bool { return top[i].better(top[j]) })
 	out := make([]combine.ScoredTuple, len(top))
 	for i, s := range top {
 		out[i] = combine.ScoredTuple{PID: s.pid, Intensity: s.grade}
@@ -167,13 +217,18 @@ func BuildLists(ev *combine.Evaluator, prefs []hypre.ScoredPred) (*Lists, error)
 			accs[attr] = acc
 			order = append(order, attr)
 		}
-		set, err := ev.PredSet(p)
+		// Iterate the cached dense bitmap directly: the TA baseline shares
+		// the evaluator's bitmap cache instead of materializing IntSet
+		// slices of its own. Per-pid accumulation is order-insensitive, so
+		// dense-index iteration matches the sorted-slice walk exactly.
+		b, err := ev.PredBitmap(p)
 		if err != nil {
 			return nil, err
 		}
-		for _, pid := range set {
-			acc.grades[pid] = hypre.FAnd(acc.grades[pid], p.Intensity)
-		}
+		intensity := p.Intensity
+		b.ForEachPid(ev.Dict(), func(pid int64) {
+			acc.grades[pid] = hypre.FAnd(acc.grades[pid], intensity)
+		})
 	}
 	names := make([]string, 0, len(order))
 	maps := make([]map[int64]float64, 0, len(order))
