@@ -217,6 +217,25 @@ func BenchmarkMaterializeProfile(b *testing.B) {
 	}
 }
 
+// BenchmarkUpdateStream is the online-mutation cycle: per iteration, a
+// private clone of the workload absorbs seeded insert/update/delete
+// batches, and after each batch the top-k query is answered both through
+// incremental delta maintenance and through rematerialize-from-scratch
+// (the runner asserts the rankings stay byte-identical).
+func BenchmarkUpdateStream(b *testing.B) {
+	l := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunUpdateStream(l, l.Modest, 4, 32, 100, benchProfileCap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Matched {
+			b.Fatal("incremental ranking diverged from rematerialization")
+		}
+	}
+}
+
 func BenchmarkAblation_Composition(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.RunAblationComposition()

@@ -33,6 +33,7 @@ type benchReport struct {
 	PairCache   []pairCacheJSON        `json:"ablation_pair_cache,omitempty"`
 	PEPS        []pepsVariantsJSON     `json:"ablation_peps_variants,omitempty"`
 	Materialize []materializeJSON      `json:"materialize_profile,omitempty"`
+	Updates     []updatesJSON          `json:"update_stream,omitempty"`
 	Extra       map[string]interface{} `json:"extra,omitempty"`
 }
 
@@ -43,6 +44,24 @@ type materializeJSON struct {
 	BestNs  int64 `json:"best_ns"`
 	MeanNs  int64 `json:"mean_ns"`
 	Reps    int   `json:"reps"`
+}
+
+type updatesJSON struct {
+	UID         int64 `json:"uid"`
+	Prefs       int   `json:"prefs"`
+	Batches     int   `json:"batches"`
+	OpsPerBatch int   `json:"ops_per_batch"`
+	K           int   `json:"k"`
+	// Maintenance cost alone: delta Sync vs MaterializeAll+BuildPairTable.
+	MaintIncrementalNs   int64 `json:"maint_incremental_ns"`
+	MaintRematerializeNs int64 `json:"maint_rematerialize_ns"`
+	// Maintenance + the (byte-identical) top-k query per strategy.
+	IncrementalNs   int64 `json:"incremental_ns"`
+	RematerializeNs int64 `json:"rematerialize_ns"`
+	TouchedRows     int   `json:"touched_rows"`
+	ChangedPreds    int   `json:"changed_preds"`
+	FullRebuilds    int   `json:"full_rebuilds"`
+	Matched         bool  `json:"matched"`
 }
 
 type fig39JSON struct {
@@ -78,7 +97,7 @@ type pepsVariantsJSON struct {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiment ids (table10,table11,table12,fig13,fig17,fig18,fig26,fig28,fig29,fig32,fig35,fig37,fig39,ablation,materialize) or 'all'")
+		exp     = flag.String("exp", "all", "comma-separated experiment ids (table10,table11,table12,fig13,fig17,fig18,fig26,fig28,fig29,fig32,fig35,fig37,fig39,ablation,materialize,updates) or 'all'")
 		papers  = flag.Int("papers", 4000, "number of papers in the synthetic network")
 		authors = flag.Int("authors", 1200, "number of authors")
 		venues  = flag.Int("venues", 40, "number of venues")
@@ -279,6 +298,39 @@ func main() {
 		})
 	}
 
+	if run("updates") {
+		const (
+			updBatches = 8
+			updOps     = 64
+		)
+		for _, uid := range lab.Users() {
+			r, err := experiments.RunUpdateStream(lab, uid, updBatches, updOps, *k, *cap_)
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(out)
+			report.Updates = append(report.Updates, updatesJSON{
+				UID:                  r.UID,
+				Prefs:                r.ProfileSize,
+				Batches:              r.Batches,
+				OpsPerBatch:          r.OpsPerBatch,
+				K:                    r.K,
+				MaintIncrementalNs:   r.MaintIncremental.Nanoseconds(),
+				MaintRematerializeNs: r.MaintRematerialize.Nanoseconds(),
+				IncrementalNs:        r.IncrementalTotal.Nanoseconds(),
+				RematerializeNs:      r.RematerializeTotal.Nanoseconds(),
+				TouchedRows:          r.TouchedRows,
+				ChangedPreds:         r.ChangedPreds,
+				FullRebuilds:         r.FullRebuilds,
+				Matched:              r.Matched,
+			})
+			if !r.Matched {
+				fatal(fmt.Errorf("update stream uid=%d: incremental ranking diverged from rematerialization", r.UID))
+			}
+		}
+		fmt.Println()
+	}
+
 	if run("materialize") {
 		const matReps = 5
 		for _, uid := range lab.Users() {
@@ -299,7 +351,7 @@ func main() {
 		fmt.Println()
 	}
 
-	if *bjson != "" && (len(report.Fig39) > 0 || len(report.PairCache) > 0 || len(report.PEPS) > 0 || len(report.Materialize) > 0) {
+	if *bjson != "" && (len(report.Fig39) > 0 || len(report.PairCache) > 0 || len(report.PEPS) > 0 || len(report.Materialize) > 0 || len(report.Updates) > 0) {
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fatal(err)

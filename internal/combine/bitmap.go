@@ -83,6 +83,28 @@ func (b *Bitmap) Contains(i int) bool {
 	return w < len(b.words) && b.words[w]&(1<<(uint(i)&63)) != 0
 }
 
+// Clear unsets dense index i (a no-op when it is not set). Only the delta
+// maintenance path mutates bitmaps, and only ever on a private Clone — the
+// shared cached bitmaps stay immutable.
+func (b *Bitmap) Clear(i int) {
+	w := i >> 6
+	if w >= len(b.words) {
+		return
+	}
+	mask := uint64(1) << (uint(i) & 63)
+	if b.words[w]&mask != 0 {
+		b.words[w] &^= mask
+		b.card--
+	}
+}
+
+// Clone returns a deep copy. Delta maintenance patches a clone and swaps it
+// into the cache, so callers holding the previous bitmap keep a consistent
+// (if stale) view.
+func (b *Bitmap) Clone() *Bitmap {
+	return &Bitmap{words: append([]uint64(nil), b.words...), card: b.card}
+}
+
 // Len returns the cardinality (maintained incrementally; no popcount scan).
 func (b *Bitmap) Len() int { return b.card }
 

@@ -39,7 +39,8 @@ type Evaluator struct {
 	dict   *PidDict
 	sets   map[string]IntSet
 	bits   map[string]*Bitmap
-	seeded bool // scan plumbing (pidByRow, join structures) built
+	preds  map[string]hypre.ScoredPred // AST of every cached predicate, for delta re-evaluation
+	seeded bool                        // scan plumbing (pidByRow, join structures) built
 	// rowDense maps base-table row id -> dense dict index, assigned lazily
 	// in first-seen order (-1 = not assigned yet), so dense numbering stays
 	// as compact as serial materialization while scans set bits with one
@@ -74,12 +75,24 @@ func NewEvaluator(db *relstore.DB, base func(predicate.Predicate) relstore.Query
 		dict:    NewPidDict(),
 		sets:    make(map[string]IntSet),
 		bits:    make(map[string]*Bitmap),
+		preds:   make(map[string]hypre.ScoredPred),
 	}
 }
 
 // Dict exposes the dense pid dictionary shared by every bitmap the
 // evaluator hands out.
 func (ev *Evaluator) Dict() *PidDict { return ev.dict }
+
+// DB exposes the underlying store (the delta maintainer reads epochs and
+// change logs from it).
+func (ev *Evaluator) DB() *relstore.DB { return ev.db }
+
+// BaseQuery maps a WHERE predicate to the evaluator's full query shape.
+func (ev *Evaluator) BaseQuery(p predicate.Predicate) relstore.Query { return ev.base(p) }
+
+// KeyAttr returns the distinct-counted attribute every materialization
+// projects ("dblp.pid").
+func (ev *Evaluator) KeyAttr() string { return ev.keyAttr }
 
 // Materialize runs the one relational query per preference for every entry
 // of prefs that is not cached yet, after which PredSet, PredBitmap, and the
@@ -121,6 +134,7 @@ func (ev *Evaluator) MaterializeAll(prefs []hypre.ScoredPred) error {
 			return err
 		}
 		ev.bits[pending[0].Pred] = b
+		ev.preds[pending[0].Pred] = pending[0]
 		ev.Queries++
 		return nil
 	}
@@ -165,6 +179,7 @@ func (ev *Evaluator) MaterializeAll(prefs []hypre.ScoredPred) error {
 	// dictionary slots on first sight in pending order.
 	for i, p := range pending {
 		ev.bits[p.Pred] = ev.convertLocked(results[i].sel, results[i].leftover)
+		ev.preds[p.Pred] = p
 		ev.Queries++
 	}
 	return nil
@@ -316,6 +331,7 @@ func (ev *Evaluator) PredBitmap(p hypre.ScoredPred) (*Bitmap, error) {
 		return nil, err
 	}
 	ev.bits[p.Pred] = b
+	ev.preds[p.Pred] = p
 	ev.Queries++
 	return b, nil
 }

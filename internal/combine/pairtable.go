@@ -113,3 +113,77 @@ func BuildPairTable(prefs []hypre.ScoredPred, ev *Evaluator) (*PairTable, error)
 // descending by combined intensity — the CombsOfTwo(p) lookup of
 // Algorithm 6.
 func (pt *PairTable) CombsOfTwo(i int) []PairEntry { return pt.byFirst[i] }
+
+// Refresh returns a pair table consistent with the evaluator's current
+// predicate bitmaps after the named predicates changed, recounting only the
+// pairs with a changed endpoint — the delta-maintenance alternative to
+// BuildPairTable's full O(n²) popcount sweep. Pairs between two unchanged
+// predicates keep their counts (their bitmaps are untouched); pairs with a
+// changed endpoint are repriced, dropping to nothing when the intersection
+// emptied and (re)appearing when it stopped being empty. The output is
+// assembled anchor-major before the stable intensity sort, exactly like
+// BuildPairTable, so the structure is byte-identical to a fresh build.
+func (pt *PairTable) Refresh(ev *Evaluator, changedPreds []string) (*PairTable, error) {
+	if len(changedPreds) == 0 {
+		return pt, nil
+	}
+	n := len(pt.Prefs)
+	changedSet := make(map[string]bool, len(changedPreds))
+	for _, p := range changedPreds {
+		changedSet[p] = true
+	}
+	changed := make([]bool, n)
+	any := false
+	for i, p := range pt.Prefs {
+		if changedSet[p.Pred] {
+			changed[i] = true
+			any = true
+		}
+	}
+	if !any {
+		return pt, nil
+	}
+	bms := make([]*Bitmap, n)
+	for i, p := range pt.Prefs {
+		b, err := ev.PredBitmap(p) // cache hit: RefreshRows already ran
+		if err != nil {
+			return nil, err
+		}
+		bms[i] = b
+	}
+	old := make(map[[2]int]PairEntry, len(pt.Pairs))
+	for _, e := range pt.Pairs {
+		old[[2]int{e.I, e.J}] = e
+	}
+	out := &PairTable{Prefs: pt.Prefs, byFirst: make(map[int][]PairEntry)}
+	recounted := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !changed[i] && !changed[j] {
+				if e, ok := old[[2]int{i, j}]; ok {
+					out.Pairs = append(out.Pairs, e)
+				}
+				continue
+			}
+			recounted++
+			cnt := bms[i].AndCard(bms[j])
+			if cnt == 0 {
+				continue
+			}
+			out.Pairs = append(out.Pairs, PairEntry{
+				I:         i,
+				J:         j,
+				Intensity: hypre.FAndAll(pt.Prefs[i].Intensity, pt.Prefs[j].Intensity),
+				Count:     cnt,
+			})
+		}
+	}
+	ev.ComboEvals += recounted
+	sort.SliceStable(out.Pairs, func(a, b int) bool {
+		return out.Pairs[a].Intensity > out.Pairs[b].Intensity
+	})
+	for _, e := range out.Pairs {
+		out.byFirst[e.I] = append(out.byFirst[e.I], e)
+	}
+	return out, nil
+}

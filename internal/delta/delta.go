@@ -1,0 +1,255 @@
+// Package delta is the incremental-maintenance subsystem: it keeps a
+// combine.Evaluator's predicate bitmaps, the pre-computed pair table, and
+// therefore PEPS top-k answers consistent with a mutating relational store,
+// at the cost of the mutation deltas instead of a full rematerialization.
+//
+// The pipeline per Sync:
+//
+//  1. Drain the committed mutations of the base table and the join table
+//     from their bounded change logs (relstore.ChangedSince, epoch-keyed).
+//  2. Map join-table changes back to affected base rows through the join
+//     key — using each change's pre-image for deletes and updates, so rows
+//     partnered with the OLD key are repaired too, not just the new one.
+//  3. Re-evaluate every cached predicate over exactly the touched base
+//     rows (Evaluator.RefreshRows → relstore.MatchLeftRows, vectorized
+//     kernels restricted to the touched rows' blocks) and patch the cached
+//     bitmaps copy-on-write.
+//  4. Recount only the pair-table entries with a changed endpoint
+//     (PairTable.Refresh).
+//
+// When a change log has been trimmed past the maintainer's last-synced
+// epoch (or the evaluator cannot refresh in place), Sync falls back loudly
+// to a full rebuild: Evaluator.Invalidate + BuildPairTable.
+//
+// Requirements: the evaluator's key attribute must be a unique non-NULL
+// key of the base table (dblp.pid) — each base row then owns its dense
+// bitmap bit, which is what makes the per-row patch exact. Updating the
+// key column itself triggers a full rebuild rather than silent corruption.
+package delta
+
+import (
+	"fmt"
+
+	"hypre/internal/combine"
+	"hypre/internal/hypre"
+	"hypre/internal/predicate"
+	"hypre/internal/relstore"
+)
+
+// Maintainer owns one evaluator + pair table pair and keeps both in sync
+// with the store. Sync must not run concurrently with itself, but store
+// mutations may race a Sync: every read Sync issues (change-log drains,
+// Value lookups, MatchLeftRows scans) takes the store's shared state
+// locks, and any mutation committed after the epochs captured at the top
+// of the call is simply replayed — idempotently — by the next Sync.
+// Mid-Sync the cached bitmaps may transiently mix pre- and post-mutation
+// rows; they converge on the next Sync once the logs quiesce.
+type Maintainer struct {
+	ev    *combine.Evaluator
+	db    *relstore.DB
+	prefs []hypre.ScoredPred
+	pt    *combine.PairTable
+
+	left, right  *relstore.Table // base and (optional) join table
+	leftName     string
+	leftJoinCol  string
+	rightJoinCol string
+	rightJoinPos int // position of rightJoinCol in the join table
+	keyCol       string
+	keyPos       int // position of the key column in the base table
+	leftEpoch    uint64
+	rightEpoch   uint64
+}
+
+// SyncStats reports what one Sync cost.
+type SyncStats struct {
+	// TouchedRows is the number of distinct base rows re-evaluated.
+	TouchedRows int
+	// ChangedPreds is the number of cached predicates whose tuple set moved.
+	ChangedPreds int
+	// RecheckedChanges is the number of raw change-log entries drained.
+	RecheckedChanges int
+	// FullRebuild reports that the incremental path was unavailable (log
+	// trimmed, key-column update, or evaluator fallback mode) and the
+	// caches were rebuilt from scratch.
+	FullRebuild bool
+}
+
+// NewMaintainer materializes the profile, builds the pair table, and
+// snapshots the tables' epochs, so the first Sync only replays mutations
+// committed after this call began.
+func NewMaintainer(ev *combine.Evaluator, prefs []hypre.ScoredPred) (*Maintainer, error) {
+	base := ev.BaseQuery(predicate.True{})
+	db := ev.DB()
+	left := db.Table(base.From)
+	if left == nil {
+		return nil, fmt.Errorf("delta: unknown base table %q", base.From)
+	}
+	m := &Maintainer{
+		ev:       ev,
+		db:       db,
+		prefs:    prefs,
+		left:     left,
+		leftName: base.From,
+	}
+	if base.Join != nil {
+		right := db.Table(base.Join.Table)
+		if right == nil {
+			return nil, fmt.Errorf("delta: unknown join table %q", base.Join.Table)
+		}
+		pos := right.ColumnIndex(base.Join.RightCol)
+		if pos < 0 {
+			return nil, fmt.Errorf("delta: %s has no column %q", base.Join.Table, base.Join.RightCol)
+		}
+		m.right = right
+		m.leftJoinCol = base.Join.LeftCol
+		m.rightJoinCol = base.Join.RightCol
+		m.rightJoinPos = pos
+	}
+	m.keyCol = ev.KeyColumn(base.From)
+	m.keyPos = left.ColumnIndex(m.keyCol)
+	if m.keyPos < 0 {
+		return nil, fmt.Errorf("delta: %s has no key column %q", base.From, m.keyCol)
+	}
+	// Capture epochs before building: mutations racing the build are
+	// replayed by the first Sync, and re-evaluating a row is idempotent.
+	m.leftEpoch = left.Epoch()
+	if m.right != nil {
+		m.rightEpoch = m.right.Epoch()
+	}
+	pt, err := combine.BuildPairTable(prefs, ev)
+	if err != nil {
+		return nil, err
+	}
+	m.pt = pt
+	return m, nil
+}
+
+// Evaluator returns the maintained evaluator.
+func (m *Maintainer) Evaluator() *combine.Evaluator { return m.ev }
+
+// PairTable returns the maintained pair table (replaced, never mutated, by
+// Sync).
+func (m *Maintainer) PairTable() *combine.PairTable { return m.pt }
+
+// TopK answers a top-k query over the maintained state: pure bitmap algebra
+// and pair-table lookups, no store scans.
+func (m *Maintainer) TopK(k int, v combine.Variant) (combine.TopKResult, error) {
+	return combine.PEPS(m.prefs, m.pt, m.ev, k, v)
+}
+
+// Sync drains the tables' change logs and repairs the evaluator's bitmap
+// cache and the pair table incrementally; see the package comment for the
+// pipeline. It is cheap when nothing changed (two epoch reads).
+func (m *Maintainer) Sync() (SyncStats, error) {
+	lEpoch := m.left.Epoch()
+	var rEpoch uint64
+	if m.right != nil {
+		rEpoch = m.right.Epoch()
+	}
+	lch, ok := m.left.ChangedSince(m.leftEpoch)
+	if !ok {
+		return m.rebuild(lEpoch, rEpoch)
+	}
+	var rch []relstore.RowChange
+	if m.right != nil {
+		rch, ok = m.right.ChangedSince(m.rightEpoch)
+		if !ok {
+			return m.rebuild(lEpoch, rEpoch)
+		}
+	}
+	if len(lch) == 0 && len(rch) == 0 {
+		m.leftEpoch, m.rightEpoch = lEpoch, rEpoch
+		return SyncStats{}, nil
+	}
+
+	touched := make(map[int]struct{}, len(lch)+len(rch))
+	for _, c := range lch {
+		// A key-column update would re-key the row's dense bitmap slot;
+		// the incremental patch cannot express that, so rebuild loudly.
+		if c.Kind == relstore.ChangeUpdate &&
+			indexKeyChanged(c.Old[m.keyPos], m.left.Value(c.Row, m.keyCol)) {
+			return m.rebuild(lEpoch, rEpoch)
+		}
+		touched[c.Row] = struct{}{}
+	}
+	for _, c := range rch {
+		// Affected base rows are the join partners of the change's key —
+		// the current key for inserts, the pre-image key for deletes, and
+		// both for updates (old partners lost it, new partners gained it).
+		switch c.Kind {
+		case relstore.ChangeInsert:
+			if err := m.addPartners(touched, m.right.Value(c.Row, m.rightJoinCol)); err != nil {
+				return SyncStats{}, err
+			}
+		case relstore.ChangeDelete:
+			if err := m.addPartners(touched, c.Old[m.rightJoinPos]); err != nil {
+				return SyncStats{}, err
+			}
+		case relstore.ChangeUpdate:
+			if err := m.addPartners(touched, c.Old[m.rightJoinPos]); err != nil {
+				return SyncStats{}, err
+			}
+			if err := m.addPartners(touched, m.right.Value(c.Row, m.rightJoinCol)); err != nil {
+				return SyncStats{}, err
+			}
+		}
+	}
+	lids := make([]int, 0, len(touched))
+	for lid := range touched {
+		lids = append(lids, lid)
+	}
+
+	changed, ok, err := m.ev.RefreshRows(lids)
+	if err != nil {
+		return SyncStats{}, err
+	}
+	if !ok {
+		return m.rebuild(lEpoch, rEpoch)
+	}
+	if len(changed) > 0 {
+		pt, err := m.pt.Refresh(m.ev, changed)
+		if err != nil {
+			return SyncStats{}, err
+		}
+		m.pt = pt
+	}
+	m.leftEpoch, m.rightEpoch = lEpoch, rEpoch
+	return SyncStats{
+		TouchedRows:      len(lids),
+		ChangedPreds:     len(changed),
+		RecheckedChanges: len(lch) + len(rch),
+	}, nil
+}
+
+// addPartners folds the base rows joining with key into touched.
+func (m *Maintainer) addPartners(touched map[int]struct{}, key predicate.Value) error {
+	lids, err := m.db.LookupRowIDs(m.leftName, m.leftJoinCol, key)
+	if err != nil {
+		return err
+	}
+	for _, lid := range lids {
+		touched[lid] = struct{}{}
+	}
+	return nil
+}
+
+// rebuild is the loud fallback: drop every derived cache and rebuild from
+// the store's current state.
+func (m *Maintainer) rebuild(lEpoch, rEpoch uint64) (SyncStats, error) {
+	m.ev.Invalidate()
+	pt, err := combine.BuildPairTable(m.prefs, m.ev)
+	if err != nil {
+		return SyncStats{}, err
+	}
+	m.pt = pt
+	m.leftEpoch, m.rightEpoch = lEpoch, rEpoch
+	return SyncStats{FullRebuild: true}, nil
+}
+
+// indexKeyChanged reports whether a value change re-keys an equality
+// lookup, under the store's integral-float collapsing.
+func indexKeyChanged(a, b predicate.Value) bool {
+	eq, ok := predicate.Compare(a, b)
+	return !ok || eq != 0
+}

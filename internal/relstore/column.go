@@ -41,6 +41,16 @@ func (z *zone) pureStr() bool {
 	return z.hasStr && !z.hasNum && !z.hasNull
 }
 
+// Adaptive dictionary thresholds: a column starts out dictionary-encoded,
+// but once it has seen dictAdaptMinDistinct distinct strings and more than
+// one string in dictAdaptRatioDen is distinct (i.e. the dictionary barely
+// deduplicates — titles, abstracts), it migrates to raw per-row storage and
+// stops paying the hash-map insert on every append.
+const (
+	dictAdaptMinDistinct = 256
+	dictAdaptRatioDen    = 2 // migrate when distinct > strings/dictAdaptRatioDen
+)
+
 // strDict is a per-column string dictionary: values are stored once and rows
 // carry 32-bit codes, so equality scans compare codes instead of bytes.
 type strDict struct {
@@ -70,16 +80,20 @@ func (d *strDict) add(s string) uint32 {
 
 // column is the typed columnar storage of one attribute. Rows keep a kind
 // tag; numeric payloads live in nums (int64 bits for KindInt, float64 bits
-// for KindFloat), string payloads are dictionary codes in codes. The payload
+// for KindFloat), string payloads are dictionary codes in codes — or, after
+// the adaptive-dictionary migration, raw strings in rawStrs. The payload
 // vectors are allocated lazily on the first value of their class, so a pure
 // string column never pays for a numeric vector and vice versa.
 type column struct {
-	kinds []predicate.Kind
-	nums  []uint64 // len == len(kinds) once allocated
-	codes []uint32 // len == len(kinds) once allocated
-	dict  strDict
-	zones []zone
-	nan   bool // any NaN row anywhere (column-level anyNaN shortcut)
+	kinds   []predicate.Kind
+	nums    []uint64 // len == len(kinds) once allocated
+	codes   []uint32 // len == len(kinds) once allocated; dict mode only
+	rawStrs []string // len == len(kinds) once allocated; raw mode only
+	rawMode bool     // high-cardinality column migrated off the dictionary
+	nStr    int      // string rows appended (adaptive-dictionary statistic)
+	dict    strDict
+	zones   []zone
+	nan     bool // any NaN row anywhere (column-level anyNaN shortcut)
 }
 
 func (c *column) len() int { return len(c.kinds) }
@@ -102,8 +116,18 @@ func (c *column) append(v predicate.Value) {
 		c.growNums(row)
 		c.nums = append(c.nums, math.Float64bits(v.AsFloat()))
 	case predicate.KindString:
-		c.growCodes(row)
-		c.codes = append(c.codes, c.dict.add(v.AsString()))
+		c.nStr++
+		if c.rawMode {
+			c.growRaw(row)
+			c.rawStrs = append(c.rawStrs, v.AsString())
+		} else {
+			c.growCodes(row)
+			c.codes = append(c.codes, c.dict.add(v.AsString()))
+			if len(c.dict.strs) >= dictAdaptMinDistinct &&
+				len(c.dict.strs)*dictAdaptRatioDen > c.nStr {
+				c.migrateToRaw()
+			}
+		}
 	}
 	// Keep any already-allocated sibling vector in lockstep so row offsets
 	// stay valid for every row regardless of its kind.
@@ -113,12 +137,22 @@ func (c *column) append(v predicate.Value) {
 	if c.codes != nil && len(c.codes) <= row {
 		c.codes = append(c.codes, 0)
 	}
+	if c.rawStrs != nil && len(c.rawStrs) <= row {
+		c.rawStrs = append(c.rawStrs, "")
+	}
 
 	bi := row / blockSize
 	if bi == len(c.zones) {
 		c.zones = append(c.zones, zone{min: math.Inf(1), max: math.Inf(-1)})
 	}
-	z := &c.zones[bi]
+	c.zones[bi].fold(k, v)
+	if c.zones[bi].hasNaN {
+		c.nan = true
+	}
+}
+
+// fold accumulates one row's kind and value into the zone entry.
+func (z *zone) fold(k predicate.Kind, v predicate.Value) {
 	switch k {
 	case predicate.KindNull:
 		z.hasNull = true
@@ -134,7 +168,6 @@ func (c *column) append(v predicate.Value) {
 		f := v.AsFloat()
 		if math.IsNaN(f) {
 			z.hasNaN = true
-			c.nan = true
 		} else {
 			if f < z.min {
 				z.min = f
@@ -144,6 +177,76 @@ func (c *column) append(v predicate.Value) {
 			}
 		}
 	}
+}
+
+// set overwrites row in place (the update path) and rebuilds the affected
+// block's zone entry exactly — updates must be able to *shrink* a zone, or
+// repeated updates would degrade every block to "anything goes".
+func (c *column) set(row int, v predicate.Value) {
+	if c.kinds[row] == predicate.KindString {
+		c.nStr--
+	}
+	k := v.Kind()
+	c.kinds[row] = k
+	switch k {
+	case predicate.KindInt:
+		c.ensureNums()
+		c.nums[row] = uint64(v.AsInt())
+	case predicate.KindFloat:
+		c.ensureNums()
+		c.nums[row] = math.Float64bits(v.AsFloat())
+	case predicate.KindString:
+		c.nStr++
+		if c.rawMode {
+			c.ensureRaw()
+			c.rawStrs[row] = v.AsString()
+		} else {
+			c.ensureCodes()
+			c.codes[row] = c.dict.add(v.AsString())
+		}
+	}
+	c.rebuildZone(row / blockSize)
+}
+
+// rebuildZone recomputes one block's zone entry from its rows and refreshes
+// the column-level NaN shortcut. Tombstoned rows still participate — their
+// values remain in the vectors, so including them keeps the zone a sound
+// over-approximation and the typed bulk loops valid for every physical row.
+func (c *column) rebuildZone(bi int) {
+	lo := bi * blockSize
+	hi := lo + blockSize
+	if hi > len(c.kinds) {
+		hi = len(c.kinds)
+	}
+	z := zone{min: math.Inf(1), max: math.Inf(-1)}
+	for r := lo; r < hi; r++ {
+		z.fold(c.kinds[r], c.value(r))
+	}
+	c.zones[bi] = z
+	nan := false
+	for i := range c.zones {
+		if c.zones[i].hasNaN {
+			nan = true
+			break
+		}
+	}
+	c.nan = nan
+}
+
+// migrateToRaw abandons the dictionary for raw per-row string storage: the
+// adaptive fallback for high-cardinality columns (titles, abstracts) where
+// nearly every value is distinct and the dictionary map is pure overhead.
+func (c *column) migrateToRaw() {
+	raw := make([]string, len(c.kinds))
+	for r, k := range c.kinds {
+		if k == predicate.KindString {
+			raw[r] = c.dict.strs[c.codes[r]]
+		}
+	}
+	c.rawStrs = raw
+	c.codes = nil
+	c.dict = strDict{}
+	c.rawMode = true
 }
 
 func (c *column) growNums(row int) {
@@ -158,6 +261,39 @@ func (c *column) growCodes(row int) {
 	}
 }
 
+func (c *column) growRaw(row int) {
+	if c.rawStrs == nil {
+		c.rawStrs = make([]string, row, row+64)
+	}
+}
+
+func (c *column) ensureNums() {
+	if c.nums == nil {
+		c.nums = make([]uint64, len(c.kinds))
+	}
+}
+
+func (c *column) ensureCodes() {
+	if c.codes == nil {
+		c.codes = make([]uint32, len(c.kinds))
+	}
+}
+
+func (c *column) ensureRaw() {
+	if c.rawStrs == nil {
+		c.rawStrs = make([]string, len(c.kinds))
+	}
+}
+
+// strAt returns the string payload of a KindString row in either storage
+// mode.
+func (c *column) strAt(row int) string {
+	if c.rawMode {
+		return c.rawStrs[row]
+	}
+	return c.dict.strs[c.codes[row]]
+}
+
 // value reboxes the row as a predicate.Value.
 func (c *column) value(row int) predicate.Value {
 	switch c.kinds[row] {
@@ -166,7 +302,7 @@ func (c *column) value(row int) predicate.Value {
 	case predicate.KindFloat:
 		return predicate.Float(math.Float64frombits(c.nums[row]))
 	case predicate.KindString:
-		return predicate.String(c.dict.strs[c.codes[row]])
+		return predicate.String(c.strAt(row))
 	default:
 		return predicate.Null()
 	}
@@ -242,7 +378,7 @@ func (c *column) cmp3At(row int, lit litVal) (int, bool) {
 		if !lit.isStr {
 			return 0, false
 		}
-		s := c.dict.strs[c.codes[row]]
+		s := c.strAt(row)
 		switch {
 		case s < lit.s:
 			return -1, true

@@ -1,0 +1,244 @@
+package relstore
+
+import (
+	"fmt"
+
+	"hypre/internal/predicate"
+)
+
+// This file is the write half of the online-mutation subsystem. Deletes are
+// tombstones over the columnar vectors (row ids stay stable forever, so the
+// evaluator's row→dense-id plumbing survives any mutation mix); updates
+// overwrite in place and rebuild the touched block's zone map exactly.
+// Hash-index repair is lazy for deletes (dead ids linger in buckets and are
+// filtered at every consumption point; fresh builds skip them) and eager
+// for updates (the old-key bucket drops the id, the new-key bucket gains
+// it — an update must be findable under its new value immediately).
+// Join-CSR repair is lazy: each mutation bumps the table epoch, and the
+// cached existence vector + right→left CSR rebuild on next use when their
+// build epoch is stale.
+//
+// Snapshot semantics: a scan holds the state lock of every table it touches
+// (shared, acquired in creation order) for its full duration, so it
+// observes exactly one epoch per table; mutations wait for in-flight
+// readers and commit atomically under the exclusive lock. Committed
+// mutations are additionally journaled in a bounded change log with
+// pre-images, which the delta-maintenance layer drains via ChangedSince to
+// repair derived caches incrementally instead of rematerializing.
+
+// ChangeKind tags one committed mutation in a table's change log.
+type ChangeKind uint8
+
+const (
+	// ChangeInsert is a row append; Old is nil.
+	ChangeInsert ChangeKind = iota
+	// ChangeUpdate is an in-place overwrite; Old is the full pre-image row.
+	ChangeUpdate
+	// ChangeDelete is a tombstone; Old is the full pre-image row.
+	ChangeDelete
+)
+
+// RowChange is one committed mutation: the epoch it committed at, the row it
+// touched, and (for updates and deletes) the row's pre-image — which is what
+// lets a delta consumer map a join-table change back to the base rows that
+// were partnered with the OLD key, not just the new one.
+type RowChange struct {
+	Epoch uint64
+	Row   int
+	Kind  ChangeKind
+	Old   []predicate.Value
+}
+
+// maxChangeLog bounds the per-table change log. On overflow the oldest half
+// is trimmed and ChangedSince reports ok=false for epochs older than the
+// trim point, telling delta consumers to fall back to a full rebuild.
+const maxChangeLog = 1 << 15
+
+// Epoch returns the table's current mutation epoch: 0 for a fresh table,
+// bumped by every committed Insert/Update/Delete.
+func (t *Table) Epoch() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.gen
+}
+
+// Alive reports whether row id exists and is not tombstoned.
+func (t *Table) Alive(id int) bool {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	return id >= 0 && id < t.n && !t.isDead(id)
+}
+
+// isDead is the unlocked tombstone probe for scan internals; callers hold
+// the state lock at least shared.
+func (t *Table) isDead(id int) bool {
+	return t.nDead > 0 && t.dead[id>>6]&(1<<(uint(id)&63)) != 0
+}
+
+// Delete tombstones row id. It returns false when the id is out of range or
+// the row is already dead. The row's values stay in the column vectors
+// (zone maps remain sound over-approximations); every read path filters the
+// tombstone bitmap.
+func (t *Table) Delete(id int) bool {
+	t.state.Lock()
+	defer t.state.Unlock()
+	if id < 0 || id >= t.n || t.isDead(id) {
+		return false
+	}
+	old := t.rowVals(id)
+	t.dead[id>>6] |= 1 << (uint(id) & 63)
+	t.nDead++
+	t.mu.Lock()
+	t.gen++
+	epoch := t.gen
+	t.mu.Unlock()
+	t.logChange(RowChange{Epoch: epoch, Row: id, Kind: ChangeDelete, Old: old})
+	return true
+}
+
+// Update overwrites row id with a full replacement row. Changed columns that
+// carry a hash index are repaired eagerly (old bucket drops the id, new
+// bucket gains it); the touched zone-map blocks are rebuilt exactly.
+func (t *Table) Update(id int, vals ...predicate.Value) error {
+	if len(vals) != len(t.schema.Columns) {
+		return fmt.Errorf("relstore: %s expects %d values, got %d",
+			t.schema.Name, len(t.schema.Columns), len(vals))
+	}
+	t.state.Lock()
+	defer t.state.Unlock()
+	return t.updateLocked(id, vals)
+}
+
+// UpdateCol overwrites a single column of row id, leaving the rest of the
+// row untouched.
+func (t *Table) UpdateCol(id int, col string, v predicate.Value) error {
+	pos, ok := t.colIdx[col]
+	if !ok {
+		return fmt.Errorf("relstore: %s has no column %q", t.schema.Name, col)
+	}
+	t.state.Lock()
+	defer t.state.Unlock()
+	if id < 0 || id >= t.n {
+		return fmt.Errorf("relstore: %s has no row %d", t.schema.Name, id)
+	}
+	if t.isDead(id) {
+		return fmt.Errorf("relstore: %s row %d is deleted", t.schema.Name, id)
+	}
+	vals := t.rowVals(id)
+	vals[pos] = v
+	return t.updateLocked(id, vals)
+}
+
+func (t *Table) updateLocked(id int, vals []predicate.Value) error {
+	if id < 0 || id >= t.n {
+		return fmt.Errorf("relstore: %s has no row %d", t.schema.Name, id)
+	}
+	if t.isDead(id) {
+		return fmt.Errorf("relstore: %s row %d is deleted", t.schema.Name, id)
+	}
+	old := t.rowVals(id)
+	for i, v := range vals {
+		// Skip untouched columns: a single-column update must not pay the
+		// zone rebuild (and dict re-hash) of its four siblings. NaN never
+		// compares equal to itself, so a NaN write conservatively re-sets.
+		if old[i] == v {
+			continue
+		}
+		t.cols[i].set(id, v)
+	}
+	t.mu.Lock()
+	t.gen++
+	epoch := t.gen
+	for col, idx := range t.indexes {
+		oldK, newK := indexKey(old[col]), indexKey(vals[col])
+		if oldK == newK {
+			continue
+		}
+		idx[oldK] = removeID(idx[oldK], id)
+		idx[newK] = append(idx[newK], id)
+	}
+	t.mu.Unlock()
+	t.logChange(RowChange{Epoch: epoch, Row: id, Kind: ChangeUpdate, Old: old})
+	return nil
+}
+
+// removeID drops id from an index bucket in place.
+func removeID(ids []int, id int) []int {
+	for i, v := range ids {
+		if v == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// rowVals boxes the full row — the pre-image capture for the change log.
+// Callers hold the state lock.
+func (t *Table) rowVals(id int) []predicate.Value {
+	out := make([]predicate.Value, len(t.cols))
+	for i, c := range t.cols {
+		out[i] = c.value(id)
+	}
+	return out
+}
+
+// logChange appends one committed mutation, trimming the oldest half when
+// the log exceeds maxChangeLog. Callers hold the state lock exclusively.
+func (t *Table) logChange(ch RowChange) {
+	if len(t.chLog) >= maxChangeLog {
+		half := len(t.chLog) / 2
+		t.logFloor = t.chLog[half-1].Epoch
+		t.chLog = append(t.chLog[:0:0], t.chLog[half:]...)
+	}
+	t.chLog = append(t.chLog, ch)
+}
+
+// ChangedSince returns copies of the committed mutations with epoch >
+// since, oldest first. ok=false means the log no longer reaches back that
+// far (trimmed) and the caller must fall back to a full rebuild of whatever
+// it derived from the table.
+func (t *Table) ChangedSince(since uint64) (changes []RowChange, ok bool) {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	if since < t.logFloor {
+		return nil, false
+	}
+	// Binary search for the first entry past since (epochs ascend).
+	lo, hi := 0, len(t.chLog)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.chLog[mid].Epoch <= since {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(t.chLog) {
+		return nil, true
+	}
+	return append([]RowChange(nil), t.chLog[lo:]...), true
+}
+
+// lockShared acquires the data locks of up to two tables shared, in
+// creation order (so concurrent scans over the same table pair can never
+// deadlock against a pending writer), and returns the matching unlock. b
+// may be nil or equal to a.
+func lockShared(a, b *Table) func() {
+	if b == a {
+		b = nil
+	}
+	if b == nil {
+		a.state.RLock()
+		return a.state.RUnlock
+	}
+	first, second := a, b
+	if b.seq < a.seq {
+		first, second = b, a
+	}
+	first.state.RLock()
+	second.state.RLock()
+	return func() {
+		second.state.RUnlock()
+		first.state.RUnlock()
+	}
+}

@@ -177,13 +177,15 @@ func (db *DB) ScanAttrRows(q Query, attr string, emit func(lid int, v int64)) er
 	if where == nil {
 		where = predicate.True{}
 	}
+	unlock := lockShared(left, right)
+	defer unlock()
 	if db.scanAttrRowsVec(left, right, leftPos, rightPos, pos, where, emit) {
 		return nil
 	}
 	// Row-at-a-time fallback, deduped by left row id.
 	seen := make([]uint64, selWords(left.Len()))
 	c := left.cols[pos]
-	return db.scanIDs(q, func(lid, _ int, _ bool) bool {
+	return db.scanIDsLocked(q, left, right, leftPos, rightPos, func(lid, _ int, _ bool) bool {
 		w, m := lid>>6, uint64(1)<<(uint(lid)&63)
 		if seen[w]&m != 0 {
 			return true
@@ -199,8 +201,34 @@ func (db *DB) ScanAttrRows(q Query, attr string, emit func(lid int, v int64)) er
 // scanAttrRowsVec is the vectorized core of ScanAttrRows. It reports false
 // when the query shape defeats vectorization (non-conjunctive cross-side
 // predicates, unknown node types), in which case the caller falls back.
+// Callers hold the state locks of both tables.
 func (db *DB) scanAttrRowsVec(left, right *Table, leftPos, rightPos, attrPos int,
 	where predicate.Predicate, emit func(lid int, v int64)) bool {
+	lsel, ok := db.matchLeftVec(left, right, leftPos, rightPos, where, nil)
+	if !ok {
+		return false
+	}
+	emitSelRows(left, attrPos, lsel, emit)
+	return true
+}
+
+// matchLeftVec computes the selection of live left rows satisfying the
+// (possibly joined) WHERE, entirely through the vectorized kernels.
+//
+// touched (nil for a full scan) switches the delta mode: left-side kernels
+// run only over the blocks containing touched rows, the result is masked to
+// touched, and — critically — the join is answered with O(|touched|)
+// per-row index probes instead of the cached existence vector and
+// right→left CSR. A mutation batch invalidates those O(n)-to-rebuild
+// structures; the delta path must not pay their repair just to re-evaluate
+// a handful of rows (the next full scan repairs them lazily instead).
+// Callers hold the state locks of both tables.
+func (db *DB) matchLeftVec(left, right *Table, leftPos, rightPos int,
+	where predicate.Predicate, touched []uint64) ([]uint64, bool) {
+	var blks []int32
+	if touched != nil {
+		blks = blocksOf(touched, left.n)
+	}
 	resolveL := func(a string) int {
 		if side, p := bindAttr(a, left, right); side == sideLeft {
 			return p
@@ -208,12 +236,15 @@ func (db *DB) scanAttrRowsVec(left, right *Table, leftPos, rightPos, attrPos int
 		return -1
 	}
 	if right == nil {
-		sel, ok := left.evalVec(where, resolveL)
+		sel, ok := left.evalVec(where, resolveL, blks)
 		if !ok {
-			return false
+			return nil, false
 		}
-		emitSelRows(left, attrPos, sel, emit)
-		return true
+		if touched != nil {
+			selMask(sel, touched)
+		}
+		left.selDropDead(sel)
+		return sel, true
 	}
 
 	// Split the conjunction by side: each conjunct must read only one
@@ -222,7 +253,7 @@ func (db *DB) scanAttrRowsVec(left, right *Table, leftPos, rightPos, attrPos int
 	for _, c := range flattenAnd(where) {
 		side, ok := classifySide(c, left, right)
 		if !ok {
-			return false
+			return nil, false
 		}
 		if side == sideRight {
 			rightParts = append(rightParts, c)
@@ -233,9 +264,9 @@ func (db *DB) scanAttrRowsVec(left, right *Table, leftPos, rightPos, attrPos int
 	var lsel []uint64
 	if len(leftParts) > 0 {
 		var ok bool
-		lsel, ok = left.evalVec(predicate.NewAnd(leftParts...), resolveL)
+		lsel, ok = left.evalVec(predicate.NewAnd(leftParts...), resolveL, blks)
 		if !ok {
-			return false
+			return nil, false
 		}
 	}
 	if len(rightParts) == 0 {
@@ -243,14 +274,62 @@ func (db *DB) scanAttrRowsVec(left, right *Table, leftPos, rightPos, attrPos int
 			lsel = make([]uint64, selWords(left.n))
 			selSetRange(lsel, 0, left.n)
 		}
+		if touched != nil {
+			// Delta mode: the join only demands existence for the touched
+			// rows, so probe the right index per row instead of repairing
+			// the O(n) existence vector.
+			selMask(lsel, touched)
+			left.selDropDead(lsel)
+			rightIdx := right.ensureIndex(rightPos)
+			lc := left.cols[leftPos]
+			dropUnpartnered(lsel, func(lid int) bool {
+				for _, rid := range rightIdx[indexKey(lc.value(lid))] {
+					if !right.isDead(rid) {
+						return true
+					}
+				}
+				return false
+			})
+			return lsel, true
+		}
 		// The join only demands existence: AND with the cached vector of
-		// left rows that have at least one partner.
+		// left rows that have at least one partner (dead rows on either
+		// side are already excluded from the cached vector).
 		selAnd(lsel, left.existsVec(right, leftPos, rightPos))
 	} else {
+		rightPred := predicate.NewAnd(rightParts...)
+		if touched != nil {
+			// Delta mode: instead of walking every right row the predicate
+			// matches (O(degree) for a popular join key) and stitching back
+			// through the stale CSR, probe each touched row's few join
+			// partners directly — O(|touched| × fanout), independent of the
+			// table sizes.
+			rf, okc := compileIDFilter(rightPred, left, right)
+			if !okc {
+				return nil, false
+			}
+			if lsel == nil {
+				lsel = make([]uint64, selWords(left.n))
+				selSetRange(lsel, 0, left.n)
+			}
+			selMask(lsel, touched)
+			left.selDropDead(lsel)
+			rightIdx := right.ensureIndex(rightPos)
+			lc := left.cols[leftPos]
+			dropUnpartnered(lsel, func(lid int) bool {
+				for _, rid := range rightIdx[indexKey(lc.value(lid))] {
+					if !right.isDead(rid) && rf(lid, rid, true) {
+						return true
+					}
+				}
+				return false
+			})
+			return lsel, true
+		}
+
 		// Walk the matching right rows back through the join via the cached
 		// right→left CSR: every left row they reach is a hit, then
 		// intersect with the left selection.
-		rightPred := predicate.NewAnd(rightParts...)
 		hit := make([]uint64, selWords(left.n))
 		je := left.joinEntry(right, leftPos, rightPos)
 		stitch := func(rid int) {
@@ -264,10 +343,10 @@ func (db *DB) scanAttrRowsVec(left, right *Table, leftPos, rightPos, attrPos int
 		if rids, ok := rightCandidateIDs(left, right, rightPred); ok {
 			rf, okc := compileIDFilter(rightPred, left, right)
 			if !okc {
-				return false
+				return nil, false
 			}
 			for _, rid := range rids {
-				if rf(0, rid, true) {
+				if !right.isDead(rid) && rf(0, rid, true) {
 					stitch(rid)
 				}
 			}
@@ -278,10 +357,11 @@ func (db *DB) scanAttrRowsVec(left, right *Table, leftPos, rightPos, attrPos int
 				}
 				return -1
 			}
-			rsel, ok := right.evalVec(rightPred, resolveR)
+			rsel, ok := right.evalVec(rightPred, resolveR, nil)
 			if !ok {
-				return false
+				return nil, false
 			}
+			right.selDropDead(rsel)
 			selForEach(rsel, func(rid int) bool {
 				stitch(rid)
 				return true
@@ -293,8 +373,8 @@ func (db *DB) scanAttrRowsVec(left, right *Table, leftPos, rightPos, attrPos int
 			selAnd(lsel, hit)
 		}
 	}
-	emitSelRows(left, attrPos, lsel, emit)
-	return true
+	left.selDropDead(lsel)
+	return lsel, true
 }
 
 func emitSelRows(t *Table, pos int, sel []uint64, emit func(lid int, v int64)) {
@@ -358,10 +438,128 @@ func (db *DB) PrepareQuery(q Query) error {
 	if err != nil {
 		return err
 	}
+	unlock := lockShared(left, right)
+	defer unlock()
 	right.ensureIndex(rightPos)
 	left.ensureIndex(leftPos)
 	left.existsVec(right, leftPos, rightPos)
 	return nil
+}
+
+// MatchLeftRows reports which of the given left rows currently satisfy the
+// query: touched is a selection bitmap over left row ids, and the result is
+// a fresh bitmap ⊆ touched holding exactly the live touched rows the query
+// matches (for a join, rows with at least one matching partner). This is
+// the delta-maintenance primitive: after a mutation batch, each cached
+// predicate re-evaluates only the touched rows — through the vectorized
+// kernels restricted to the touched rows' blocks when the WHERE splits by
+// side, through the compiled per-row filter otherwise — instead of
+// rescanning the table.
+func (db *DB) MatchLeftRows(q Query, touched []uint64) ([]uint64, error) {
+	left := db.Table(q.From)
+	if left == nil {
+		return nil, fmt.Errorf("relstore: unknown table %q", q.From)
+	}
+	if q.Limit > 0 {
+		return nil, fmt.Errorf("relstore: MatchLeftRows does not support Limit")
+	}
+	var right *Table
+	var leftPos, rightPos int
+	if q.Join != nil {
+		var err error
+		right, leftPos, rightPos, err = db.resolveJoin(q)
+		if err != nil {
+			return nil, err
+		}
+	}
+	where := q.Where
+	if where == nil {
+		where = predicate.True{}
+	}
+	unlock := lockShared(left, right)
+	defer unlock()
+
+	out := make([]uint64, selWords(left.n))
+	if !selAny(touched) {
+		return out, nil
+	}
+	if sel, ok := db.matchLeftVec(left, right, leftPos, rightPos, where, touched); ok {
+		n := len(sel)
+		if len(touched) < n {
+			n = len(touched)
+		}
+		for i := 0; i < n; i++ {
+			out[i] = sel[i] & touched[i]
+		}
+		return out, nil
+	}
+
+	// Per-row fallback: the compiled typed filter when the tree compiles,
+	// boxed Predicate.Eval otherwise.
+	filter, compiled := compileIDFilter(where, left, right)
+	match := func(lid, rid int, hasRight bool) bool {
+		if compiled {
+			return filter(lid, rid, hasRight)
+		}
+		row := JoinedRow{Left: left.Row(lid)}
+		if hasRight {
+			row.Right = right.Row(rid)
+			row.HasRight = true
+		}
+		return where.Eval(row)
+	}
+	var rightIdx hashIndex
+	if right != nil {
+		rightIdx = right.ensureIndex(rightPos)
+	}
+	selForEach(touched, func(lid int) bool {
+		if lid >= left.n {
+			return false // touched bits are ascending; nothing left in range
+		}
+		if left.isDead(lid) {
+			return true
+		}
+		if right == nil {
+			if match(lid, 0, false) {
+				selSet(out, lid)
+			}
+			return true
+		}
+		for _, rid := range rightIdx[indexKey(left.cols[leftPos].value(lid))] {
+			if !right.isDead(rid) && match(lid, rid, true) {
+				selSet(out, lid)
+				break
+			}
+		}
+		return true
+	})
+	return out, nil
+}
+
+// LookupRowIDs returns the live row ids of table whose column equals v,
+// through the column's hash index (built on first use). Equality follows
+// indexKey semantics (integral floats collapse onto ints). The delta layer
+// uses it to map a join-table change back to the base rows partnered with
+// the changed key.
+func (db *DB) LookupRowIDs(table, col string, v predicate.Value) ([]int, error) {
+	t := db.Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("relstore: unknown table %q", table)
+	}
+	pos := t.ColumnIndex(col)
+	if pos < 0 {
+		return nil, fmt.Errorf("relstore: %s has no column %q", table, col)
+	}
+	t.state.RLock()
+	defer t.state.RUnlock()
+	idx := t.ensureIndex(pos)
+	var out []int
+	for _, id := range idx[indexKey(v)] {
+		if !t.isDead(id) {
+			out = append(out, id)
+		}
+	}
+	return out, nil
 }
 
 // resolveJoin validates the join spec and resolves its column positions.
@@ -429,33 +627,45 @@ func (db *DB) scan(q Query, emit func(JoinedRow) bool) error {
 	})
 }
 
-// scanIDs is the row-id core of query execution: it streams the (left,
-// right) row-id pairs that satisfy the query. The WHERE tree is compiled
-// once into typed closures over the column vectors (no per-row
-// attribute-name resolution or Value boxing), and the access path is chosen
-// among: left-index candidates, a vectorized full scan when the tree reads
-// only left columns, right-index candidates walked through the join (for
-// predicates that only constrain the joined table, e.g. dblp_author.aid=6),
-// and a full left scan.
+// scanIDs resolves the query's tables, takes their shared data locks for
+// the scan's duration (one consistent epoch per table), and runs the
+// locked core.
 func (db *DB) scanIDs(q Query, emit func(lid, rid int, hasRight bool) bool) error {
 	left := db.Table(q.From)
 	if left == nil {
 		return fmt.Errorf("relstore: unknown table %q", q.From)
 	}
-	where := q.Where
-	if where == nil {
-		where = predicate.True{}
-	}
-
 	var right *Table
 	var leftPos, rightPos int
-	var rightIdx hashIndex
 	if q.Join != nil {
 		var err error
 		right, leftPos, rightPos, err = db.resolveJoin(q)
 		if err != nil {
 			return err
 		}
+	}
+	unlock := lockShared(left, right)
+	defer unlock()
+	return db.scanIDsLocked(q, left, right, leftPos, rightPos, emit)
+}
+
+// scanIDsLocked is the row-id core of query execution: it streams the (left,
+// right) row-id pairs that satisfy the query. The WHERE tree is compiled
+// once into typed closures over the column vectors (no per-row
+// attribute-name resolution or Value boxing), and the access path is chosen
+// among: left-index candidates, a vectorized full scan when the tree reads
+// only left columns, right-index candidates walked through the join (for
+// predicates that only constrain the joined table, e.g. dblp_author.aid=6),
+// and a full left scan. Tombstoned rows never reach emit. Callers hold the
+// state locks of both tables.
+func (db *DB) scanIDsLocked(q Query, left, right *Table, leftPos, rightPos int,
+	emit func(lid, rid int, hasRight bool) bool) error {
+	where := q.Where
+	if where == nil {
+		where = predicate.True{}
+	}
+	var rightIdx hashIndex
+	if right != nil {
 		rightIdx = right.ensureIndex(rightPos)
 	}
 
@@ -473,6 +683,9 @@ func (db *DB) scanIDs(q Query, emit func(lid, rid int, hasRight bool) bool) erro
 	}
 
 	emitLeft := func(lid int) bool {
+		if left.isDead(lid) {
+			return true
+		}
 		if right == nil {
 			if match(lid, 0, false) {
 				return emit(lid, 0, false)
@@ -481,6 +694,9 @@ func (db *DB) scanIDs(q Query, emit func(lid, rid int, hasRight bool) bool) erro
 		}
 		rids := rightIdx[indexKey(left.cols[leftPos].value(lid))]
 		for _, rid := range rids {
+			if right.isDead(rid) {
+				continue
+			}
 			if match(lid, rid, true) {
 				if !emit(lid, rid, true) {
 					return false
@@ -508,12 +724,16 @@ func (db *DB) scanIDs(q Query, emit func(lid, rid int, hasRight bool) bool) erro
 				return p
 			}
 			return -1
-		}); ok {
+		}, nil); ok {
+			left.selDropDead(sel)
 			selForEach(sel, func(lid int) bool {
 				if right == nil {
 					return emit(lid, 0, false)
 				}
 				for _, rid := range rightIdx[indexKey(left.cols[leftPos].value(lid))] {
+					if right.isDead(rid) {
+						continue
+					}
 					if !emit(lid, rid, true) {
 						return false
 					}
@@ -536,8 +756,14 @@ func (db *DB) scanIDs(q Query, emit func(lid, rid int, hasRight bool) bool) erro
 		if rightIDs, ok := rightCandidateIDs(left, right, where); ok {
 			lidx := left.ensureIndex(leftPos)
 			for _, rid := range rightIDs {
+				if right.isDead(rid) {
+					continue
+				}
 				lids := lidx[indexKey(right.cols[rightPos].value(rid))]
 				for _, lid := range lids {
+					if left.isDead(lid) {
+						continue
+					}
 					if match(lid, rid, true) {
 						if !emit(lid, rid, true) {
 							return nil

@@ -7,16 +7,27 @@
 // preserves their behaviour.
 //
 // Storage is columnar: each table keeps one typed vector per attribute
-// (int64/float64 payload words, dictionary-encoded strings) with per-block
-// min/max zone maps, and predicates compile to vectorized kernels that
-// evaluate a whole block per step into selection bitmaps (see vecscan.go).
-// The row-oriented API (Row, Value, Select) reboxes values on demand.
+// (int64/float64 payload words, dictionary-encoded strings with an
+// adaptive raw-storage fallback for high-cardinality columns) with
+// per-block min/max zone maps, and predicates compile to vectorized
+// kernels that evaluate a whole block per step into selection bitmaps
+// (see vecscan.go). The row-oriented API (Row, Value, Select) reboxes
+// values on demand.
+//
+// The store is mutable and serves online workloads: Delete tombstones,
+// Update overwrites in place (rebuilding the touched block's zone map
+// exactly), scans and mutations interleave safely under a reader/writer
+// epoch discipline, and every committed mutation lands in a bounded
+// per-table change log with pre-images so derived caches can be repaired
+// incrementally (MatchLeftRows + internal/delta) instead of
+// rematerialized. See mutate.go for the full write-path contract.
 package relstore
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"hypre/internal/predicate"
 )
@@ -37,18 +48,35 @@ type Schema struct {
 func (s *Schema) Arity() int { return len(s.Columns) }
 
 // Table holds the rows of one relation as typed column vectors plus optional
-// hash indexes. Reads are safe concurrently; lazy structures (indexes, the
-// join-existence vectors) are built under mu, and Insert takes mu, so the
-// "concurrent reads after the load phase" contract of DB extends to scans
-// that race with index builds.
+// hash indexes. The store is mutable: Insert appends, Update overwrites in
+// place, Delete tombstones (row ids are stable forever; see mutate.go for
+// the update path, snapshot semantics, and the change log).
+//
+// Concurrency: every mutation takes the state lock exclusively; every scan
+// holds it shared for the scan's full duration, acquiring multi-table locks
+// in creation (seq) order so reader pairs can never deadlock against
+// writers. A scan therefore observes one consistent epoch of each table it
+// touches — mutations wait for in-flight readers and advance the epoch
+// atomically. Lazy structures (indexes, the join-existence vectors) are
+// built under mu, nested inside the state lock, and rebuilt when the epoch
+// they were built at goes stale.
 type Table struct {
 	schema *Schema
 	colIdx map[string]int // bare column name -> position
 	cols   []*column
-	n      int // row count
+	n      int // physical row count, tombstoned rows included
+
+	seq     uint64       // creation ticket; canonical shared-lock order
+	state   sync.RWMutex // data lock: mutations exclusive, whole scans shared
+	nPublic atomic.Int64 // committed row count; lock-free Len for any caller
+	dead    []uint64     // tombstone bitmap, selWords(n) words
+	nDead   int
+
+	chLog    []RowChange // committed mutations, ascending epoch (mutate.go)
+	logFloor uint64      // epochs <= logFloor have been trimmed from chLog
 
 	mu      sync.RWMutex
-	gen     uint64            // bumped on every Insert; invalidates exists vectors
+	gen     uint64            // epoch: bumped on every mutation; invalidates caches
 	indexes map[int]hashIndex // column position -> value-key -> row ids
 	exists  map[existsKey]*existsEntry
 }
@@ -92,6 +120,9 @@ func indexKey(v predicate.Value) predicate.Value {
 	return v
 }
 
+// tableSeq hands out creation tickets for the canonical lock order.
+var tableSeq atomic.Uint64
+
 func newTable(s *Schema) *Table {
 	ci := make(map[string]int, len(s.Columns))
 	cols := make([]*column, len(s.Columns))
@@ -99,14 +130,26 @@ func newTable(s *Schema) *Table {
 		ci[c.Name] = i
 		cols[i] = &column{}
 	}
-	return &Table{schema: s, colIdx: ci, cols: cols, indexes: make(map[int]hashIndex)}
+	return &Table{schema: s, colIdx: ci, cols: cols,
+		seq: tableSeq.Add(1), indexes: make(map[int]hashIndex)}
 }
 
 // Schema returns the table's schema.
 func (t *Table) Schema() *Schema { return t.schema }
 
-// Len returns the number of rows (Table 10's "Cardinality").
-func (t *Table) Len() int { return t.n }
+// Len returns the number of physical rows, tombstoned rows included — the
+// valid row-id range is always [0, Len). Use Live for the result-visible
+// cardinality. Len is lock-free (safe under or outside the scan locks);
+// concurrent inserts make it a momentarily-stale lower bound.
+func (t *Table) Len() int { return int(t.nPublic.Load()) }
+
+// Live returns the number of rows that are not tombstoned (Table 10's
+// "Cardinality").
+func (t *Table) Live() int {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	return t.n - t.nDead
+}
 
 // ColumnIndex resolves a bare column name to its position, or -1.
 func (t *Table) ColumnIndex(name string) int {
@@ -118,24 +161,33 @@ func (t *Table) ColumnIndex(name string) int {
 
 // Insert appends a row. The value count must match the schema arity; values
 // are stored as given (the engine trusts callers on types, like MySQL in
-// non-strict mode).
+// non-strict mode). Safe to call concurrently with scans: the insert waits
+// for in-flight readers and commits atomically.
 func (t *Table) Insert(vals ...predicate.Value) (int, error) {
 	if len(vals) != len(t.schema.Columns) {
 		return 0, fmt.Errorf("relstore: %s expects %d values, got %d",
 			t.schema.Name, len(t.schema.Columns), len(vals))
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.state.Lock()
+	defer t.state.Unlock()
 	id := t.n
 	for i, v := range vals {
 		t.cols[i].append(v)
 	}
 	t.n++
+	t.nPublic.Store(int64(t.n))
+	for selWords(t.n) > len(t.dead) {
+		t.dead = append(t.dead, 0)
+	}
+	t.mu.Lock()
 	t.gen++
+	epoch := t.gen
 	for col, idx := range t.indexes {
 		k := indexKey(t.cols[col].value(id))
 		idx[k] = append(idx[k], id)
 	}
+	t.mu.Unlock()
+	t.logChange(RowChange{Epoch: epoch, Row: id, Kind: ChangeInsert})
 	return id, nil
 }
 
@@ -145,16 +197,24 @@ func (t *Table) BuildIndex(col string) error {
 	if !ok {
 		return fmt.Errorf("relstore: %s has no column %q", t.schema.Name, col)
 	}
+	t.state.RLock()
+	defer t.state.RUnlock()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.buildIndexLocked(pos)
 	return nil
 }
 
+// buildIndexLocked builds the index over live rows only; deleted ids linger
+// in existing buckets (lazy repair) but fresh builds never include them.
+// Callers hold t.state at least shared and t.mu exclusively.
 func (t *Table) buildIndexLocked(pos int) hashIndex {
 	idx := make(hashIndex, t.n)
 	c := t.cols[pos]
 	for id := 0; id < t.n; id++ {
+		if t.isDead(id) {
+			continue
+		}
 		k := indexKey(c.value(id))
 		idx[k] = append(idx[k], id)
 	}
@@ -203,7 +263,9 @@ func (t *Table) existsVec(right *Table, leftPos, rightPos int) []uint64 {
 }
 
 // joinEntry returns the cached join plumbing (existence vector + right→left
-// CSR), rebuilding it when either table changed.
+// CSR), rebuilding it when either table's epoch moved (the lazy CSR repair
+// after a mutation batch). Tombstoned rows on either side are excluded.
+// Callers hold the state locks of both tables at least shared.
 func (t *Table) joinEntry(right *Table, leftPos, rightPos int) *existsEntry {
 	key := existsKey{right: right, leftPos: leftPos, rightPos: rightPos}
 	t.mu.RLock()
@@ -224,9 +286,14 @@ func (t *Table) joinEntry(right *Table, leftPos, rightPos int) *existsEntry {
 	var lids []int32
 	rc := right.cols[rightPos]
 	for rid := 0; rid < right.n; rid++ {
-		for _, lid := range lidx[indexKey(rc.value(rid))] {
-			sel[lid>>6] |= 1 << (uint(lid) & 63)
-			lids = append(lids, int32(lid))
+		if !right.isDead(rid) {
+			for _, lid := range lidx[indexKey(rc.value(rid))] {
+				if t.isDead(lid) {
+					continue
+				}
+				sel[lid>>6] |= 1 << (uint(lid) & 63)
+				lids = append(lids, int32(lid))
+			}
 		}
 		off[rid+1] = int32(len(lids))
 	}
@@ -243,10 +310,18 @@ func (t *Table) joinEntry(right *Table, leftPos, rightPos int) *existsEntry {
 // Row returns a predicate.Row view of row id.
 func (t *Table) Row(id int) RowRef { return RowRef{t: t, id: id} }
 
-// Value returns the raw value at (row, bare column), or NULL.
+// Value returns the raw value at (row, bare column), or NULL. Tombstoned
+// rows still answer (their payloads stay in the vectors); check Alive when
+// liveness matters. Value takes the state lock shared, so it is safe
+// against concurrent mutations (each call reads one committed epoch).
 func (t *Table) Value(id int, col string) predicate.Value {
 	pos, ok := t.colIdx[col]
-	if !ok || id < 0 || id >= t.n {
+	if !ok || id < 0 {
+		return predicate.Null()
+	}
+	t.state.RLock()
+	defer t.state.RUnlock()
+	if id >= t.n {
 		return predicate.Null()
 	}
 	return t.cols[pos].value(id)
@@ -353,7 +428,7 @@ func (db *DB) Stats() []TableStat {
 	defer db.mu.RUnlock()
 	out := make([]TableStat, 0, len(db.tables))
 	for name, t := range db.tables {
-		out = append(out, TableStat{Name: name, Arity: t.schema.Arity(), Cardinality: t.Len()})
+		out = append(out, TableStat{Name: name, Arity: t.schema.Arity(), Cardinality: t.Live()})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

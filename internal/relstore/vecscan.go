@@ -43,6 +43,83 @@ func selAnd(dst, src []uint64) {
 	}
 }
 
+// selAndNot clears from dst every bit set in src — the tombstone subtraction
+// every root-level selection pays before rows are emitted. (Leaves cannot
+// subtract tombstones themselves: a NOT above them would resurrect the dead
+// rows.)
+func selAndNot(dst, src []uint64) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] &^= src[i]
+	}
+}
+
+// selDropDead subtracts t's tombstones from a root-level selection; no-op
+// when the table has no dead rows.
+func (t *Table) selDropDead(sel []uint64) {
+	if t.nDead > 0 {
+		selAndNot(sel, t.dead)
+	}
+}
+
+// selMask is dst &= src with missing src words reading as zero (the mask
+// may be shorter than the selection when rows were inserted after the mask
+// was built).
+func selMask(dst, src []uint64) {
+	n := len(src)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] &= src[i]
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
+}
+
+// dropUnpartnered clears every set bit whose row fails the probe — the
+// delta-mode join-existence test, one index probe per surviving row.
+func dropUnpartnered(sel []uint64, hasPartner func(lid int) bool) {
+	for wi := range sel {
+		w := sel[wi]
+		base := wi << 6
+		for w != 0 {
+			lid := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			if !hasPartner(lid) {
+				sel[wi] &^= 1 << (uint(lid) & 63)
+			}
+		}
+	}
+}
+
+// blocksOf lists the (ascending) block indexes containing at least one set
+// bit of sel — the restriction list that lets delta maintenance re-evaluate
+// only the touched rows' blocks through the vectorized kernels.
+func blocksOf(sel []uint64, n int) []int32 {
+	var out []int32
+	nb := (n + blockSize - 1) / blockSize
+	wordsPerBlock := blockSize / 64
+	for bi := 0; bi < nb; bi++ {
+		lo := bi * wordsPerBlock
+		hi := lo + wordsPerBlock
+		if hi > len(sel) {
+			hi = len(sel)
+		}
+		for w := lo; w < hi; w++ {
+			if sel[w] != 0 {
+				out = append(out, int32(bi))
+				break
+			}
+		}
+	}
+	return out
+}
+
 func selOr(dst, src []uint64) {
 	for i := range dst {
 		dst[i] |= src[i]
@@ -89,7 +166,14 @@ func selForEach(sel []uint64, fn func(i int) bool) {
 // false — exactly the collapsed three-valued semantics of the row filter.
 // ok=false means the tree contains a node the vectorized engine does not
 // know; callers fall back to the row-at-a-time scan.
-func (t *Table) evalVec(p predicate.Predicate, resolve func(string) int) ([]uint64, bool) {
+//
+// blks restricts the kernels to the listed blocks (nil = all): leaves fill
+// only those blocks' words, the boolean algebra runs over full-length word
+// arrays, and bits outside the listed blocks are unspecified — callers that
+// restrict MUST mask the result with their touched-row selection. This is
+// the delta-maintenance path: after a mutation batch only the touched
+// blocks re-run, not the table.
+func (t *Table) evalVec(p predicate.Predicate, resolve func(string) int, blks []int32) ([]uint64, bool) {
 	switch node := p.(type) {
 	case predicate.True:
 		sel := make([]uint64, selWords(t.n))
@@ -98,23 +182,23 @@ func (t *Table) evalVec(p predicate.Predicate, resolve func(string) int) ([]uint
 	case *predicate.Cmp:
 		sel := make([]uint64, selWords(t.n))
 		if pos := resolve(node.Attr); pos >= 0 {
-			t.scanCmp(pos, node.Op, node.Val, sel)
+			t.scanCmp(pos, node.Op, node.Val, sel, blks)
 		}
 		return sel, true
 	case *predicate.Between:
 		sel := make([]uint64, selWords(t.n))
 		if pos := resolve(node.Attr); pos >= 0 {
-			t.scanBetween(pos, node.Lo, node.Hi, sel)
+			t.scanBetween(pos, node.Lo, node.Hi, sel, blks)
 		}
 		return sel, true
 	case *predicate.In:
 		sel := make([]uint64, selWords(t.n))
 		if pos := resolve(node.Attr); pos >= 0 {
-			t.scanIn(pos, node.Vals, sel)
+			t.scanIn(pos, node.Vals, sel, blks)
 		}
 		return sel, true
 	case *predicate.Not:
-		sel, ok := t.evalVec(node.Kid, resolve)
+		sel, ok := t.evalVec(node.Kid, resolve, blks)
 		if !ok {
 			return nil, false
 		}
@@ -123,7 +207,7 @@ func (t *Table) evalVec(p predicate.Predicate, resolve func(string) int) ([]uint
 	case *predicate.And:
 		var acc []uint64
 		for _, k := range node.Kids {
-			sel, ok := t.evalVec(k, resolve)
+			sel, ok := t.evalVec(k, resolve, blks)
 			if !ok {
 				return nil, false
 			}
@@ -144,7 +228,7 @@ func (t *Table) evalVec(p predicate.Predicate, resolve func(string) int) ([]uint
 	case *predicate.Or:
 		acc := make([]uint64, selWords(t.n))
 		for _, k := range node.Kids {
-			sel, ok := t.evalVec(k, resolve)
+			sel, ok := t.evalVec(k, resolve, blks)
 			if !ok {
 				return nil, false
 			}
@@ -156,22 +240,41 @@ func (t *Table) evalVec(p predicate.Predicate, resolve func(string) int) ([]uint
 	}
 }
 
+// blockAt maps kernel iteration k to a block index: identity when blks is
+// nil (full scan), the k-th listed block otherwise.
+func blockAt(blks []int32, k int) int {
+	if blks == nil {
+		return k
+	}
+	return int(blks[k])
+}
+
+// blockIters returns the kernel iteration count for a column under an
+// optional block restriction.
+func blockIters(c *column, blks []int32) int {
+	if blks == nil {
+		return len(c.zones)
+	}
+	return len(blks)
+}
+
 // scanCmp is the vectorized kernel for Attr Op Literal: per block it applies
 // the zone-map test, then either skips, bulk-accepts, or runs the tight
 // typed row loop. NULL literals match nothing (Compare against NULL fails).
-func (t *Table) scanCmp(pos int, op predicate.Op, val predicate.Value, sel []uint64) {
+func (t *Table) scanCmp(pos int, op predicate.Op, val predicate.Value, sel []uint64, blks []int32) {
 	c := t.cols[pos]
 	lit := analyzeLit(val)
 	switch {
 	case lit.isNum:
-		t.scanCmpNum(c, op, lit.f, sel)
+		t.scanCmpNum(c, op, lit.f, sel, blks)
 	case lit.isStr:
-		t.scanCmpStr(c, op, lit.s, sel)
+		t.scanCmpStr(c, op, lit.s, sel, blks)
 	}
 }
 
-func (t *Table) scanCmpNum(c *column, op predicate.Op, lit float64, sel []uint64) {
-	for bi := range c.zones {
+func (t *Table) scanCmpNum(c *column, op predicate.Op, lit float64, sel []uint64, blks []int32) {
+	for k, nk := 0, blockIters(c, blks); k < nk; k++ {
+		bi := blockAt(blks, k)
 		z := &c.zones[bi]
 		lo, hi := bi*blockSize, min((bi+1)*blockSize, t.n)
 		if !z.hasNum {
@@ -244,15 +347,16 @@ func zoneFullCmp(z *zone, op predicate.Op, lit float64) bool {
 	}
 }
 
-func (t *Table) scanCmpStr(c *column, op predicate.Op, lit string, sel []uint64) {
-	if op == predicate.OpEq {
+func (t *Table) scanCmpStr(c *column, op predicate.Op, lit string, sel []uint64, blks []int32) {
+	if op == predicate.OpEq && !c.rawMode {
 		// Dictionary equality: one code comparison per row, and a literal
 		// absent from the dictionary empties the scan before touching any.
 		code, ok := c.dict.code(lit)
 		if !ok {
 			return
 		}
-		for bi := range c.zones {
+		for k, nk := 0, blockIters(c, blks); k < nk; k++ {
+			bi := blockAt(blks, k)
 			z := &c.zones[bi]
 			if !z.hasStr {
 				continue
@@ -275,8 +379,35 @@ func (t *Table) scanCmpStr(c *column, op predicate.Op, lit string, sel []uint64)
 		}
 		return
 	}
+	if op == predicate.OpEq {
+		// Raw-mode equality: direct string comparison per string row.
+		for k, nk := 0, blockIters(c, blks); k < nk; k++ {
+			bi := blockAt(blks, k)
+			z := &c.zones[bi]
+			if !z.hasStr {
+				continue
+			}
+			lo, hi := bi*blockSize, min((bi+1)*blockSize, t.n)
+			if z.pureStr() {
+				raws := c.rawStrs[lo:hi]
+				for i, s := range raws {
+					if s == lit {
+						selSet(sel, lo+i)
+					}
+				}
+				continue
+			}
+			for r := lo; r < hi; r++ {
+				if c.kinds[r] == predicate.KindString && c.rawStrs[r] == lit {
+					selSet(sel, r)
+				}
+			}
+		}
+		return
+	}
 	lv := litVal{isStr: true, s: lit}
-	for bi := range c.zones {
+	for k, nk := 0, blockIters(c, blks); k < nk; k++ {
+		bi := blockAt(blks, k)
 		z := &c.zones[bi]
 		if !z.hasStr {
 			continue
@@ -294,12 +425,13 @@ func (t *Table) scanCmpStr(c *column, op predicate.Op, lit string, sel []uint64)
 // it is comparable with both bounds and lies inside; bounds of different
 // classes (one numeric, one string) can never both compare, so the result
 // is empty.
-func (t *Table) scanBetween(pos int, lov, hiv predicate.Value, sel []uint64) {
+func (t *Table) scanBetween(pos int, lov, hiv predicate.Value, sel []uint64, blks []int32) {
 	c := t.cols[pos]
 	llo, lhi := analyzeLit(lov), analyzeLit(hiv)
 	switch {
 	case llo.isNum && lhi.isNum:
-		for bi := range c.zones {
+		for k, nk := 0, blockIters(c, blks); k < nk; k++ {
+			bi := blockAt(blks, k)
 			z := &c.zones[bi]
 			lo, hi := bi*blockSize, min((bi+1)*blockSize, t.n)
 			if !z.hasNum {
@@ -331,7 +463,8 @@ func (t *Table) scanBetween(pos int, lov, hiv predicate.Value, sel []uint64) {
 			}
 		}
 	case llo.isStr && lhi.isStr:
-		for bi := range c.zones {
+		for k, nk := 0, blockIters(c, blks); k < nk; k++ {
+			bi := blockAt(blks, k)
 			z := &c.zones[bi]
 			if !z.hasStr {
 				continue
@@ -341,7 +474,7 @@ func (t *Table) scanBetween(pos int, lov, hiv predicate.Value, sel []uint64) {
 				if c.kinds[r] != predicate.KindString {
 					continue
 				}
-				s := c.dict.strs[c.codes[r]]
+				s := c.strAt(r)
 				if s >= llo.s && s <= lhi.s {
 					selSet(sel, r)
 				}
@@ -352,11 +485,13 @@ func (t *Table) scanBetween(pos int, lov, hiv predicate.Value, sel []uint64) {
 
 // scanIn is the kernel for Attr IN (v1, ...): numeric members match by
 // widened three-way equality, string members resolve to dictionary codes
-// once (absent strings can never match).
-func (t *Table) scanIn(pos int, vals []predicate.Value, sel []uint64) {
+// once (absent strings can never match) — or compare raw strings when the
+// column has migrated off the dictionary.
+func (t *Table) scanIn(pos int, vals []predicate.Value, sel []uint64, blks []int32) {
 	c := t.cols[pos]
 	var nums []float64
 	var codes []uint32
+	var strs []string
 	nanVal := false
 	for _, v := range vals {
 		lv := analyzeLit(v)
@@ -367,15 +502,18 @@ func (t *Table) scanIn(pos int, vals []predicate.Value, sel []uint64) {
 				nanVal = true
 			}
 		case lv.isStr:
-			if code, ok := c.dict.code(lv.s); ok {
+			if c.rawMode {
+				strs = append(strs, lv.s)
+			} else if code, ok := c.dict.code(lv.s); ok {
 				codes = append(codes, code)
 			}
 		}
 	}
-	if len(nums) == 0 && len(codes) == 0 {
+	if len(nums) == 0 && len(codes) == 0 && len(strs) == 0 {
 		return
 	}
-	for bi := range c.zones {
+	for k, nk := 0, blockIters(c, blks); k < nk; k++ {
+		bi := blockAt(blks, k)
 		z := &c.zones[bi]
 		lo, hi := bi*blockSize, min((bi+1)*blockSize, t.n)
 		if !z.hasNum && !z.hasStr {
@@ -404,6 +542,16 @@ func (t *Table) scanIn(pos int, vals []predicate.Value, sel []uint64) {
 					}
 				}
 			case predicate.KindString:
+				if c.rawMode {
+					s := c.rawStrs[r]
+					for _, m := range strs {
+						if s == m {
+							selSet(sel, r)
+							break
+						}
+					}
+					continue
+				}
 				cd := c.codes[r]
 				for _, code := range codes {
 					if cd == code {
@@ -415,4 +563,3 @@ func (t *Table) scanIn(pos int, vals []predicate.Value, sel []uint64) {
 		}
 	}
 }
-
