@@ -34,7 +34,27 @@ type benchReport struct {
 	PEPS        []pepsVariantsJSON     `json:"ablation_peps_variants,omitempty"`
 	Materialize []materializeJSON      `json:"materialize_profile,omitempty"`
 	Updates     []updatesJSON          `json:"update_stream,omitempty"`
+	BitmapMem   []bitmapMemJSON        `json:"bitmap_mem,omitempty"`
 	Extra       map[string]interface{} `json:"extra,omitempty"`
+}
+
+// bitmapMemJSON is the per-user compressed-vs-dense bitmap footprint of the
+// evaluator cache (bitset.SizeBytes rollup) plus the store-side masks.
+type bitmapMemJSON struct {
+	UID         int64 `json:"uid"`
+	Preds       int   `json:"preds"`
+	DictEntries int   `json:"dict_entries"`
+
+	CompressedBytes int64   `json:"compressed_bytes"`
+	DenseBytes      int64   `json:"dense_bytes"`
+	Ratio           float64 `json:"dense_over_compressed"`
+
+	SparsePreds           int     `json:"sparse_preds"`
+	SparseCompressedBytes int64   `json:"sparse_compressed_bytes"`
+	SparseDenseBytes      int64   `json:"sparse_dense_bytes"`
+	SparseRatio           float64 `json:"sparse_dense_over_compressed"`
+
+	StoreMaskBytes int64 `json:"store_mask_bytes"`
 }
 
 type materializeJSON struct {
@@ -97,7 +117,7 @@ type pepsVariantsJSON struct {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiment ids (table10,table11,table12,fig13,fig17,fig18,fig26,fig28,fig29,fig32,fig35,fig37,fig39,ablation,materialize,updates) or 'all'")
+		exp     = flag.String("exp", "all", "comma-separated experiment ids (table10,table11,table12,fig13,fig17,fig18,fig26,fig28,fig29,fig32,fig35,fig37,fig39,ablation,materialize,updates,bitmapmem) or 'all'")
 		papers  = flag.Int("papers", 4000, "number of papers in the synthetic network")
 		authors = flag.Int("authors", 1200, "number of authors")
 		venues  = flag.Int("venues", 40, "number of venues")
@@ -331,6 +351,30 @@ func main() {
 		fmt.Println()
 	}
 
+	if run("bitmapmem") {
+		for _, uid := range lab.Users() {
+			r, err := experiments.RunBitmapMem(lab, uid)
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(out)
+			report.BitmapMem = append(report.BitmapMem, bitmapMemJSON{
+				UID:                   r.UID,
+				Preds:                 r.Preds,
+				DictEntries:           r.DictEntries,
+				CompressedBytes:       r.CompressedBytes,
+				DenseBytes:            r.DenseBytes,
+				Ratio:                 r.Ratio(),
+				SparsePreds:           r.SparsePreds,
+				SparseCompressedBytes: r.SparseCompressedBytes,
+				SparseDenseBytes:      r.SparseDenseBytes,
+				SparseRatio:           r.SparseRatio(),
+				StoreMaskBytes:        r.StoreMaskBytes,
+			})
+		}
+		fmt.Println()
+	}
+
 	if run("materialize") {
 		const matReps = 5
 		for _, uid := range lab.Users() {
@@ -351,7 +395,7 @@ func main() {
 		fmt.Println()
 	}
 
-	if *bjson != "" && (len(report.Fig39) > 0 || len(report.PairCache) > 0 || len(report.PEPS) > 0 || len(report.Materialize) > 0 || len(report.Updates) > 0) {
+	if *bjson != "" && (len(report.Fig39) > 0 || len(report.PairCache) > 0 || len(report.PEPS) > 0 || len(report.Materialize) > 0 || len(report.Updates) > 0 || len(report.BitmapMem) > 0) {
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,100 @@
+package bitset
+
+// Builder assembles a Set from ascending-ordered emission — the shape of
+// relstore's vectorized kernels, which walk blocks in ascending row order.
+// Bits land in a dense per-container scratch (sized to the domain, at most
+// 8 KiB), and each container compresses to its smallest encoding when the
+// emission moves past it, so a scan's selection never materializes the full
+// domain in words. Out-of-order emission (earlier containers) falls back to
+// Set.Add, so correctness never depends on the ordering — only compactness
+// of the fast path does.
+type Builder struct {
+	s       *Set
+	scratch []uint64
+	curKey  int32 // high key of the container being filled; -1 = none
+	dirty   bool
+	max     int // exclusive key bound (domain size hint)
+}
+
+// NewBuilder returns a builder for keys in [0, max). max only sizes the
+// scratch buffer; emitting beyond it is still correct.
+func NewBuilder(max int) *Builder {
+	words := maxWords
+	if max < containerSpan {
+		words = (max + 63) / 64
+		if words == 0 {
+			words = 1
+		}
+	}
+	return &Builder{s: New(), scratch: make([]uint64, words), curKey: -1, max: max}
+}
+
+// Set marks key i.
+func (b *Builder) Set(i int) {
+	hk := int32(i >> 16)
+	if hk != b.curKey && !b.switchTo(hk) {
+		b.s.Add(i) // out-of-order straggler
+		return
+	}
+	w := (i & 0xffff) >> 6
+	for w >= len(b.scratch) {
+		b.scratch = append(b.scratch, 0)
+	}
+	b.scratch[w] |= 1 << (uint(i) & 63)
+	b.dirty = true
+}
+
+// SetRange marks keys [lo, hi).
+func (b *Builder) SetRange(lo, hi int) {
+	for lo < hi {
+		hk := int32(lo >> 16)
+		end := min(hi, (int(hk)+1)<<16)
+		if hk != b.curKey && !b.switchTo(hk) {
+			b.s.AddRange(lo, end) // out-of-order straggler
+			lo = end
+			continue
+		}
+		cLo, cHi := lo&0xffff, end-int(hk)<<16
+		for (cHi+63)/64 > len(b.scratch) {
+			b.scratch = append(b.scratch, 0)
+		}
+		wordsSetRange(b.scratch, cLo, cHi)
+		b.dirty = true
+		lo = end
+	}
+}
+
+// switchTo flushes the current container and moves to hk; it reports false
+// when hk is behind the emission frontier (already flushed or passed).
+func (b *Builder) switchTo(hk int32) bool {
+	if hk < b.curKey {
+		return false
+	}
+	b.flush()
+	b.curKey = hk
+	return true
+}
+
+// flush compresses the scratch into its container, run detection included.
+func (b *Builder) flush() {
+	if !b.dirty {
+		return
+	}
+	c := fromWords(b.scratch)
+	if !c.isEmpty() {
+		// Emission frontier is ascending, and Set.Add stragglers are always
+		// behind it, so appending keeps the key list sorted.
+		b.s.keys = append(b.s.keys, uint32(b.curKey))
+		b.s.cs = append(b.s.cs, c)
+		b.s.card += int(c.card)
+	}
+	clear(b.scratch)
+	b.dirty = false
+}
+
+// Finish flushes the pending container and returns the built set. The
+// builder must not be reused afterwards.
+func (b *Builder) Finish() *Set {
+	b.flush()
+	return b.s
+}

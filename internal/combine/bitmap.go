@@ -1,6 +1,6 @@
 package combine
 
-import "math/bits"
+import "hypre/internal/bitset"
 
 // PidDict maps sparse tuple ids (pids) to dense bit positions and back. The
 // Evaluator owns one dictionary per store; every predicate set materialized
@@ -50,152 +50,98 @@ func (d *PidDict) PID(i int) int64 { return d.pids[i] }
 // Size returns the number of distinct pids registered.
 func (d *PidDict) Size() int { return len(d.pids) }
 
-// Bitmap is a dense bitset over PidDict indices with a cached cardinality.
-// All binary operations tolerate operands of different word lengths
-// (missing high words read as zero), because the dictionary grows as
-// predicate sets materialize. Operations never mutate their receiver or
-// argument, so cached predicate bitmaps can be shared freely across
-// goroutines once built.
+// Bitmap is a set over PidDict indices, backed by the adaptive compressed
+// containers of internal/bitset: sparse predicate sets cost bytes
+// proportional to their cardinality (sorted-array containers), dense ones
+// keep word-parallel algebra (truncated bitmap containers), and bulk ranges
+// collapse to runs — while every operation stays bit-identical to the dense
+// word-vector implementation this wraps away. Operations never mutate their
+// receiver or argument, so cached predicate bitmaps can be shared freely
+// across goroutines once built; mutation happens only on private bitmaps or
+// copy-on-write Clones (the delta patch path).
 type Bitmap struct {
-	words []uint64
-	card  int
+	s *bitset.Set
 }
 
 // NewBitmap returns an empty bitmap.
-func NewBitmap() *Bitmap { return &Bitmap{} }
+func NewBitmap() *Bitmap { return &Bitmap{s: bitset.New()} }
 
-// Set marks dense index i, growing the word slice as needed.
-func (b *Bitmap) Set(i int) {
-	w := i >> 6
-	for w >= len(b.words) {
-		b.words = append(b.words, 0)
-	}
-	mask := uint64(1) << (uint(i) & 63)
-	if b.words[w]&mask == 0 {
-		b.words[w] |= mask
-		b.card++
-	}
-}
+// wrapSet adopts a bitset.Set built elsewhere (the evaluator's scan
+// conversion) as a Bitmap.
+func wrapSet(s *bitset.Set) *Bitmap { return &Bitmap{s: s} }
+
+// Set marks dense index i.
+func (b *Bitmap) Set(i int) { b.s.Add(i) }
 
 // Contains reports whether dense index i is set.
-func (b *Bitmap) Contains(i int) bool {
-	w := i >> 6
-	return w < len(b.words) && b.words[w]&(1<<(uint(i)&63)) != 0
-}
+func (b *Bitmap) Contains(i int) bool { return b.s.Contains(i) }
 
 // Clear unsets dense index i (a no-op when it is not set). Only the delta
 // maintenance path mutates bitmaps, and only ever on a private Clone — the
 // shared cached bitmaps stay immutable.
-func (b *Bitmap) Clear(i int) {
-	w := i >> 6
-	if w >= len(b.words) {
-		return
-	}
-	mask := uint64(1) << (uint(i) & 63)
-	if b.words[w]&mask != 0 {
-		b.words[w] &^= mask
-		b.card--
-	}
-}
+func (b *Bitmap) Clear(i int) { b.s.Remove(i) }
 
-// Clone returns a deep copy. Delta maintenance patches a clone and swaps it
+// Clone returns a copy safe to patch independently (copy-on-write at
+// container granularity). Delta maintenance patches a clone and swaps it
 // into the cache, so callers holding the previous bitmap keep a consistent
 // (if stale) view.
-func (b *Bitmap) Clone() *Bitmap {
-	return &Bitmap{words: append([]uint64(nil), b.words...), card: b.card}
-}
+func (b *Bitmap) Clone() *Bitmap { return &Bitmap{s: b.s.Clone()} }
 
 // Len returns the cardinality (maintained incrementally; no popcount scan).
-func (b *Bitmap) Len() int { return b.card }
+func (b *Bitmap) Len() int { return b.s.Len() }
 
-// And returns b ∩ o as a new bitmap, computing the popcount in the same
-// pass over the words.
-func (b *Bitmap) And(o *Bitmap) *Bitmap {
-	n := len(b.words)
-	if len(o.words) < n {
-		n = len(o.words)
-	}
-	out := &Bitmap{words: make([]uint64, n)}
-	for i := 0; i < n; i++ {
-		w := b.words[i] & o.words[i]
-		out.words[i] = w
-		out.card += bits.OnesCount64(w)
-	}
-	return out
-}
+// And returns b ∩ o as a new bitmap (word-parallel on dense containers,
+// galloping intersection on sparse ones, full-run short-circuits).
+func (b *Bitmap) And(o *Bitmap) *Bitmap { return &Bitmap{s: b.s.And(o.s)} }
 
 // AndCard returns |b ∩ o| without materializing the intersection — the
 // zero-allocation applicability/count check the pair table and DFS use.
-func (b *Bitmap) AndCard(o *Bitmap) int {
-	n := len(b.words)
-	if len(o.words) < n {
-		n = len(o.words)
-	}
-	c := 0
-	for i := 0; i < n; i++ {
-		c += bits.OnesCount64(b.words[i] & o.words[i])
-	}
-	return c
-}
+func (b *Bitmap) AndCard(o *Bitmap) int { return b.s.AndCard(o.s) }
 
-// Any reports whether b and o intersect, with early exit on the first
-// common word (Definition 15's applicability test).
-func (b *Bitmap) Any(o *Bitmap) bool {
-	n := len(b.words)
-	if len(o.words) < n {
-		n = len(o.words)
-	}
-	for i := 0; i < n; i++ {
-		if b.words[i]&o.words[i] != 0 {
-			return true
-		}
-	}
-	return false
-}
+// AndInto computes a ∩ o into b, reusing b's storage where possible — the
+// scratch discipline that keeps the PEPS chain DFS allocation-free. b must
+// be a private scratch bitmap, never a cached or handed-out one.
+func (b *Bitmap) AndInto(a, o *Bitmap) { b.s.AndInto(a.s, o.s) }
+
+// Any reports whether b and o intersect, with container-level early exit
+// (Definition 15's applicability test).
+func (b *Bitmap) Any(o *Bitmap) bool { return b.s.Intersects(o.s) }
 
 // Or returns b ∪ o as a new bitmap.
-func (b *Bitmap) Or(o *Bitmap) *Bitmap {
-	long, short := b.words, o.words
-	if len(short) > len(long) {
-		long, short = short, long
-	}
-	out := &Bitmap{words: make([]uint64, len(long))}
-	for i := range short {
-		w := long[i] | short[i]
-		out.words[i] = w
-		out.card += bits.OnesCount64(w)
-	}
-	for i := len(short); i < len(long); i++ {
-		out.words[i] = long[i]
-		out.card += bits.OnesCount64(long[i])
-	}
-	return out
-}
+func (b *Bitmap) Or(o *Bitmap) *Bitmap { return &Bitmap{s: b.s.Or(o.s)} }
 
 // AndNot returns b \ o as a new bitmap.
-func (b *Bitmap) AndNot(o *Bitmap) *Bitmap {
-	out := &Bitmap{words: make([]uint64, len(b.words))}
-	for i, w := range b.words {
-		if i < len(o.words) {
-			w &^= o.words[i]
-		}
-		out.words[i] = w
-		out.card += bits.OnesCount64(w)
+func (b *Bitmap) AndNot(o *Bitmap) *Bitmap { return &Bitmap{s: b.s.AndNot(o.s)} }
+
+// ForEach invokes fn with every set dense index, ascending — the iteration
+// primitive PEPS's tuple tracker and the memory accounting use.
+func (b *Bitmap) ForEach(fn func(i int)) {
+	b.s.ForEach(func(i int) bool { fn(i); return true })
+}
+
+// SizeBytes returns the bitmap's compressed memory footprint.
+func (b *Bitmap) SizeBytes() int64 { return b.s.SizeBytes() }
+
+// DenseSizeBytes returns what the bitmap would cost in the dense
+// word-vector representation this package used before compression: one
+// word per 64 dense indices up to the highest set bit — the baseline the
+// MemStats ratios are measured against.
+func (b *Bitmap) DenseSizeBytes() int64 {
+	m, ok := b.s.Max()
+	if !ok {
+		return 0
 	}
-	return out
+	return int64(m>>6+1) * 8
 }
 
 // ForEachPid invokes fn with the pid of every set bit, in dense-index order
 // (which is NOT pid order) — the allocation-free iteration the Top-K list
 // builder uses in place of materialized IntSet slices.
 func (b *Bitmap) ForEachPid(d *PidDict, fn func(int64)) {
-	for wi, w := range b.words {
-		base := wi << 6
-		for w != 0 {
-			fn(d.PID(base + bits.TrailingZeros64(w)))
-			w &= w - 1
-		}
-	}
+	b.s.ForEach(func(i int) bool {
+		fn(d.PID(i))
+		return true
+	})
 }
 
 // AppendPids appends the pids of every set bit to dst (in dense-index
@@ -209,10 +155,10 @@ func (b *Bitmap) AppendPids(d *PidDict, dst []int64) []int64 {
 // the dictionary. Costs one sort; used only where a Record needs its
 // pid-ordered Tuples view.
 func (b *Bitmap) ToIntSet(d *PidDict) IntSet {
-	if b.card == 0 {
+	if b.s.IsEmpty() {
 		return IntSet{}
 	}
-	pids := b.AppendPids(d, make([]int64, 0, b.card))
+	pids := b.AppendPids(d, make([]int64, 0, b.s.Len()))
 	sortInt64(pids)
 	return IntSet(pids)
 }

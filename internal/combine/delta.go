@@ -1,12 +1,12 @@
 package combine
 
 import (
-	"math/bits"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"hypre/internal/bitset"
 	"hypre/internal/hypre"
 	"hypre/internal/predicate"
 	"hypre/internal/relstore"
@@ -35,6 +35,18 @@ import (
 // With duplicate keys, a bit shared with an untouched row could be cleared
 // spuriously; the delta subsystem documents the uniqueness requirement.
 func (ev *Evaluator) RefreshRows(lids []int) (changed []string, ok bool, err error) {
+	touched := bitset.New()
+	for _, lid := range lids {
+		if lid >= 0 {
+			touched.Add(lid)
+		}
+	}
+	return ev.RefreshRowSet(touched)
+}
+
+// RefreshRowSet is RefreshRows with the touched rows already in compressed
+// mask form — the delta maintainer accumulates them that way directly.
+func (ev *Evaluator) RefreshRowSet(touched *bitset.Set) (changed []string, ok bool, err error) {
 	ev.mu.Lock()
 	defer ev.mu.Unlock()
 	if len(ev.bits) == 0 {
@@ -56,18 +68,11 @@ func (ev *Evaluator) RefreshRows(lids []int) (changed []string, ok bool, err err
 			ev.pidByRow = append(ev.pidByRow, tbl.Value(lid, keyCol).AsInt())
 		}
 	}
-	touched := make([]uint64, (len(ev.rowDense)+63)/64)
-	nTouched := 0
-	for _, lid := range lids {
-		if lid < 0 || lid >= len(ev.rowDense) {
-			continue
-		}
-		w, m := lid>>6, uint64(1)<<(uint(lid)&63)
-		if touched[w]&m == 0 {
-			touched[w] |= m
-			nTouched++
-		}
+	if m, has := touched.Max(); has && m >= len(ev.rowDense) {
+		touched = touched.Clone()
+		touched.Retain(func(lid int) bool { return lid < len(ev.rowDense) })
 	}
+	nTouched := touched.Len()
 	if nTouched == 0 {
 		return nil, true, nil
 	}
@@ -82,7 +87,7 @@ func (ev *Evaluator) RefreshRows(lids []int) (changed []string, ok bool, err err
 	partnered := touched
 	if baseQ.Join != nil {
 		var err error
-		partnered, err = ev.db.MatchLeftRows(baseQ, touched)
+		partnered, err = ev.db.MatchLeftRowSet(baseQ, touched)
 		if err != nil {
 			return nil, false, err
 		}
@@ -99,7 +104,7 @@ func (ev *Evaluator) RefreshRows(lids []int) (changed []string, ok bool, err err
 		}
 		predKeys = append(predKeys, pred)
 	}
-	sels := make([][]uint64, len(predKeys))
+	sels := make([]*bitset.Set, len(predKeys))
 	errs := make([]error, len(predKeys))
 	scanOne := func(i int) {
 		sp := ev.preds[predKeys[i]]
@@ -110,7 +115,7 @@ func (ev *Evaluator) RefreshRows(lids []int) (changed []string, ok bool, err err
 			q.Where = sp.P
 			mask = partnered
 		}
-		sels[i], errs[i] = ev.db.MatchLeftRows(q, mask)
+		sels[i], errs[i] = ev.db.MatchLeftRowSet(q, mask)
 	}
 	// Small refreshes run serially: each block-restricted scan is a few
 	// microseconds, so goroutine wake latency would dominate the pool.
@@ -157,26 +162,22 @@ func (ev *Evaluator) RefreshRows(lids []int) (changed []string, ok bool, err err
 		// cannot clear a bit its replacement row still owns.
 		desired := make(map[int32]bool, nTouched)
 		order := make([]int32, 0, nTouched)
-		for wi, w := range touched {
-			base := wi << 6
-			for w != 0 {
-				lid := base + bits.TrailingZeros64(w)
-				w &= w - 1
-				want := lid>>6 < len(sel) && sel[lid>>6]&(1<<(uint(lid)&63)) != 0
-				di := ev.rowDense[lid]
-				if di < 0 {
-					if !want {
-						continue
-					}
-					di = int32(ev.dict.Add(ev.pidByRow[lid]))
-					ev.rowDense[lid] = di
+		touched.ForEach(func(lid int) bool {
+			want := sel.Contains(lid)
+			di := ev.rowDense[lid]
+			if di < 0 {
+				if !want {
+					return true
 				}
-				if _, seen := desired[di]; !seen {
-					order = append(order, di)
-				}
-				desired[di] = desired[di] || want
+				di = int32(ev.dict.Add(ev.pidByRow[lid]))
+				ev.rowDense[lid] = di
 			}
-		}
+			if _, seen := desired[di]; !seen {
+				order = append(order, di)
+			}
+			desired[di] = desired[di] || want
+			return true
+		})
 		var patched *Bitmap
 		for _, di := range order {
 			want := desired[di]

@@ -1,11 +1,11 @@
 package combine
 
 import (
-	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"hypre/internal/bitset"
 	"hypre/internal/hypre"
 	"hypre/internal/predicate"
 	"hypre/internal/relstore"
@@ -140,11 +140,11 @@ func (ev *Evaluator) MaterializeAll(prefs []hypre.ScoredPred) error {
 	}
 
 	// Parallel phase: workers only read the store — no dict access at all.
-	// Each produces the selection vector of matching base-table rows; pids
+	// Each produces the selection set of matching base-table rows; pids
 	// the row scan cannot place (non-left key attributes) are collected and
 	// folded in serially.
 	type result struct {
-		sel      []uint64
+		sel      *bitset.Set
 		leftover []int64
 	}
 	results := make([]result, len(pending))
@@ -223,56 +223,80 @@ func (ev *Evaluator) seedLocked() error {
 	return nil
 }
 
-// convertLocked turns a base-row selection vector (plus any stray pids)
-// into a dense bitmap, assigning dictionary slots in first-seen order.
-func (ev *Evaluator) convertLocked(sel []uint64, leftover []int64) *Bitmap {
-	b := NewBitmap()
-	for wi, w := range sel {
-		base := wi << 6
-		for w != 0 {
-			lid := base + bits.TrailingZeros64(w)
-			w &= w - 1
+// convertLocked turns a base-row selection set (plus any stray pids) into a
+// container-backed bitmap, assigning dictionary slots in first-seen order
+// (the selection iterates ascending, exactly like the word walk it
+// replaces). Dense ids accumulate in a word scratch and compress in one
+// FromWords pass, so conversion costs word ops, not per-bit container
+// inserts.
+func (ev *Evaluator) convertLocked(sel *bitset.Set, leftover []int64) *Bitmap {
+	// Upper bound on the dense ids this bitmap can touch: every id already
+	// assigned plus one fresh slot per selected row and leftover pid.
+	maxIDs := ev.dict.Size() + len(leftover)
+	if sel != nil {
+		maxIDs += sel.Len()
+	}
+	words := make([]uint64, (maxIDs+63)/64)
+	if sel != nil {
+		sel.ForEach(func(lid int) bool {
 			di := ev.rowDense[lid]
 			if di < 0 {
 				di = int32(ev.dict.Add(ev.pidByRow[lid]))
 				ev.rowDense[lid] = di
 			}
-			b.Set(int(di))
-		}
+			words[di>>6] |= 1 << (uint(di) & 63)
+			return true
+		})
 	}
 	for _, pid := range leftover {
-		b.Set(ev.dict.Add(pid))
+		di := ev.dict.Add(pid)
+		words[di>>6] |= 1 << (uint(di) & 63)
 	}
-	return b
+	return wrapSet(bitset.FromWords(words))
 }
 
-// scanSel runs one predicate's scan into a base-row selection vector plus
-// any pids the row scan could not place (non-left key attributes fall back
-// to the general distinct scan). It reads only the store and fields frozen
-// by seedLocked, so MaterializeAll workers may call it concurrently.
-func (ev *Evaluator) scanSel(p hypre.ScoredPred) (sel []uint64, leftover []int64, err error) {
+// scanSel runs one predicate's scan into a base-row selection set plus any
+// pids the row scan could not place (non-left key attributes fall back to
+// the general distinct scan). The vectorized path hands back the container
+// bitmap the kernels produced (ScanAttrRowSet) — no per-row emission, no
+// recompression. It reads only the store and fields frozen by seedLocked,
+// so MaterializeAll workers may call it concurrently.
+func (ev *Evaluator) scanSel(p hypre.ScoredPred) (sel *bitset.Set, leftover []int64, err error) {
 	q := ev.base(p.P)
 	if q.From == ev.seedFrom && len(ev.rowDense) > 0 {
 		nrows := len(ev.rowDense)
-		sel = make([]uint64, (nrows+63)/64)
-		err = ev.db.ScanAttrRows(q, ev.keyAttr, func(lid int, pid int64) {
-			if lid < nrows {
-				sel[lid>>6] |= 1 << (uint(lid) & 63)
-			} else {
-				leftover = append(leftover, pid)
-			}
+		// Rows inserted after the seed have no cached pid; the scan spills
+		// their key values under its own lock (one consistent epoch) while
+		// the selection keeps only the plumbed rows.
+		sel, ok, err := ev.db.ScanAttrRowSet(q, ev.keyAttr, nrows, func(_ int, pid int64) {
+			leftover = append(leftover, pid)
 		})
-		if err == nil {
+		if err == nil && ok {
 			return sel, leftover, nil
+		}
+		if err == nil && !ok {
+			// Vectorization defeated: the row-at-a-time scan still yields
+			// (row id, pid) pairs to fold through the builder.
+			b := bitset.NewBuilder(nrows)
+			err = ev.db.ScanAttrRows(q, ev.keyAttr, func(lid int, pid int64) {
+				if lid < nrows {
+					b.Set(lid)
+				} else {
+					leftover = append(leftover, pid)
+				}
+			})
+			if err == nil {
+				return b.Finish(), leftover, nil
+			}
 		}
 	}
 	// Different base table than the seeded plumbing, or a key attribute the
 	// row scan cannot serve: collect raw pids instead of row ids.
-	sel, leftover = nil, nil
+	leftover = nil
 	err = ev.db.ScanAttrInts(q, ev.keyAttr, func(pid int64) {
 		leftover = append(leftover, pid)
 	})
-	return sel, leftover, err
+	return nil, leftover, err
 }
 
 // scanBitmapLocked runs one predicate's scan into a fresh dense bitmap.

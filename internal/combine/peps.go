@@ -2,7 +2,6 @@ package combine
 
 import (
 	"math"
-	"math/bits"
 	"sort"
 
 	"hypre/internal/hypre"
@@ -74,19 +73,14 @@ func newTopTracker(dict *PidDict) *topTracker {
 // update credits every tuple of bm with intensity if it beats the tuple's
 // current best.
 func (t *topTracker) update(bm *Bitmap, intensity float64) {
-	for wi, w := range bm.words {
-		base := wi << 6
-		for w != 0 {
-			i := base + bits.TrailingZeros64(w)
-			if t.best[i] < intensity {
-				if t.best[i] < 0 {
-					t.n++
-				}
-				t.best[i] = intensity
+	bm.ForEach(func(i int) {
+		if t.best[i] < intensity {
+			if t.best[i] < 0 {
+				t.n++
 			}
-			w &= w - 1
+			t.best[i] = intensity
 		}
-	}
+	})
 }
 
 // kth returns the k-th highest best intensity and the number of distinct
@@ -216,6 +210,17 @@ func PEPS(prefs []hypre.ScoredPred, pt *PairTable, ev *Evaluator, k int, variant
 	tr := newTopTracker(ev.dict)
 	expansions := 0
 
+	// Per-depth scratch bitmaps for the chain DFS (one live chain per
+	// depth), shared across anchors so steady-state expansion allocates
+	// nothing.
+	var scratch []*Bitmap
+	scratchAt := func(depth int) *Bitmap {
+		for len(scratch) <= depth {
+			scratch = append(scratch, NewBitmap())
+		}
+		return scratch[depth]
+	}
+
 	// Singles participate with their own intensity (f∧ of one member).
 	for i := range prefs {
 		if bms[i].Len() > 0 {
@@ -257,9 +262,11 @@ func PEPS(prefs []hypre.ScoredPred, pt *PairTable, ev *Evaluator, k int, variant
 		// keeps PEPS's assigned intensities equal to TA's aggregates on
 		// quantitative-only profiles, §7.6.3). Each frame receives the
 		// parent's tuple bitmap and Π(1−pᵢ) product; extending the chain is
-		// one AND and one multiply.
-		var dfs func(last int, bm *Bitmap, prod float64) error
-		dfs = func(last int, bm *Bitmap, prod float64) error {
+		// one AND and one multiply, into a per-depth scratch bitmap (one
+		// live chain per depth), so expansion allocates nothing in steady
+		// state.
+		var dfs func(last int, bm *Bitmap, depth int, prod float64) error
+		dfs = func(last int, bm *Bitmap, depth int, prod float64) error {
 			if expansions >= maxChainExpansions {
 				return nil
 			}
@@ -268,20 +275,22 @@ func PEPS(prefs []hypre.ScoredPred, pt *PairTable, ev *Evaluator, k int, variant
 			res.CombosExpanded++
 			for _, e := range pt.CombsOfTwo(last) {
 				next := e.J
-				child := bm.And(bms[next])
+				child := scratchAt(depth)
+				child.AndInto(bm, bms[next])
 				if child.Len() == 0 {
 					continue
 				}
-				if err := dfs(next, child, prod*(1-prefs[next].Intensity)); err != nil {
+				if err := dfs(next, child, depth+1, prod*(1-prefs[next].Intensity)); err != nil {
 					return err
 				}
 			}
 			return nil
 		}
 		for _, e := range seeds {
-			seed := bms[e.I].And(bms[e.J])
+			seed := scratchAt(0)
+			seed.AndInto(bms[e.I], bms[e.J])
 			seedProd := (1 - prefs[e.I].Intensity) * (1 - prefs[e.J].Intensity)
-			if err := dfs(e.J, seed, seedProd); err != nil {
+			if err := dfs(e.J, seed, 1, seedProd); err != nil {
 				return res, err
 			}
 		}

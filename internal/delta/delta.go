@@ -30,6 +30,7 @@ package delta
 import (
 	"fmt"
 
+	"hypre/internal/bitset"
 	"hypre/internal/combine"
 	"hypre/internal/hypre"
 	"hypre/internal/predicate"
@@ -163,7 +164,11 @@ func (m *Maintainer) Sync() (SyncStats, error) {
 		return SyncStats{}, nil
 	}
 
-	touched := make(map[int]struct{}, len(lch)+len(rch))
+	// The touched-row mask accumulates directly in compressed form: change
+	// logs name rows in roughly ascending batches, so the mask stays a
+	// handful of array/bitmap containers regardless of how wide the table
+	// is.
+	touched := bitset.New()
 	for _, c := range lch {
 		// A key-column update would re-key the row's dense bitmap slot;
 		// the incremental patch cannot express that, so rebuild loudly.
@@ -171,7 +176,7 @@ func (m *Maintainer) Sync() (SyncStats, error) {
 			indexKeyChanged(c.Old[m.keyPos], m.left.Value(c.Row, m.keyCol)) {
 			return m.rebuild(lEpoch, rEpoch)
 		}
-		touched[c.Row] = struct{}{}
+		touched.Add(c.Row)
 	}
 	for _, c := range rch {
 		// Affected base rows are the join partners of the change's key —
@@ -195,12 +200,7 @@ func (m *Maintainer) Sync() (SyncStats, error) {
 			}
 		}
 	}
-	lids := make([]int, 0, len(touched))
-	for lid := range touched {
-		lids = append(lids, lid)
-	}
-
-	changed, ok, err := m.ev.RefreshRows(lids)
+	changed, ok, err := m.ev.RefreshRowSet(touched)
 	if err != nil {
 		return SyncStats{}, err
 	}
@@ -216,20 +216,20 @@ func (m *Maintainer) Sync() (SyncStats, error) {
 	}
 	m.leftEpoch, m.rightEpoch = lEpoch, rEpoch
 	return SyncStats{
-		TouchedRows:      len(lids),
+		TouchedRows:      touched.Len(),
 		ChangedPreds:     len(changed),
 		RecheckedChanges: len(lch) + len(rch),
 	}, nil
 }
 
 // addPartners folds the base rows joining with key into touched.
-func (m *Maintainer) addPartners(touched map[int]struct{}, key predicate.Value) error {
+func (m *Maintainer) addPartners(touched *bitset.Set, key predicate.Value) error {
 	lids, err := m.db.LookupRowIDs(m.leftName, m.leftJoinCol, key)
 	if err != nil {
 		return err
 	}
 	for _, lid := range lids {
-		touched[lid] = struct{}{}
+		touched.Add(lid)
 	}
 	return nil
 }

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"io"
+
+	"hypre/internal/predicate"
+	"hypre/internal/workload"
+)
+
+// BitmapMemResult reports the compressed-vs-dense memory footprint of one
+// user's materialized predicate bitmap cache (combine.MemStats) plus the
+// store-side mask footprint — the bitmapmem experiment the adaptive
+// container refactor is measured by. DenseBytes is what the previous dense
+// word-vector representation would have paid for the same sets.
+type BitmapMemResult struct {
+	UID         int64
+	Preds       int
+	DictEntries int
+
+	CompressedBytes int64
+	DenseBytes      int64
+
+	SparsePreds           int
+	SparseCompressedBytes int64
+	SparseDenseBytes      int64
+
+	// Store-side masks (tombstones + join-existence selections), summed
+	// over the workload's tables.
+	StoreMaskBytes int64
+}
+
+// Ratio returns dense/compressed over the full cache (0 when empty).
+func (r *BitmapMemResult) Ratio() float64 {
+	if r.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(r.DenseBytes) / float64(r.CompressedBytes)
+}
+
+// SparseRatio returns dense/compressed over the sparse predicate subset
+// (cardinality ≤ 1/16 of the dictionary domain) — the sets the refactor
+// exists for.
+func (r *BitmapMemResult) SparseRatio() float64 {
+	if r.SparseCompressedBytes == 0 {
+		return 0
+	}
+	return float64(r.SparseDenseBytes) / float64(r.SparseCompressedBytes)
+}
+
+// RunBitmapMem materializes uid's full positive profile on a fresh
+// evaluator and rolls up the bitset.SizeBytes accounting.
+func RunBitmapMem(l *Lab, uid int64) (*BitmapMemResult, error) {
+	prefs := l.ProfileFor(uid, 0)
+	ev := l.Evaluator()
+	if err := ev.MaterializeAll(prefs); err != nil {
+		return nil, err
+	}
+	st := ev.MemStats()
+	res := &BitmapMemResult{
+		UID:                   uid,
+		Preds:                 st.Preds,
+		DictEntries:           st.DictEntries,
+		CompressedBytes:       st.CompressedBytes,
+		DenseBytes:            st.DenseBytes,
+		SparsePreds:           st.SparsePreds,
+		SparseCompressedBytes: st.SparseCompressedBytes,
+		SparseDenseBytes:      st.SparseDenseBytes,
+	}
+	base := workload.BaseQuery(predicate.True{})
+	if t := l.Net.DB.Table(base.From); t != nil {
+		ms := t.MemStats()
+		res.StoreMaskBytes += ms.TombstoneBytes + ms.JoinMaskBytes
+	}
+	if base.Join != nil {
+		if t := l.Net.DB.Table(base.Join.Table); t != nil {
+			ms := t.MemStats()
+			res.StoreMaskBytes += ms.TombstoneBytes + ms.JoinMaskBytes
+		}
+	}
+	return res, nil
+}
+
+// Render prints the memory rows.
+func (r *BitmapMemResult) Render(w io.Writer) {
+	fprintf(w, "Bitmap memory (uid=%d): %d cached preds over %d dict entries\n",
+		r.UID, r.Preds, r.DictEntries)
+	fprintf(w, "  all preds:    %8d B compressed vs %8d B dense (%.1fx)\n",
+		r.CompressedBytes, r.DenseBytes, r.Ratio())
+	fprintf(w, "  sparse preds: %8d B compressed vs %8d B dense (%.1fx) over %d preds\n",
+		r.SparseCompressedBytes, r.SparseDenseBytes, r.SparseRatio(), r.SparsePreds)
+	fprintf(w, "  store masks:  %8d B (tombstones + join-existence)\n", r.StoreMaskBytes)
+}

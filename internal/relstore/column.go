@@ -91,6 +91,7 @@ type column struct {
 	rawStrs []string // len == len(kinds) once allocated; raw mode only
 	rawMode bool     // high-cardinality column migrated off the dictionary
 	nStr    int      // string rows appended (adaptive-dictionary statistic)
+	nNoInt  int      // rows intAt cannot convert (NULL/bool); 0 lets set scans skip the per-row probe
 	dict    strDict
 	zones   []zone
 	nan     bool // any NaN row anywhere (column-level anyNaN shortcut)
@@ -128,6 +129,8 @@ func (c *column) append(v predicate.Value) {
 				c.migrateToRaw()
 			}
 		}
+	default:
+		c.nNoInt++
 	}
 	// Keep any already-allocated sibling vector in lockstep so row offsets
 	// stay valid for every row regardless of its kind.
@@ -183,8 +186,12 @@ func (z *zone) fold(k predicate.Kind, v predicate.Value) {
 // block's zone entry exactly — updates must be able to *shrink* a zone, or
 // repeated updates would degrade every block to "anything goes".
 func (c *column) set(row int, v predicate.Value) {
-	if c.kinds[row] == predicate.KindString {
+	switch c.kinds[row] {
+	case predicate.KindString:
 		c.nStr--
+	case predicate.KindInt, predicate.KindFloat:
+	default:
+		c.nNoInt--
 	}
 	k := v.Kind()
 	c.kinds[row] = k
@@ -204,6 +211,8 @@ func (c *column) set(row int, v predicate.Value) {
 			c.ensureCodes()
 			c.codes[row] = c.dict.add(v.AsString())
 		}
+	default:
+		c.nNoInt++
 	}
 	c.rebuildZone(row / blockSize)
 }

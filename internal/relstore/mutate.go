@@ -72,7 +72,7 @@ func (t *Table) Alive(id int) bool {
 // isDead is the unlocked tombstone probe for scan internals; callers hold
 // the state lock at least shared.
 func (t *Table) isDead(id int) bool {
-	return t.nDead > 0 && t.dead[id>>6]&(1<<(uint(id)&63)) != 0
+	return t.nDead > 0 && t.dead.Contains(id)
 }
 
 // Delete tombstones row id. It returns false when the id is out of range or
@@ -86,7 +86,7 @@ func (t *Table) Delete(id int) bool {
 		return false
 	}
 	old := t.rowVals(id)
-	t.dead[id>>6] |= 1 << (uint(id) & 63)
+	t.dead.Add(id)
 	t.nDead++
 	t.mu.Lock()
 	t.gen++

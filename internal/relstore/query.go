@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"hypre/internal/bitset"
 	"hypre/internal/predicate"
 )
 
@@ -153,29 +154,9 @@ func (db *DB) ScanAttrInts(q Query, attr string, emit func(int64)) error {
 // stitched through the join-column index, with no per-row predicate
 // interpretation and no intermediate id slices.
 func (db *DB) ScanAttrRows(q Query, attr string, emit func(lid int, v int64)) error {
-	left := db.Table(q.From)
-	if left == nil {
-		return fmt.Errorf("relstore: unknown table %q", q.From)
-	}
-	var right *Table
-	var leftPos, rightPos int
-	if q.Join != nil {
-		var err error
-		right, leftPos, rightPos, err = db.resolveJoin(q)
-		if err != nil {
-			return err
-		}
-	}
-	side, pos := bindAttr(attr, left, right)
-	if side != sideLeft {
-		return fmt.Errorf("relstore: ScanAttrRows needs a left-table attribute, got %q", attr)
-	}
-	if q.Limit > 0 {
-		return fmt.Errorf("relstore: ScanAttrRows does not support Limit")
-	}
-	where := q.Where
-	if where == nil {
-		where = predicate.True{}
+	left, right, leftPos, rightPos, pos, where, err := db.resolveAttrRowScan(q, attr)
+	if err != nil {
+		return err
 	}
 	unlock := lockShared(left, right)
 	defer unlock()
@@ -212,6 +193,84 @@ func (db *DB) scanAttrRowsVec(left, right *Table, leftPos, rightPos, attrPos int
 	return true
 }
 
+// resolveAttrRowScan is the shared prologue of ScanAttrRows and
+// ScanAttrRowSet: table/join resolution, the left-bound-attribute and
+// no-Limit constraints, and WHERE defaulting.
+func (db *DB) resolveAttrRowScan(q Query, attr string) (left, right *Table,
+	leftPos, rightPos, attrPos int, where predicate.Predicate, err error) {
+	left = db.Table(q.From)
+	if left == nil {
+		return nil, nil, 0, 0, 0, nil, fmt.Errorf("relstore: unknown table %q", q.From)
+	}
+	if q.Join != nil {
+		right, leftPos, rightPos, err = db.resolveJoin(q)
+		if err != nil {
+			return nil, nil, 0, 0, 0, nil, err
+		}
+	}
+	side, pos := bindAttr(attr, left, right)
+	if side != sideLeft {
+		return nil, nil, 0, 0, 0, nil, fmt.Errorf("relstore: attr-row scans need a left-table attribute, got %q", attr)
+	}
+	if q.Limit > 0 {
+		return nil, nil, 0, 0, 0, nil, fmt.Errorf("relstore: attr-row scans do not support Limit")
+	}
+	where = q.Where
+	if where == nil {
+		where = predicate.True{}
+	}
+	return left, right, leftPos, rightPos, pos, where, nil
+}
+
+// ScanAttrRowSet is the set-valued fast path of ScanAttrRows: the
+// compressed selection of left rows matching the query whose attr is
+// non-NULL-convertible, with no per-row emission — the consumer keeps the
+// container bitmap the vectorized scan already produced instead of paying
+// a decompress/recompress round trip. Same constraints as ScanAttrRows
+// (left-bound integer attr, no Limit); ok=false means the query shape
+// defeats the vectorized engine and the caller must fall back to
+// ScanAttrRows.
+//
+// Rows at or beyond splitAt are excluded from the selection and instead
+// passed to spill with their attr value, read under the scan's shared
+// state lock — the same one-consistent-epoch guarantee ScanAttrRows's
+// emission has. splitAt < 0 disables spilling (the whole selection
+// returns). The evaluator uses this to collect pids of rows inserted
+// after its seed without a second, differently-timed store read.
+func (db *DB) ScanAttrRowSet(q Query, attr string, splitAt int, spill func(lid int, v int64)) (*bitset.Set, bool, error) {
+	left, right, leftPos, rightPos, pos, where, err := db.resolveAttrRowScan(q, attr)
+	if err != nil {
+		return nil, false, err
+	}
+	unlock := lockShared(left, right)
+	defer unlock()
+	lsel, ok := db.matchLeftVec(left, right, leftPos, rightPos, where, nil)
+	if !ok {
+		return nil, false, nil
+	}
+	// Drop rows whose attr does not convert (the rows ScanAttrRows would
+	// not have emitted) — one typed probe per selected row, skipped
+	// entirely for fully convertible columns (every key column).
+	c := left.cols[pos]
+	if c.nNoInt > 0 {
+		lsel.Retain(func(lid int) bool {
+			_, ok := c.intAt(lid)
+			return ok
+		})
+	}
+	if splitAt >= 0 {
+		if m, has := lsel.Max(); has && m >= splitAt {
+			for lid, lok := lsel.NextSet(splitAt); lok; lid, lok = lsel.NextSet(lid + 1) {
+				if v, vok := c.intAt(lid); vok {
+					spill(lid, v)
+				}
+			}
+			lsel.Retain(func(lid int) bool { return lid < splitAt })
+		}
+	}
+	return lsel, true, nil
+}
+
 // matchLeftVec computes the selection of live left rows satisfying the
 // (possibly joined) WHERE, entirely through the vectorized kernels.
 //
@@ -224,7 +283,7 @@ func (db *DB) scanAttrRowsVec(left, right *Table, leftPos, rightPos, attrPos int
 // a handful of rows (the next full scan repairs them lazily instead).
 // Callers hold the state locks of both tables.
 func (db *DB) matchLeftVec(left, right *Table, leftPos, rightPos int,
-	where predicate.Predicate, touched []uint64) ([]uint64, bool) {
+	where predicate.Predicate, touched *bitset.Set) (*bitset.Set, bool) {
 	var blks []int32
 	if touched != nil {
 		blks = blocksOf(touched, left.n)
@@ -241,7 +300,7 @@ func (db *DB) matchLeftVec(left, right *Table, leftPos, rightPos int,
 			return nil, false
 		}
 		if touched != nil {
-			selMask(sel, touched)
+			sel.AndWith(touched)
 		}
 		left.selDropDead(sel)
 		return sel, true
@@ -261,7 +320,7 @@ func (db *DB) matchLeftVec(left, right *Table, leftPos, rightPos int,
 			leftParts = append(leftParts, c)
 		}
 	}
-	var lsel []uint64
+	var lsel *bitset.Set
 	if len(leftParts) > 0 {
 		var ok bool
 		lsel, ok = left.evalVec(predicate.NewAnd(leftParts...), resolveL, blks)
@@ -271,14 +330,13 @@ func (db *DB) matchLeftVec(left, right *Table, leftPos, rightPos int,
 	}
 	if len(rightParts) == 0 {
 		if lsel == nil {
-			lsel = make([]uint64, selWords(left.n))
-			selSetRange(lsel, 0, left.n)
+			lsel = fullSelection(left.n)
 		}
 		if touched != nil {
 			// Delta mode: the join only demands existence for the touched
 			// rows, so probe the right index per row instead of repairing
 			// the O(n) existence vector.
-			selMask(lsel, touched)
+			lsel.AndWith(touched)
 			left.selDropDead(lsel)
 			rightIdx := right.ensureIndex(rightPos)
 			lc := left.cols[leftPos]
@@ -292,10 +350,10 @@ func (db *DB) matchLeftVec(left, right *Table, leftPos, rightPos int,
 			})
 			return lsel, true
 		}
-		// The join only demands existence: AND with the cached vector of
+		// The join only demands existence: AND with the cached selection of
 		// left rows that have at least one partner (dead rows on either
-		// side are already excluded from the cached vector).
-		selAnd(lsel, left.existsVec(right, leftPos, rightPos))
+		// side are already excluded from the cached selection).
+		lsel.AndWith(left.existsVec(right, leftPos, rightPos))
 	} else {
 		rightPred := predicate.NewAnd(rightParts...)
 		if touched != nil {
@@ -309,10 +367,9 @@ func (db *DB) matchLeftVec(left, right *Table, leftPos, rightPos int,
 				return nil, false
 			}
 			if lsel == nil {
-				lsel = make([]uint64, selWords(left.n))
-				selSetRange(lsel, 0, left.n)
+				lsel = fullSelection(left.n)
 			}
-			selMask(lsel, touched)
+			lsel.AndWith(touched)
 			left.selDropDead(lsel)
 			rightIdx := right.ensureIndex(rightPos)
 			lc := left.cols[leftPos]
@@ -330,11 +387,11 @@ func (db *DB) matchLeftVec(left, right *Table, leftPos, rightPos int,
 		// Walk the matching right rows back through the join via the cached
 		// right→left CSR: every left row they reach is a hit, then
 		// intersect with the left selection.
-		hit := make([]uint64, selWords(left.n))
+		hit := bitset.New()
 		je := left.joinEntry(right, leftPos, rightPos)
 		stitch := func(rid int) {
 			for _, lid := range je.lids[je.off[rid]:je.off[rid+1]] {
-				selSet(hit, int(lid))
+				hit.Add(int(lid))
 			}
 		}
 		// Index-usable right predicates (the ubiquitous dblp_author.aid=N)
@@ -362,7 +419,7 @@ func (db *DB) matchLeftVec(left, right *Table, leftPos, rightPos int,
 				return nil, false
 			}
 			right.selDropDead(rsel)
-			selForEach(rsel, func(rid int) bool {
+			rsel.ForEach(func(rid int) bool {
 				stitch(rid)
 				return true
 			})
@@ -370,16 +427,16 @@ func (db *DB) matchLeftVec(left, right *Table, leftPos, rightPos int,
 		if lsel == nil {
 			lsel = hit
 		} else {
-			selAnd(lsel, hit)
+			lsel.AndWith(hit)
 		}
 	}
 	left.selDropDead(lsel)
 	return lsel, true
 }
 
-func emitSelRows(t *Table, pos int, sel []uint64, emit func(lid int, v int64)) {
+func emitSelRows(t *Table, pos int, sel *bitset.Set, emit func(lid int, v int64)) {
 	c := t.cols[pos]
-	selForEach(sel, func(lid int) bool {
+	sel.ForEach(func(lid int) bool {
 		if v, ok := c.intAt(lid); ok {
 			emit(lid, v)
 		}
@@ -446,16 +503,16 @@ func (db *DB) PrepareQuery(q Query) error {
 	return nil
 }
 
-// MatchLeftRows reports which of the given left rows currently satisfy the
-// query: touched is a selection bitmap over left row ids, and the result is
-// a fresh bitmap ⊆ touched holding exactly the live touched rows the query
-// matches (for a join, rows with at least one matching partner). This is
-// the delta-maintenance primitive: after a mutation batch, each cached
-// predicate re-evaluates only the touched rows — through the vectorized
-// kernels restricted to the touched rows' blocks when the WHERE splits by
-// side, through the compiled per-row filter otherwise — instead of
-// rescanning the table.
-func (db *DB) MatchLeftRows(q Query, touched []uint64) ([]uint64, error) {
+// MatchLeftRowSet reports which of the given left rows currently satisfy
+// the query: touched is a compressed selection over left row ids, and the
+// result is a fresh selection ⊆ touched holding exactly the live touched
+// rows the query matches (for a join, rows with at least one matching
+// partner). This is the delta-maintenance primitive: after a mutation
+// batch, each cached predicate re-evaluates only the touched rows — through
+// the vectorized kernels restricted to the touched rows' blocks when the
+// WHERE splits by side, through the compiled per-row filter otherwise —
+// instead of rescanning the table. touched is never mutated.
+func (db *DB) MatchLeftRowSet(q Query, touched *bitset.Set) (*bitset.Set, error) {
 	left := db.Table(q.From)
 	if left == nil {
 		return nil, fmt.Errorf("relstore: unknown table %q", q.From)
@@ -479,19 +536,12 @@ func (db *DB) MatchLeftRows(q Query, touched []uint64) ([]uint64, error) {
 	unlock := lockShared(left, right)
 	defer unlock()
 
-	out := make([]uint64, selWords(left.n))
-	if !selAny(touched) {
-		return out, nil
+	if touched.IsEmpty() {
+		return bitset.New(), nil
 	}
 	if sel, ok := db.matchLeftVec(left, right, leftPos, rightPos, where, touched); ok {
-		n := len(sel)
-		if len(touched) < n {
-			n = len(touched)
-		}
-		for i := 0; i < n; i++ {
-			out[i] = sel[i] & touched[i]
-		}
-		return out, nil
+		sel.AndWith(touched)
+		return sel, nil
 	}
 
 	// Per-row fallback: the compiled typed filter when the tree compiles,
@@ -512,7 +562,8 @@ func (db *DB) MatchLeftRows(q Query, touched []uint64) ([]uint64, error) {
 	if right != nil {
 		rightIdx = right.ensureIndex(rightPos)
 	}
-	selForEach(touched, func(lid int) bool {
+	out := bitset.New()
+	touched.ForEach(func(lid int) bool {
 		if lid >= left.n {
 			return false // touched bits are ascending; nothing left in range
 		}
@@ -521,19 +572,34 @@ func (db *DB) MatchLeftRows(q Query, touched []uint64) ([]uint64, error) {
 		}
 		if right == nil {
 			if match(lid, 0, false) {
-				selSet(out, lid)
+				out.Add(lid)
 			}
 			return true
 		}
 		for _, rid := range rightIdx[indexKey(left.cols[leftPos].value(lid))] {
 			if !right.isDead(rid) && match(lid, rid, true) {
-				selSet(out, lid)
+				out.Add(lid)
 				break
 			}
 		}
 		return true
 	})
 	return out, nil
+}
+
+// MatchLeftRows is MatchLeftRowSet over dense word-slice selections (bit
+// lid of touched[lid>>6]) — the compatibility bridge for callers still
+// speaking raw selection vectors.
+func (db *DB) MatchLeftRows(q Query, touched []uint64) ([]uint64, error) {
+	left := db.Table(q.From)
+	if left == nil {
+		return nil, fmt.Errorf("relstore: unknown table %q", q.From)
+	}
+	out, err := db.MatchLeftRowSet(q, bitset.FromWords(touched))
+	if err != nil {
+		return nil, err
+	}
+	return out.ToWords(selWords(left.Len())), nil
 }
 
 // LookupRowIDs returns the live row ids of table whose column equals v,
@@ -726,7 +792,7 @@ func (db *DB) scanIDsLocked(q Query, left, right *Table, leftPos, rightPos int,
 			return -1
 		}, nil); ok {
 			left.selDropDead(sel)
-			selForEach(sel, func(lid int) bool {
+			sel.ForEach(func(lid int) bool {
 				if right == nil {
 					return emit(lid, 0, false)
 				}

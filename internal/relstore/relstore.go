@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hypre/internal/bitset"
 	"hypre/internal/predicate"
 )
 
@@ -69,7 +70,7 @@ type Table struct {
 	seq     uint64       // creation ticket; canonical shared-lock order
 	state   sync.RWMutex // data lock: mutations exclusive, whole scans shared
 	nPublic atomic.Int64 // committed row count; lock-free Len for any caller
-	dead    []uint64     // tombstone bitmap, selWords(n) words
+	dead    *bitset.Set  // tombstone mask (compressed; mutated under state lock)
 	nDead   int
 
 	chLog    []RowChange // committed mutations, ascending epoch (mutate.go)
@@ -92,13 +93,16 @@ type existsKey struct {
 }
 
 // existsEntry caches the join plumbing for one (left, right, columns)
-// combination: the join-existence vector (bit lid set when the left row has
-// at least one partner in the right table) and the right-row → left-rows
+// combination: the join-existence selection (lid set when the left row has
+// at least one partner in the right table — compressed, and usually
+// run-encoded since most rows have partners) and the right-row → left-rows
 // mapping in CSR form, so scans stitch right selections back to left rows
 // with two array reads instead of a hash probe per row. Generations of both
-// tables at build time detect staleness after inserts.
+// tables at build time detect staleness after inserts. The selection is
+// immutable once published (rebuilds swap in a fresh entry), so results may
+// alias its containers copy-on-write.
 type existsEntry struct {
-	sel  []uint64
+	sel  *bitset.Set
 	off  []int32 // len right.n+1; lids[off[rid]:off[rid+1]] = left partners
 	lids []int32
 	lgen uint64
@@ -130,7 +134,7 @@ func newTable(s *Schema) *Table {
 		ci[c.Name] = i
 		cols[i] = &column{}
 	}
-	return &Table{schema: s, colIdx: ci, cols: cols,
+	return &Table{schema: s, colIdx: ci, cols: cols, dead: bitset.New(),
 		seq: tableSeq.Add(1), indexes: make(map[int]hashIndex)}
 }
 
@@ -176,9 +180,6 @@ func (t *Table) Insert(vals ...predicate.Value) (int, error) {
 	}
 	t.n++
 	t.nPublic.Store(int64(t.n))
-	for selWords(t.n) > len(t.dead) {
-		t.dead = append(t.dead, 0)
-	}
 	t.mu.Lock()
 	t.gen++
 	epoch := t.gen
@@ -255,10 +256,10 @@ func (t *Table) lookup(pos int, v predicate.Value) (ids []int, found bool) {
 	return idx[indexKey(v)], true
 }
 
-// existsVec returns the cached join-existence selection vector for
-// left ⋈ right on (leftPos = rightPos): bit lid set iff the left row has at
-// least one matching right row.
-func (t *Table) existsVec(right *Table, leftPos, rightPos int) []uint64 {
+// existsVec returns the cached join-existence selection for left ⋈ right
+// on (leftPos = rightPos): lid set iff the left row has at least one
+// matching right row. The returned set is immutable.
+func (t *Table) existsVec(right *Table, leftPos, rightPos int) *bitset.Set {
 	return t.joinEntry(right, leftPos, rightPos).sel
 }
 
@@ -281,7 +282,7 @@ func (t *Table) joinEntry(right *Table, leftPos, rightPos int) *existsEntry {
 
 	// Build outside t.mu using only read paths, then publish.
 	lidx := t.ensureIndex(leftPos)
-	sel := make([]uint64, selWords(t.n))
+	sel := bitset.New()
 	off := make([]int32, right.n+1)
 	var lids []int32
 	rc := right.cols[rightPos]
@@ -291,12 +292,15 @@ func (t *Table) joinEntry(right *Table, leftPos, rightPos int) *existsEntry {
 				if t.isDead(lid) {
 					continue
 				}
-				sel[lid>>6] |= 1 << (uint(lid) & 63)
+				sel.Add(lid)
 				lids = append(lids, int32(lid))
 			}
 		}
 		off[rid+1] = int32(len(lids))
 	}
+	// Most left rows have at least one partner, so the selection is
+	// range-shaped: one re-encoding pass usually collapses it to runs.
+	sel.Optimize()
 	e = &existsEntry{sel: sel, off: off, lids: lids, lgen: lgen, rgen: rgen}
 	t.mu.Lock()
 	if t.exists == nil {
@@ -305,6 +309,28 @@ func (t *Table) joinEntry(right *Table, leftPos, rightPos int) *existsEntry {
 	t.exists[key] = e
 	t.mu.Unlock()
 	return e
+}
+
+// TableMemStats reports the footprint of a table's bitset-backed masks —
+// the store-side half of the bitmapmem accounting.
+type TableMemStats struct {
+	// TombstoneBytes is the compressed tombstone mask.
+	TombstoneBytes int64
+	// JoinMaskBytes sums the cached join-existence selections.
+	JoinMaskBytes int64
+}
+
+// MemStats reports the current compressed footprint of the table's masks.
+func (t *Table) MemStats() TableMemStats {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	st := TableMemStats{TombstoneBytes: t.dead.SizeBytes()}
+	t.mu.RLock()
+	for _, e := range t.exists {
+		st.JoinMaskBytes += e.sel.SizeBytes()
+	}
+	t.mu.RUnlock()
+	return st
 }
 
 // Row returns a predicate.Row view of row id.

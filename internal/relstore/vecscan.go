@@ -1,211 +1,110 @@
 package relstore
 
 import (
-	"math/bits"
-
+	"hypre/internal/bitset"
 	"hypre/internal/predicate"
 )
 
 // This file is the vectorized half of the engine: predicates evaluate one
-// column block at a time into selection bitmaps (one bit per row id, tail
-// bits always zero), with zone maps skipping blocks that cannot match and
-// bulk-accepting blocks that cannot fail. AND/OR/NOT compose selections with
-// word-parallel algebra, so a whole WHERE tree costs a handful of tight
-// typed loops instead of one interpreted predicate walk per row.
+// column block at a time into adaptive compressed selections (bitset.Set:
+// per-64k-key containers that are sorted arrays when sparse, truncated
+// word vectors when dense, and runs when range-shaped). Kernels emit
+// through a bitset.Builder, so a selective scan never materializes the full
+// domain in words, and a zone-map bulk-accept lands as a run container.
+// AND/OR/NOT compose selections with container-level set algebra, so a
+// whole WHERE tree costs a handful of tight typed loops instead of one
+// interpreted predicate walk per row.
 
-// selWords returns the number of 64-bit words covering n rows.
+// selWords returns the number of 64-bit words covering n rows — the sizing
+// helper for the dense []uint64 compatibility bridges.
 func selWords(n int) int { return (n + 63) / 64 }
 
+// selSet sets bit i of a dense word-slice selection (the bridge format
+// MatchLeftRows still accepts).
 func selSet(sel []uint64, i int) { sel[i>>6] |= 1 << (uint(i) & 63) }
 
-// selSetRange sets bits [lo, hi).
-func selSetRange(sel []uint64, lo, hi int) {
-	if lo >= hi {
-		return
-	}
-	lw, hw := lo>>6, (hi-1)>>6
-	loMask := ^uint64(0) << (uint(lo) & 63)
-	hiMask := ^uint64(0) >> (63 - uint(hi-1)&63)
-	if lw == hw {
-		sel[lw] |= loMask & hiMask
-		return
-	}
-	sel[lw] |= loMask
-	for w := lw + 1; w < hw; w++ {
-		sel[w] = ^uint64(0)
-	}
-	sel[hw] |= hiMask
-}
-
-func selAnd(dst, src []uint64) {
-	for i := range dst {
-		dst[i] &= src[i]
-	}
-}
-
-// selAndNot clears from dst every bit set in src — the tombstone subtraction
-// every root-level selection pays before rows are emitted. (Leaves cannot
-// subtract tombstones themselves: a NOT above them would resurrect the dead
-// rows.)
-func selAndNot(dst, src []uint64) {
-	n := len(dst)
-	if len(src) < n {
-		n = len(src)
-	}
-	for i := 0; i < n; i++ {
-		dst[i] &^= src[i]
-	}
+// fullSelection returns the selection of every row id in [0, n) — one run
+// container per 64k span.
+func fullSelection(n int) *bitset.Set {
+	s := bitset.New()
+	s.AddRange(0, n)
+	return s
 }
 
 // selDropDead subtracts t's tombstones from a root-level selection; no-op
-// when the table has no dead rows.
-func (t *Table) selDropDead(sel []uint64) {
+// when the table has no dead rows. (Leaves cannot subtract tombstones
+// themselves: a NOT above them would resurrect the dead rows.)
+func (t *Table) selDropDead(sel *bitset.Set) {
 	if t.nDead > 0 {
-		selAndNot(sel, t.dead)
-	}
-}
-
-// selMask is dst &= src with missing src words reading as zero (the mask
-// may be shorter than the selection when rows were inserted after the mask
-// was built).
-func selMask(dst, src []uint64) {
-	n := len(src)
-	if n > len(dst) {
-		n = len(dst)
-	}
-	for i := 0; i < n; i++ {
-		dst[i] &= src[i]
-	}
-	for i := n; i < len(dst); i++ {
-		dst[i] = 0
+		sel.AndNotWith(t.dead)
 	}
 }
 
 // dropUnpartnered clears every set bit whose row fails the probe — the
 // delta-mode join-existence test, one index probe per surviving row.
-func dropUnpartnered(sel []uint64, hasPartner func(lid int) bool) {
-	for wi := range sel {
-		w := sel[wi]
-		base := wi << 6
-		for w != 0 {
-			lid := base + bits.TrailingZeros64(w)
-			w &= w - 1
-			if !hasPartner(lid) {
-				sel[wi] &^= 1 << (uint(lid) & 63)
-			}
-		}
-	}
+func dropUnpartnered(sel *bitset.Set, hasPartner func(lid int) bool) {
+	sel.Retain(hasPartner)
 }
 
 // blocksOf lists the (ascending) block indexes containing at least one set
 // bit of sel — the restriction list that lets delta maintenance re-evaluate
-// only the touched rows' blocks through the vectorized kernels.
-func blocksOf(sel []uint64, n int) []int32 {
+// only the touched rows' blocks through the vectorized kernels. NextSet
+// jumps from block boundary to block boundary, so the walk costs one
+// container probe per populated block instead of one step per set bit.
+func blocksOf(sel *bitset.Set, n int) []int32 {
 	var out []int32
-	nb := (n + blockSize - 1) / blockSize
-	wordsPerBlock := blockSize / 64
-	for bi := 0; bi < nb; bi++ {
-		lo := bi * wordsPerBlock
-		hi := lo + wordsPerBlock
-		if hi > len(sel) {
-			hi = len(sel)
-		}
-		for w := lo; w < hi; w++ {
-			if sel[w] != 0 {
-				out = append(out, int32(bi))
-				break
-			}
-		}
+	for i, ok := sel.NextSet(0); ok && i < n; i, ok = sel.NextSet(i) {
+		bi := i / blockSize
+		out = append(out, int32(bi))
+		i = (bi + 1) * blockSize
 	}
 	return out
 }
 
-func selOr(dst, src []uint64) {
-	for i := range dst {
-		dst[i] |= src[i]
-	}
-}
-
-// selNot complements dst in place, keeping bits >= n zero.
-func selNot(dst []uint64, n int) {
-	for i := range dst {
-		dst[i] = ^dst[i]
-	}
-	if tail := uint(n) & 63; tail != 0 {
-		dst[len(dst)-1] &= ^uint64(0) >> (64 - tail)
-	}
-}
-
-func selAny(sel []uint64) bool {
-	for _, w := range sel {
-		if w != 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// selForEach invokes fn for every set bit in ascending order; fn returning
-// false stops the walk.
-func selForEach(sel []uint64, fn func(i int) bool) {
-	for wi, w := range sel {
-		base := wi << 6
-		for w != 0 {
-			i := base + bits.TrailingZeros64(w)
-			if !fn(i) {
-				return
-			}
-			w &= w - 1
-		}
-	}
-}
-
-// evalVec evaluates a predicate over every row of t as a selection bitmap.
-// resolve maps attribute references to column positions; -1 means the
-// attribute does not bind to this table, which makes the leaf constant
-// false — exactly the collapsed three-valued semantics of the row filter.
-// ok=false means the tree contains a node the vectorized engine does not
-// know; callers fall back to the row-at-a-time scan.
+// evalVec evaluates a predicate over every row of t as a compressed
+// selection. resolve maps attribute references to column positions; -1
+// means the attribute does not bind to this table, which makes the leaf
+// constant false — exactly the collapsed three-valued semantics of the row
+// filter. ok=false means the tree contains a node the vectorized engine
+// does not know; callers fall back to the row-at-a-time scan.
 //
 // blks restricts the kernels to the listed blocks (nil = all): leaves fill
-// only those blocks' words, the boolean algebra runs over full-length word
-// arrays, and bits outside the listed blocks are unspecified — callers that
-// restrict MUST mask the result with their touched-row selection. This is
-// the delta-maintenance path: after a mutation batch only the touched
-// blocks re-run, not the table.
-func (t *Table) evalVec(p predicate.Predicate, resolve func(string) int, blks []int32) ([]uint64, bool) {
+// only those blocks' spans, the set algebra runs over whatever landed, and
+// bits outside the listed blocks are unspecified — callers that restrict
+// MUST mask the result with their touched-row selection. This is the
+// delta-maintenance path: after a mutation batch only the touched blocks
+// re-run, not the table.
+func (t *Table) evalVec(p predicate.Predicate, resolve func(string) int, blks []int32) (*bitset.Set, bool) {
 	switch node := p.(type) {
 	case predicate.True:
-		sel := make([]uint64, selWords(t.n))
-		selSetRange(sel, 0, t.n)
-		return sel, true
+		return fullSelection(t.n), true
 	case *predicate.Cmp:
-		sel := make([]uint64, selWords(t.n))
+		b := bitset.NewBuilder(t.n)
 		if pos := resolve(node.Attr); pos >= 0 {
-			t.scanCmp(pos, node.Op, node.Val, sel, blks)
+			t.scanCmp(pos, node.Op, node.Val, b, blks)
 		}
-		return sel, true
+		return b.Finish(), true
 	case *predicate.Between:
-		sel := make([]uint64, selWords(t.n))
+		b := bitset.NewBuilder(t.n)
 		if pos := resolve(node.Attr); pos >= 0 {
-			t.scanBetween(pos, node.Lo, node.Hi, sel, blks)
+			t.scanBetween(pos, node.Lo, node.Hi, b, blks)
 		}
-		return sel, true
+		return b.Finish(), true
 	case *predicate.In:
-		sel := make([]uint64, selWords(t.n))
+		b := bitset.NewBuilder(t.n)
 		if pos := resolve(node.Attr); pos >= 0 {
-			t.scanIn(pos, node.Vals, sel, blks)
+			t.scanIn(pos, node.Vals, b, blks)
 		}
-		return sel, true
+		return b.Finish(), true
 	case *predicate.Not:
 		sel, ok := t.evalVec(node.Kid, resolve, blks)
 		if !ok {
 			return nil, false
 		}
-		selNot(sel, t.n)
+		sel.Not(t.n)
 		return sel, true
 	case *predicate.And:
-		var acc []uint64
+		var acc *bitset.Set
 		for _, k := range node.Kids {
 			sel, ok := t.evalVec(k, resolve, blks)
 			if !ok {
@@ -214,25 +113,24 @@ func (t *Table) evalVec(p predicate.Predicate, resolve func(string) int, blks []
 			if acc == nil {
 				acc = sel
 			} else {
-				selAnd(acc, sel)
+				acc.AndWith(sel)
 			}
-			if !selAny(acc) {
+			if acc.IsEmpty() {
 				return acc, true
 			}
 		}
 		if acc == nil { // empty conjunction is TRUE
-			acc = make([]uint64, selWords(t.n))
-			selSetRange(acc, 0, t.n)
+			acc = fullSelection(t.n)
 		}
 		return acc, true
 	case *predicate.Or:
-		acc := make([]uint64, selWords(t.n))
+		acc := bitset.New()
 		for _, k := range node.Kids {
 			sel, ok := t.evalVec(k, resolve, blks)
 			if !ok {
 				return nil, false
 			}
-			selOr(acc, sel)
+			acc.OrWith(sel)
 		}
 		return acc, true
 	default:
@@ -261,7 +159,7 @@ func blockIters(c *column, blks []int32) int {
 // scanCmp is the vectorized kernel for Attr Op Literal: per block it applies
 // the zone-map test, then either skips, bulk-accepts, or runs the tight
 // typed row loop. NULL literals match nothing (Compare against NULL fails).
-func (t *Table) scanCmp(pos int, op predicate.Op, val predicate.Value, sel []uint64, blks []int32) {
+func (t *Table) scanCmp(pos int, op predicate.Op, val predicate.Value, sel *bitset.Builder, blks []int32) {
 	c := t.cols[pos]
 	lit := analyzeLit(val)
 	switch {
@@ -272,7 +170,7 @@ func (t *Table) scanCmp(pos int, op predicate.Op, val predicate.Value, sel []uin
 	}
 }
 
-func (t *Table) scanCmpNum(c *column, op predicate.Op, lit float64, sel []uint64, blks []int32) {
+func (t *Table) scanCmpNum(c *column, op predicate.Op, lit float64, sel *bitset.Builder, blks []int32) {
 	for k, nk := 0, blockIters(c, blks); k < nk; k++ {
 		bi := blockAt(blks, k)
 		z := &c.zones[bi]
@@ -285,7 +183,7 @@ func (t *Table) scanCmpNum(c *column, op predicate.Op, lit float64, sel []uint64
 				continue
 			}
 			if z.pureNum() && zoneFullCmp(z, op, lit) {
-				selSetRange(sel, lo, hi)
+				sel.SetRange(lo, hi)
 				continue
 			}
 		}
@@ -293,14 +191,14 @@ func (t *Table) scanCmpNum(c *column, op predicate.Op, lit float64, sel []uint64
 			nums := c.nums[lo:hi]
 			for i, u := range nums {
 				if opMatch(cmp3f(float64(int64(u)), lit), op) {
-					selSet(sel, lo+i)
+					sel.Set(lo + i)
 				}
 			}
 			continue
 		}
 		for r := lo; r < hi; r++ {
 			if v, ok := c.numAt(r); ok && opMatch(cmp3f(v, lit), op) {
-				selSet(sel, r)
+				sel.Set(r)
 			}
 		}
 	}
@@ -347,7 +245,7 @@ func zoneFullCmp(z *zone, op predicate.Op, lit float64) bool {
 	}
 }
 
-func (t *Table) scanCmpStr(c *column, op predicate.Op, lit string, sel []uint64, blks []int32) {
+func (t *Table) scanCmpStr(c *column, op predicate.Op, lit string, sel *bitset.Builder, blks []int32) {
 	if op == predicate.OpEq && !c.rawMode {
 		// Dictionary equality: one code comparison per row, and a literal
 		// absent from the dictionary empties the scan before touching any.
@@ -366,14 +264,14 @@ func (t *Table) scanCmpStr(c *column, op predicate.Op, lit string, sel []uint64,
 				codes := c.codes[lo:hi]
 				for i, cd := range codes {
 					if cd == code {
-						selSet(sel, lo+i)
+						sel.Set(lo + i)
 					}
 				}
 				continue
 			}
 			for r := lo; r < hi; r++ {
 				if c.kinds[r] == predicate.KindString && c.codes[r] == code {
-					selSet(sel, r)
+					sel.Set(r)
 				}
 			}
 		}
@@ -392,14 +290,14 @@ func (t *Table) scanCmpStr(c *column, op predicate.Op, lit string, sel []uint64,
 				raws := c.rawStrs[lo:hi]
 				for i, s := range raws {
 					if s == lit {
-						selSet(sel, lo+i)
+						sel.Set(lo + i)
 					}
 				}
 				continue
 			}
 			for r := lo; r < hi; r++ {
 				if c.kinds[r] == predicate.KindString && c.rawStrs[r] == lit {
-					selSet(sel, r)
+					sel.Set(r)
 				}
 			}
 		}
@@ -415,7 +313,7 @@ func (t *Table) scanCmpStr(c *column, op predicate.Op, lit string, sel []uint64,
 		lo, hi := bi*blockSize, min((bi+1)*blockSize, t.n)
 		for r := lo; r < hi; r++ {
 			if c3, ok := c.cmp3At(r, lv); ok && opMatch(c3, op) {
-				selSet(sel, r)
+				sel.Set(r)
 			}
 		}
 	}
@@ -425,7 +323,7 @@ func (t *Table) scanCmpStr(c *column, op predicate.Op, lit string, sel []uint64,
 // it is comparable with both bounds and lies inside; bounds of different
 // classes (one numeric, one string) can never both compare, so the result
 // is empty.
-func (t *Table) scanBetween(pos int, lov, hiv predicate.Value, sel []uint64, blks []int32) {
+func (t *Table) scanBetween(pos int, lov, hiv predicate.Value, sel *bitset.Builder, blks []int32) {
 	c := t.cols[pos]
 	llo, lhi := analyzeLit(lov), analyzeLit(hiv)
 	switch {
@@ -442,7 +340,7 @@ func (t *Table) scanBetween(pos int, lov, hiv predicate.Value, sel []uint64, blk
 					continue
 				}
 				if z.pureNum() && z.min >= llo.f && z.max <= lhi.f {
-					selSetRange(sel, lo, hi)
+					sel.SetRange(lo, hi)
 					continue
 				}
 			}
@@ -451,14 +349,14 @@ func (t *Table) scanBetween(pos int, lov, hiv predicate.Value, sel []uint64, blk
 				for i, u := range nums {
 					v := float64(int64(u))
 					if cmp3f(v, llo.f) >= 0 && cmp3f(v, lhi.f) <= 0 {
-						selSet(sel, lo+i)
+						sel.Set(lo + i)
 					}
 				}
 				continue
 			}
 			for r := lo; r < hi; r++ {
 				if v, ok := c.numAt(r); ok && cmp3f(v, llo.f) >= 0 && cmp3f(v, lhi.f) <= 0 {
-					selSet(sel, r)
+					sel.Set(r)
 				}
 			}
 		}
@@ -476,7 +374,7 @@ func (t *Table) scanBetween(pos int, lov, hiv predicate.Value, sel []uint64, blk
 				}
 				s := c.strAt(r)
 				if s >= llo.s && s <= lhi.s {
-					selSet(sel, r)
+					sel.Set(r)
 				}
 			}
 		}
@@ -487,7 +385,7 @@ func (t *Table) scanBetween(pos int, lov, hiv predicate.Value, sel []uint64, blk
 // widened three-way equality, string members resolve to dictionary codes
 // once (absent strings can never match) — or compare raw strings when the
 // column has migrated off the dictionary.
-func (t *Table) scanIn(pos int, vals []predicate.Value, sel []uint64, blks []int32) {
+func (t *Table) scanIn(pos int, vals []predicate.Value, sel *bitset.Builder, blks []int32) {
 	c := t.cols[pos]
 	var nums []float64
 	var codes []uint32
@@ -537,7 +435,7 @@ func (t *Table) scanIn(pos int, vals []predicate.Value, sel []uint64, blks []int
 				v, _ := c.numAt(r)
 				for _, f := range nums {
 					if cmp3f(v, f) == 0 {
-						selSet(sel, r)
+						sel.Set(r)
 						break
 					}
 				}
@@ -546,7 +444,7 @@ func (t *Table) scanIn(pos int, vals []predicate.Value, sel []uint64, blks []int
 					s := c.rawStrs[r]
 					for _, m := range strs {
 						if s == m {
-							selSet(sel, r)
+							sel.Set(r)
 							break
 						}
 					}
@@ -555,7 +453,7 @@ func (t *Table) scanIn(pos int, vals []predicate.Value, sel []uint64, blks []int
 				cd := c.codes[r]
 				for _, code := range codes {
 					if cd == code {
-						selSet(sel, r)
+						sel.Set(r)
 						break
 					}
 				}
