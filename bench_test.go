@@ -10,10 +10,12 @@
 package main
 
 import (
+	"fmt"
 	"io"
 	"sync"
 	"testing"
 
+	"hypre/internal/combine"
 	"hypre/internal/experiments"
 	"hypre/internal/workload"
 )
@@ -233,6 +235,60 @@ func BenchmarkUpdateStream(b *testing.B) {
 		if !r.Matched {
 			b.Fatal("incremental ranking diverged from rematerialization")
 		}
+	}
+}
+
+// shardedBenchWorkers is the shard-count sweep for the partition-sharded
+// hot paths; speedup beyond 1 worker is bounded by the machine's cores.
+var shardedBenchWorkers = []int{1, 2, 4, 8}
+
+// BenchmarkShardedPairBuild times the (span × anchor)-sharded pair-table
+// sweep over a warm evaluator cache, across worker counts, on the rich
+// user's full profile — the pure set-algebra phase the partition layer
+// parallelizes.
+func BenchmarkShardedPairBuild(b *testing.B) {
+	l := benchSetup(b)
+	prefs := l.ProfileFor(l.Rich, 0)
+	for _, w := range shardedBenchWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			ev := l.Evaluator()
+			ev.Workers = w
+			if err := ev.MaterializeAll(prefs); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := combine.BuildPairTable(prefs, ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedPEPS times span-sharded PEPS across worker counts on the
+// rich user's full profile (single-span at this workload size: the sweep
+// tracks the serial-degeneration overhead, which must stay at parity).
+func BenchmarkShardedPEPS(b *testing.B) {
+	l := benchSetup(b)
+	prefs := l.ProfileFor(l.Rich, benchProfileCap)
+	for _, w := range shardedBenchWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			ev := l.Evaluator()
+			ev.Workers = w
+			pt, err := combine.BuildPairTable(prefs, ev)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := combine.PEPSSharded(prefs, pt, ev, 200, combine.Complete); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,169 @@
+// Command benchcompare is the CI bench-regression gate: it diffs a current
+// benchrunner -benchjson record against a committed baseline
+// (BENCH_PR*.json) and exits non-zero when any tracked hot-path median
+// regresses beyond the threshold ratio. Tracked metrics:
+//
+//	peps_complete_ns            median complete-variant PEPS time over every fig39 point
+//	peps_quant_ns               median quantitative-only PEPS time over every fig39 point
+//	pair_build_ns               median pair-table build across fig39 uids
+//	materialize_best_ns         median best cold profile materialization across uids
+//	update_maint_incremental_ns median incremental maintenance across uids
+//
+// Medians across points/uids keep single noisy samples from tripping the
+// gate; a metric absent from either file is skipped (partial runs compare
+// what they have), but if nothing at all is comparable the gate fails —
+// a vacuous pass would hide a broken bench step.
+//
+// Usage:
+//
+//	benchcompare -baseline BENCH_PR4.json -current BENCH_results.json [-threshold 1.25]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// benchRecord mirrors the subset of benchrunner's -benchjson schema the
+// gate tracks.
+type benchRecord struct {
+	Fig39 []struct {
+		UID         int64 `json:"uid"`
+		PairBuildNs int64 `json:"pair_build_ns"`
+		Points      []struct {
+			K          int   `json:"k"`
+			CompleteNs int64 `json:"complete_ns"`
+			QuantNs    int64 `json:"quant_only_ns"`
+		} `json:"points"`
+	} `json:"fig39_peps_time"`
+	Materialize []struct {
+		UID    int64 `json:"uid"`
+		BestNs int64 `json:"best_ns"`
+	} `json:"materialize_profile"`
+	Updates []struct {
+		UID                int64 `json:"uid"`
+		MaintIncrementalNs int64 `json:"maint_incremental_ns"`
+	} `json:"update_stream"`
+}
+
+func load(path string) (*benchRecord, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchRecord
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// metrics flattens a record into the tracked medians; absent sections are
+// simply missing keys.
+func metrics(r *benchRecord) map[string]float64 {
+	out := map[string]float64{}
+	var complete, quant, pair []float64
+	for _, f := range r.Fig39 {
+		pair = append(pair, float64(f.PairBuildNs))
+		for _, p := range f.Points {
+			complete = append(complete, float64(p.CompleteNs))
+			quant = append(quant, float64(p.QuantNs))
+		}
+	}
+	put(out, "peps_complete_ns", complete)
+	put(out, "peps_quant_ns", quant)
+	put(out, "pair_build_ns", pair)
+	var mat []float64
+	for _, m := range r.Materialize {
+		mat = append(mat, float64(m.BestNs))
+	}
+	put(out, "materialize_best_ns", mat)
+	var upd []float64
+	for _, u := range r.Updates {
+		upd = append(upd, float64(u.MaintIncrementalNs))
+	}
+	put(out, "update_maint_incremental_ns", upd)
+	return out
+}
+
+func put(m map[string]float64, key string, samples []float64) {
+	if len(samples) > 0 {
+		m[key] = median(samples)
+	}
+}
+
+func median(s []float64) float64 {
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "committed baseline BENCH_*.json")
+		currentPath  = flag.String("current", "", "freshly generated -benchjson record")
+		threshold    = flag.Float64("threshold", 1.25, "fail when current median exceeds baseline × threshold")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcompare: -baseline and -current are required")
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fatal(err)
+	}
+	bm, cm := metrics(base), metrics(cur)
+
+	keys := make([]string, 0, len(bm))
+	for k := range bm {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	compared, failed := 0, 0
+	fmt.Printf("bench regression gate: %s vs baseline %s (threshold %.2fx)\n",
+		*currentPath, *baselinePath, *threshold)
+	for _, k := range keys {
+		b := bm[k]
+		c, ok := cm[k]
+		if !ok {
+			fmt.Printf("  %-28s baseline %14.0f  current        —  SKIP (not in current run)\n", k, b)
+			continue
+		}
+		compared++
+		ratio := c / b
+		verdict := "ok"
+		if ratio > *threshold {
+			verdict = "REGRESSION"
+			failed++
+		}
+		fmt.Printf("  %-28s baseline %14.0f  current %14.0f  %5.2fx  %s\n", k, b, c, ratio, verdict)
+	}
+	for k := range cm {
+		if _, ok := bm[k]; !ok {
+			fmt.Printf("  %-28s (new metric, no baseline — recorded only)\n", k)
+		}
+	}
+	if compared == 0 {
+		fatal(fmt.Errorf("no comparable metrics between %s and %s — bench step broken?", *baselinePath, *currentPath))
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("%d of %d tracked medians regressed beyond %.2fx", failed, compared, *threshold))
+	}
+	fmt.Printf("all %d tracked medians within %.2fx of baseline\n", compared, *threshold)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcompare:", err)
+	os.Exit(1)
+}

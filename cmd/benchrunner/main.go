@@ -35,7 +35,31 @@ type benchReport struct {
 	Materialize []materializeJSON      `json:"materialize_profile,omitempty"`
 	Updates     []updatesJSON          `json:"update_stream,omitempty"`
 	BitmapMem   []bitmapMemJSON        `json:"bitmap_mem,omitempty"`
+	Shards      []shardsJSON           `json:"shards,omitempty"`
 	Extra       map[string]interface{} `json:"extra,omitempty"`
+}
+
+// shardsJSON is the partition-sharding worker sweep: per worker count, the
+// warm pair-table build, cold profile materialization, and span-sharded
+// PEPS timings, plus the machine's CPU budget (the hard ceiling on any
+// speedup) and the sharded-vs-serial equivalence verdict.
+type shardsJSON struct {
+	UID     int64            `json:"uid"`
+	Prefs   int              `json:"prefs"`
+	Pairs   int              `json:"pairs"`
+	Spans   int              `json:"spans"`
+	CPUs    int              `json:"cpus"`
+	K       int              `json:"k"`
+	Reps    int              `json:"reps"`
+	Matched bool             `json:"matched"`
+	Points  []shardPointJSON `json:"points"`
+}
+
+type shardPointJSON struct {
+	Workers       int   `json:"workers"`
+	PairBuildNs   int64 `json:"pair_build_ns"`
+	MaterializeNs int64 `json:"materialize_ns"`
+	PEPSNs        int64 `json:"peps_ns"`
 }
 
 // bitmapMemJSON is the per-user compressed-vs-dense bitmap footprint of the
@@ -117,7 +141,7 @@ type pepsVariantsJSON struct {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiment ids (table10,table11,table12,fig13,fig17,fig18,fig26,fig28,fig29,fig32,fig35,fig37,fig39,ablation,materialize,updates,bitmapmem) or 'all'")
+		exp     = flag.String("exp", "all", "comma-separated experiment ids (table10,table11,table12,fig13,fig17,fig18,fig26,fig28,fig29,fig32,fig35,fig37,fig39,ablation,materialize,updates,bitmapmem,shards) or 'all'")
 		papers  = flag.Int("papers", 4000, "number of papers in the synthetic network")
 		authors = flag.Int("authors", 1200, "number of authors")
 		venues  = flag.Int("venues", 40, "number of venues")
@@ -322,11 +346,26 @@ func main() {
 		const (
 			updBatches = 8
 			updOps     = 64
+			// The stream runs over a seeded private clone, so repeat runs
+			// are independent and deterministic; keep the one with the
+			// fastest incremental maintenance — single-pass samples spike
+			// on busy machines and the bench-regression gate diffs this
+			// figure across PRs.
+			updReps = 3
 		)
 		for _, uid := range lab.Users() {
-			r, err := experiments.RunUpdateStream(lab, uid, updBatches, updOps, *k, *cap_)
-			if err != nil {
-				fatal(err)
+			var r *experiments.UpdateStreamResult
+			for rep := 0; rep < updReps; rep++ {
+				cand, err := experiments.RunUpdateStream(lab, uid, updBatches, updOps, *k, *cap_)
+				if err != nil {
+					fatal(err)
+				}
+				if !cand.Matched {
+					fatal(fmt.Errorf("update stream uid=%d: incremental ranking diverged from rematerialization", cand.UID))
+				}
+				if r == nil || cand.MaintIncremental < r.MaintIncremental {
+					r = cand
+				}
 			}
 			r.Render(out)
 			report.Updates = append(report.Updates, updatesJSON{
@@ -344,9 +383,6 @@ func main() {
 				FullRebuilds:         r.FullRebuilds,
 				Matched:              r.Matched,
 			})
-			if !r.Matched {
-				fatal(fmt.Errorf("update stream uid=%d: incremental ranking diverged from rematerialization", r.UID))
-			}
 		}
 		fmt.Println()
 	}
@@ -375,6 +411,44 @@ func main() {
 		fmt.Println()
 	}
 
+	if run("shards") {
+		const shardReps = 5
+		workerCounts := []int{1, 2, 4, 8}
+		for _, uid := range lab.Users() {
+			// Full profile (no cap): the sharded sweep is about scaling the
+			// pair-count and scan fan-out, so give it the widest real
+			// workload the lab has.
+			r, err := experiments.RunShards(lab, uid, workerCounts, *k, 0, shardReps)
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(out)
+			sj := shardsJSON{
+				UID:     r.UID,
+				Prefs:   r.Prefs,
+				Pairs:   r.Pairs,
+				Spans:   r.Spans,
+				CPUs:    r.CPUs,
+				K:       r.K,
+				Reps:    r.Reps,
+				Matched: r.Matched,
+			}
+			for _, p := range r.Points {
+				sj.Points = append(sj.Points, shardPointJSON{
+					Workers:       p.Workers,
+					PairBuildNs:   p.PairBuild.Nanoseconds(),
+					MaterializeNs: p.Materialize.Nanoseconds(),
+					PEPSNs:        p.PEPS.Nanoseconds(),
+				})
+			}
+			report.Shards = append(report.Shards, sj)
+			if !r.Matched {
+				fatal(fmt.Errorf("shards uid=%d: sharded evaluation diverged from the serial path", r.UID))
+			}
+		}
+		fmt.Println()
+	}
+
 	if run("materialize") {
 		const matReps = 5
 		for _, uid := range lab.Users() {
@@ -395,7 +469,7 @@ func main() {
 		fmt.Println()
 	}
 
-	if *bjson != "" && (len(report.Fig39) > 0 || len(report.PairCache) > 0 || len(report.PEPS) > 0 || len(report.Materialize) > 0 || len(report.Updates) > 0 || len(report.BitmapMem) > 0) {
+	if *bjson != "" && (len(report.Fig39) > 0 || len(report.PairCache) > 0 || len(report.PEPS) > 0 || len(report.Materialize) > 0 || len(report.Updates) > 0 || len(report.BitmapMem) > 0 || len(report.Shards) > 0) {
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fatal(err)

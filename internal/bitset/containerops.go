@@ -464,7 +464,10 @@ func orInto(bmp []uint64, c *container) {
 			bmp[v>>6] |= 1 << (v & 63)
 		}
 	case ctBitmap:
-		for i, w := range c.bmp {
+		// c.bmp may carry trailing zero words past c's maxLow (AND results
+		// keep their allocation length); bmp covers maxLow, so the excess
+		// is all-zero and safe to drop.
+		for i, w := range c.bmp[:min(len(bmp), len(c.bmp))] {
 			bmp[i] |= w
 		}
 	case ctRun:

@@ -1,0 +1,126 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPartitionInvariants is the randomized suite for the span layer: the
+// shards of a set partition it exactly, per-span intersection counts sum to
+// the global count, and MergeAscending reassembles block-partitioned splits
+// (container-aligned or not) into the original set.
+func TestPartitionInvariants(t *testing.T) {
+	const max = 4 * containerSpan
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		s, ref := genSet(rng, max)
+		o, _ := genSet(rng, max)
+
+		// Shards partition s: disjoint spans, union equal to s.
+		spans := s.Spans()
+		for i := 1; i < len(spans); i++ {
+			if spans[i-1] >= spans[i] {
+				t.Fatalf("trial %d: Spans not ascending: %v", trial, spans)
+			}
+		}
+		total := 0
+		for _, span := range spans {
+			sh := s.Shard(span)
+			total += sh.Len()
+			base := SpanBase(span)
+			sh.ForEach(func(k int) bool {
+				if !ref[k] {
+					t.Fatalf("trial %d: shard %d holds %d not in set", trial, span, k)
+				}
+				if SpanOf(k) != span || k < base || k >= base+containerSpan {
+					t.Fatalf("trial %d: shard %d leaked key %d", trial, span, k)
+				}
+				return true
+			})
+		}
+		if total != s.Len() {
+			t.Fatalf("trial %d: shards hold %d keys, set holds %d", trial, total, s.Len())
+		}
+		if sh := s.Shard(Span(max >> 16)); sh.Len() != 0 {
+			t.Fatalf("trial %d: absent span yielded %d keys", trial, sh.Len())
+		}
+
+		// Span-local intersection counts sum to the global AndCard, both
+		// over the pairwise union and over each operand's own span list.
+		union := SpanUnion(s, o)
+		sum := 0
+		for _, span := range union {
+			sum += s.AndCardSpan(o, span)
+		}
+		if want := s.AndCard(o); sum != want {
+			t.Fatalf("trial %d: Σ AndCardSpan=%d, AndCard=%d", trial, sum, want)
+		}
+		if got := s.AndCardSpans(o, union); got != s.AndCard(o) {
+			t.Fatalf("trial %d: AndCardSpans(union)=%d, AndCard=%d", trial, got, s.AndCard(o))
+		}
+		// SpanUnion covers both operands' spans, sorted.
+		seen := map[Span]bool{}
+		for i, sp := range union {
+			if i > 0 && union[i-1] >= sp {
+				t.Fatalf("trial %d: SpanUnion not ascending: %v", trial, union)
+			}
+			seen[sp] = true
+		}
+		for _, sp := range s.Spans() {
+			if !seen[sp] {
+				t.Fatalf("trial %d: SpanUnion missing span %d of s", trial, sp)
+			}
+		}
+
+		// MergeAscending reassembles arbitrary ascending splits — cut
+		// points at random key positions, including inside containers.
+		cuts := []int{0}
+		for n := 1 + rng.Intn(5); n > 0; n-- {
+			cuts = append(cuts, rng.Intn(max))
+		}
+		cuts = append(cuts, max)
+		sortInts(cuts)
+		var parts []*Set
+		for i := 0; i+1 < len(cuts); i++ {
+			lo, hi := cuts[i], cuts[i+1]
+			part := New()
+			s.ForEach(func(k int) bool {
+				if k >= lo && k < hi {
+					part.Add(k)
+				}
+				return true
+			})
+			if rng.Intn(4) == 0 {
+				parts = append(parts, nil) // tolerated gap
+			}
+			parts = append(parts, part)
+		}
+		checkEqual(t, "MergeAscending", MergeAscending(parts), ref, max)
+	}
+}
+
+// TestShardCopyOnWrite proves a shard is a safe independent view: mutating
+// the shard never disturbs the original set.
+func TestShardCopyOnWrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const max = 3 * containerSpan
+	for trial := 0; trial < 20; trial++ {
+		s, ref := genSet(rng, max)
+		for _, span := range append([]Span(nil), s.Spans()...) {
+			sh := s.Shard(span)
+			base := SpanBase(span)
+			sh.Add(base + rng.Intn(containerSpan))
+			sh.Remove(base + rng.Intn(containerSpan))
+			sh.AddRange(base, base+100)
+		}
+		checkEqual(t, "original after shard mutation", s, ref, max)
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

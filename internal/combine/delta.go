@@ -1,7 +1,7 @@
 package combine
 
 import (
-	"runtime"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -47,17 +47,29 @@ func (ev *Evaluator) RefreshRows(lids []int) (changed []string, ok bool, err err
 // RefreshRowSet is RefreshRows with the touched rows already in compressed
 // mask form — the delta maintainer accumulates them that way directly.
 func (ev *Evaluator) RefreshRowSet(touched *bitset.Set) (changed []string, ok bool, err error) {
+	changed, _, _, ok, err = ev.RefreshRowSetDelta(touched)
+	return changed, ok, err
+}
+
+// RefreshRowSetDelta is RefreshRowSet additionally reporting the delta a
+// span-restricted pair-table recount needs: prev maps every changed
+// predicate to its pre-patch bitmap (the cache holds the patched clone;
+// callers handed out the previous one keep reading it consistently), and
+// spans lists, sorted ascending, the dense-id partitions where at least one
+// bit actually moved — by construction the only partitions where any
+// changed predicate's old and new bitmaps differ.
+func (ev *Evaluator) RefreshRowSetDelta(touched *bitset.Set) (changed []string, prev map[string]*Bitmap, spans []bitset.Span, ok bool, err error) {
 	ev.mu.Lock()
 	defer ev.mu.Unlock()
 	if len(ev.bits) == 0 {
-		return nil, true, nil // nothing cached, nothing stale
+		return nil, nil, nil, true, nil // nothing cached, nothing stale
 	}
 	if !ev.seeded || ev.rowDense == nil {
-		return nil, false, nil
+		return nil, nil, nil, false, nil
 	}
 	tbl := ev.db.Table(ev.seedFrom)
 	if tbl == nil {
-		return nil, false, nil
+		return nil, nil, nil, false, nil
 	}
 	// Extend the row plumbing over rows inserted since the seed (or the
 	// last refresh): dense ids stay unassigned until a predicate matches.
@@ -74,7 +86,7 @@ func (ev *Evaluator) RefreshRowSet(touched *bitset.Set) (changed []string, ok bo
 	}
 	nTouched := touched.Len()
 	if nTouched == 0 {
-		return nil, true, nil
+		return nil, nil, nil, true, nil
 	}
 
 	// Share the join-existence test across predicates: one probe pass
@@ -89,7 +101,7 @@ func (ev *Evaluator) RefreshRowSet(touched *bitset.Set) (changed []string, ok bo
 		var err error
 		partnered, err = ev.db.MatchLeftRowSet(baseQ, touched)
 		if err != nil {
-			return nil, false, err
+			return nil, nil, nil, false, err
 		}
 	}
 	joinless := relstore.Query{From: baseQ.From}
@@ -100,7 +112,7 @@ func (ev *Evaluator) RefreshRowSet(touched *bitset.Set) (changed []string, ok bo
 	predKeys := make([]string, 0, len(ev.bits))
 	for pred := range ev.bits {
 		if _, okp := ev.preds[pred]; !okp {
-			return nil, false, nil
+			return nil, nil, nil, false, nil
 		}
 		predKeys = append(predKeys, pred)
 	}
@@ -125,10 +137,7 @@ func (ev *Evaluator) RefreshRowSet(touched *bitset.Set) (changed []string, ok bo
 			scanOne(i)
 		}
 	} else {
-		workers := runtime.GOMAXPROCS(0)
-		if workers > len(predKeys) {
-			workers = len(predKeys)
-		}
+		workers := ev.workerCount(len(predKeys))
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -148,12 +157,15 @@ func (ev *Evaluator) RefreshRowSet(touched *bitset.Set) (changed []string, ok bo
 	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, false, err
+			return nil, nil, nil, false, err
 		}
 	}
 
 	// Serial patch phase: compare each predicate's re-evaluated rows with
-	// its cached bitmap, cloning on first difference.
+	// its cached bitmap, cloning on first difference. Every flipped dense id
+	// marks its span touched — the partition list the pair-table recount is
+	// allowed to restrict itself to.
+	spanSeen := map[bitset.Span]bool{}
 	for i, pred := range predKeys {
 		bm := ev.bits[pred]
 		sel := sels[i]
@@ -196,14 +208,24 @@ func (ev *Evaluator) RefreshRowSet(touched *bitset.Set) (changed []string, ok bo
 			} else {
 				patched.Clear(int(di))
 			}
+			spanSeen[bitset.SpanOf(int(di))] = true
 		}
 		if patched != nil {
+			if prev == nil {
+				prev = make(map[string]*Bitmap)
+			}
+			prev[pred] = bm
 			ev.bits[pred] = patched
 			delete(ev.sets, pred) // the sorted view is stale; re-derive lazily
 			changed = append(changed, pred)
 		}
 	}
-	return changed, true, nil
+	spans = make([]bitset.Span, 0, len(spanSeen))
+	for sp := range spanSeen {
+		spans = append(spans, sp)
+	}
+	slices.Sort(spans)
+	return changed, prev, spans, true, nil
 }
 
 // Invalidate drops every cached predicate set and the scan plumbing, so the

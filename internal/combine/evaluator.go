@@ -62,6 +62,35 @@ type Evaluator struct {
 	Queries int
 	// ComboEvals counts combination evaluations (set-algebra operations).
 	ComboEvals int
+
+	// Workers caps the fan-out of every sharded stage driven through this
+	// evaluator (bulk materialization, the pair-table span sweep, sharded
+	// PEPS, delta refresh); 0 means GOMAXPROCS. It must be set before the
+	// concurrent phases start and is read-only thereafter — the shards
+	// experiment sweeps it to measure parallel scaling.
+	Workers int
+}
+
+// workerTarget is the configured fan-out width: ev.Workers, defaulting to
+// GOMAXPROCS.
+func (ev *Evaluator) workerTarget() int {
+	if ev.Workers > 0 {
+		return ev.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// workerCount clamps the configured fan-out to the number of independent
+// work items of one stage.
+func (ev *Evaluator) workerCount(items int) int {
+	w := ev.workerTarget()
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // NewEvaluator builds an evaluator over a store. base maps a WHERE
@@ -129,7 +158,7 @@ func (ev *Evaluator) MaterializeAll(prefs []hypre.ScoredPred) error {
 		return err
 	}
 	if len(pending) == 1 {
-		b, err := ev.scanBitmapLocked(pending[0])
+		b, err := ev.scanBitmapLocked(pending[0], ev.workerTarget())
 		if err != nil {
 			return err
 		}
@@ -142,16 +171,21 @@ func (ev *Evaluator) MaterializeAll(prefs []hypre.ScoredPred) error {
 	// Parallel phase: workers only read the store — no dict access at all.
 	// Each produces the selection set of matching base-table rows; pids
 	// the row scan cannot place (non-left key attributes) are collected and
-	// folded in serially.
+	// folded in serially. When the profile has fewer predicates than the
+	// fan-out target, the leftover width goes to the scans themselves: each
+	// predicate's kernel pass shards over block partitions
+	// (relstore.ScanAttrRowSetParts), so a two-predicate profile over a
+	// wide table still fills the machine.
 	type result struct {
 		sel      *bitset.Set
 		leftover []int64
 	}
 	results := make([]result, len(pending))
 	errs := make([]error, len(pending))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(pending) {
-		workers = len(pending)
+	workers := ev.workerCount(len(pending))
+	scanParts := 1
+	if t := ev.workerTarget(); t > len(pending) {
+		scanParts = (t + len(pending) - 1) / len(pending)
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -164,7 +198,7 @@ func (ev *Evaluator) MaterializeAll(prefs []hypre.ScoredPred) error {
 				if i >= len(pending) {
 					return
 				}
-				results[i].sel, results[i].leftover, errs[i] = ev.scanSel(pending[i])
+				results[i].sel, results[i].leftover, errs[i] = ev.scanSel(pending[i], scanParts)
 			}
 		}()
 	}
@@ -258,19 +292,20 @@ func (ev *Evaluator) convertLocked(sel *bitset.Set, leftover []int64) *Bitmap {
 // scanSel runs one predicate's scan into a base-row selection set plus any
 // pids the row scan could not place (non-left key attributes fall back to
 // the general distinct scan). The vectorized path hands back the container
-// bitmap the kernels produced (ScanAttrRowSet) — no per-row emission, no
-// recompression. It reads only the store and fields frozen by seedLocked,
+// bitmap the kernels produced (ScanAttrRowSetParts) — no per-row emission,
+// no recompression — sharding the kernel pass over parts block partitions
+// when parts > 1. It reads only the store and fields frozen by seedLocked,
 // so MaterializeAll workers may call it concurrently.
-func (ev *Evaluator) scanSel(p hypre.ScoredPred) (sel *bitset.Set, leftover []int64, err error) {
+func (ev *Evaluator) scanSel(p hypre.ScoredPred, parts int) (sel *bitset.Set, leftover []int64, err error) {
 	q := ev.base(p.P)
 	if q.From == ev.seedFrom && len(ev.rowDense) > 0 {
 		nrows := len(ev.rowDense)
 		// Rows inserted after the seed have no cached pid; the scan spills
 		// their key values under its own lock (one consistent epoch) while
 		// the selection keeps only the plumbed rows.
-		sel, ok, err := ev.db.ScanAttrRowSet(q, ev.keyAttr, nrows, func(_ int, pid int64) {
+		sel, ok, err := ev.db.ScanAttrRowSetParts(q, ev.keyAttr, nrows, func(_ int, pid int64) {
 			leftover = append(leftover, pid)
-		})
+		}, parts)
 		if err == nil && ok {
 			return sel, leftover, nil
 		}
@@ -299,9 +334,10 @@ func (ev *Evaluator) scanSel(p hypre.ScoredPred) (sel *bitset.Set, leftover []in
 	return nil, leftover, err
 }
 
-// scanBitmapLocked runs one predicate's scan into a fresh dense bitmap.
-func (ev *Evaluator) scanBitmapLocked(p hypre.ScoredPred) (*Bitmap, error) {
-	sel, leftover, err := ev.scanSel(p)
+// scanBitmapLocked runs one predicate's scan into a fresh dense bitmap,
+// sharding the kernel pass over parts block partitions when parts > 1.
+func (ev *Evaluator) scanBitmapLocked(p hypre.ScoredPred, parts int) (*Bitmap, error) {
+	sel, leftover, err := ev.scanSel(p, parts)
 	if err != nil {
 		return nil, err
 	}
@@ -350,7 +386,7 @@ func (ev *Evaluator) PredBitmap(p hypre.ScoredPred) (*Bitmap, error) {
 	if err := ev.seedLocked(); err != nil {
 		return nil, err
 	}
-	b, err := ev.scanBitmapLocked(p)
+	b, err := ev.scanBitmapLocked(p, ev.workerTarget())
 	if err != nil {
 		return nil, err
 	}

@@ -1,11 +1,11 @@
 package combine
 
 import (
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"hypre/internal/bitset"
 	"hypre/internal/hypre"
 )
 
@@ -31,12 +31,15 @@ type PairTable struct {
 // BuildPairTable computes the table: all (i, j) with i < j whose AND
 // combination is applicable (returns tuples). It runs in two phases: a bulk
 // materialization of every predicate bitmap (MaterializeAll's worker pool
-// of vectorized scans, through the evaluator's cache), then a parallel
-// sweep where a worker pool popcounts the word-wise AND of each pair
-// without touching the store — the evaluator is read-only concurrent-safe
-// at that point. Output is deterministic: per-anchor rows are filled into
-// fixed slots and flattened in anchor order before the stable intensity
-// sort.
+// of vectorized scans, through the evaluator's cache), then a
+// partition-sharded sweep: the pair counts fan out over (container span ×
+// anchor) tasks, each intersecting container-local bitmaps, and the
+// per-span partial counts merge by summation — sound because containers
+// partition the key space, so Σ_span AndCardSpan equals AndCard exactly.
+// The evaluator is read-only concurrent-safe at that point. Output is
+// deterministic: counts land in fixed triangular slots and rows assemble in
+// anchor order before the stable intensity sort, so the table is
+// byte-identical across worker and span counts.
 func BuildPairTable(prefs []hypre.ScoredPred, ev *Evaluator) (*PairTable, error) {
 	pt := &PairTable{Prefs: prefs, byFirst: make(map[int][]PairEntry)}
 	n := len(prefs)
@@ -58,47 +61,22 @@ func BuildPairTable(prefs []hypre.ScoredPred, ev *Evaluator) (*PairTable, error)
 		bms[i] = b
 	}
 
-	// Phase 2 (parallel): pure bitmap algebra, no evaluator writes. Anchors
-	// are handed out via an atomic counter so early (long) rows and late
-	// (short) rows balance across the pool.
-	rows := make([][]PairEntry, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				var row []PairEntry
-				for j := i + 1; j < n; j++ {
-					cnt := bms[i].AndCard(bms[j])
-					if cnt == 0 {
-						continue
-					}
-					row = append(row, PairEntry{
-						I:         i,
-						J:         j,
-						Intensity: hypre.FAndAll(prefs[i].Intensity, prefs[j].Intensity),
-						Count:     cnt,
-					})
-				}
-				rows[i] = row
-			}
-		}()
-	}
-	wg.Wait()
+	counts := buildPairCounts(bms, ev.workerTarget())
 	ev.ComboEvals += n * (n - 1) / 2
 
-	for _, row := range rows {
-		pt.Pairs = append(pt.Pairs, row...)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			cnt := counts[triIndex(n, i, j)]
+			if cnt == 0 {
+				continue
+			}
+			pt.Pairs = append(pt.Pairs, PairEntry{
+				I:         i,
+				J:         j,
+				Intensity: hypre.FAndAll(prefs[i].Intensity, prefs[j].Intensity),
+				Count:     int(cnt),
+			})
+		}
 	}
 	sort.SliceStable(pt.Pairs, func(a, b int) bool {
 		return pt.Pairs[a].Intensity > pt.Pairs[b].Intensity
@@ -107,6 +85,65 @@ func BuildPairTable(prefs []hypre.ScoredPred, ev *Evaluator) (*PairTable, error)
 		pt.byFirst[e.I] = append(pt.byFirst[e.I], e)
 	}
 	return pt, nil
+}
+
+// triIndex maps a pair (i < j) over n preferences to its slot in the packed
+// upper-triangular count vector.
+func triIndex(n, i, j int) int { return i*(2*n-i-1)/2 + (j - i - 1) }
+
+// buildPairCounts runs the pair-count sweep. With one worker it is the
+// plain serial loop (whole-set AndCard per pair, no span slicing). With
+// more, tasks are (span, anchor) cells of the partition grid: the spans of
+// SpanUnion over every predicate bitmap times the n anchor rows, handed out
+// via an atomic counter so dense spans and long anchor rows balance across
+// the pool; each task popcounts container-local intersections and adds them
+// into the shared triangular accumulator (summation is commutative, so the
+// totals are exact regardless of interleaving). Single-span domains — any
+// dictionary under 64k dense ids — degenerate to one task per anchor, i.e.
+// plain anchor parallelism.
+func buildPairCounts(bms []*Bitmap, workers int) []int64 {
+	n := len(bms)
+	counts := make([]int64, n*(n-1)/2)
+	sets := make([]*bitset.Set, n)
+	for i, b := range bms {
+		sets[i] = b.s
+	}
+	spans := bitset.SpanUnion(sets...)
+	if workers <= 1 || len(spans) == 0 {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				counts[triIndex(n, i, j)] = int64(bms[i].AndCard(bms[j]))
+			}
+		}
+		return counts
+	}
+	tasks := len(spans) * n
+	if workers > tasks {
+		workers = tasks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= tasks {
+					return
+				}
+				span, i := spans[t/n], t%n
+				si := sets[i]
+				for j := i + 1; j < n; j++ {
+					if c := si.AndCardSpan(sets[j], span); c != 0 {
+						atomic.AddInt64(&counts[triIndex(n, i, j)], int64(c))
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return counts
 }
 
 // CombsOfTwo returns the valid pairs starting at preference index i,
@@ -120,19 +157,16 @@ func (pt *PairTable) CombsOfTwo(i int) []PairEntry { return pt.byFirst[i] }
 // BuildPairTable's full O(n²) popcount sweep. Pairs between two unchanged
 // predicates keep their counts (their bitmaps are untouched); pairs with a
 // changed endpoint are repriced, dropping to nothing when the intersection
-// emptied and (re)appearing when it stopped being empty. The output is
-// assembled anchor-major before the stable intensity sort, exactly like
-// BuildPairTable, so the structure is byte-identical to a fresh build.
+// emptied and (re)appearing when it stopped being empty.
 func (pt *PairTable) Refresh(ev *Evaluator, changedPreds []string) (*PairTable, error) {
 	if len(changedPreds) == 0 {
 		return pt, nil
 	}
-	n := len(pt.Prefs)
 	changedSet := make(map[string]bool, len(changedPreds))
 	for _, p := range changedPreds {
 		changedSet[p] = true
 	}
-	changed := make([]bool, n)
+	changed := make([]bool, len(pt.Prefs))
 	any := false
 	for i, p := range pt.Prefs {
 		if changedSet[p.Pred] {
@@ -143,7 +177,7 @@ func (pt *PairTable) Refresh(ev *Evaluator, changedPreds []string) (*PairTable, 
 	if !any {
 		return pt, nil
 	}
-	bms := make([]*Bitmap, n)
+	bms := make([]*Bitmap, len(pt.Prefs))
 	for i, p := range pt.Prefs {
 		b, err := ev.PredBitmap(p) // cache hit: RefreshRows already ran
 		if err != nil {
@@ -151,22 +185,81 @@ func (pt *PairTable) Refresh(ev *Evaluator, changedPreds []string) (*PairTable, 
 		}
 		bms[i] = b
 	}
-	old := make(map[[2]int]PairEntry, len(pt.Pairs))
+	return pt.recountPairs(ev, changed, func(i, j int, _ PairEntry) int {
+		return bms[i].AndCard(bms[j])
+	}), nil
+}
+
+// RefreshSpans is Refresh restricted to the partitions a mutation batch
+// actually touched: prev maps each changed predicate to its pre-patch
+// bitmap (as returned by Evaluator.RefreshRowSetDelta) and spans lists the
+// dense-id spans where bits moved. Every pair with a changed endpoint is
+// repriced as
+//
+//	old count − |old_i ∩ old_j|_spans + |new_i ∩ new_j|_spans
+//
+// which equals a full recount because bits outside the touched spans are
+// untouched by the patch — so the cost is O(changed pairs × touched spans)
+// instead of O(changed pairs × all containers), and the output stays
+// byte-identical to Refresh.
+func (pt *PairTable) RefreshSpans(ev *Evaluator, prev map[string]*Bitmap, spans []bitset.Span) (*PairTable, error) {
+	if len(prev) == 0 || len(spans) == 0 {
+		return pt, nil
+	}
+	n := len(pt.Prefs)
+	changed := make([]bool, n)
+	curr := make([]*bitset.Set, n)
+	old := make([]*bitset.Set, n)
+	any := false
+	for i, p := range pt.Prefs {
+		b, err := ev.PredBitmap(p) // cache hit: the row refresh already ran
+		if err != nil {
+			return nil, err
+		}
+		curr[i], old[i] = b.s, b.s
+		if pb, ok := prev[p.Pred]; ok {
+			old[i] = pb.s
+			changed[i] = true
+			any = true
+		}
+	}
+	if !any {
+		return pt, nil
+	}
+	return pt.recountPairs(ev, changed, func(i, j int, e PairEntry) int {
+		// e.Count is zero when the pair was previously inapplicable.
+		return e.Count -
+			old[i].AndCardSpans(old[j], spans) +
+			curr[i].AndCardSpans(curr[j], spans)
+	}), nil
+}
+
+// recountPairs is the shared refresh core: pairs between two unchanged
+// endpoints keep their old entry verbatim, pairs with a changed endpoint
+// reprice through count (the old entry — zero-valued when the pair was
+// absent — passed in; a zero result drops the pair), and the output
+// assembles anchor-major before the stable intensity sort — exactly
+// BuildPairTable's order, which is what keeps every refresh byte-identical
+// to a fresh build.
+func (pt *PairTable) recountPairs(ev *Evaluator, changed []bool, count func(i, j int, old PairEntry) int) *PairTable {
+	n := len(pt.Prefs)
+	oldEntries := make(map[[2]int]PairEntry, len(pt.Pairs))
 	for _, e := range pt.Pairs {
-		old[[2]int{e.I, e.J}] = e
+		oldEntries[[2]int{e.I, e.J}] = e
 	}
 	out := &PairTable{Prefs: pt.Prefs, byFirst: make(map[int][]PairEntry)}
 	recounted := 0
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
+			e, had := oldEntries[[2]int{i, j}]
 			if !changed[i] && !changed[j] {
-				if e, ok := old[[2]int{i, j}]; ok {
+				if had {
 					out.Pairs = append(out.Pairs, e)
 				}
 				continue
 			}
 			recounted++
-			cnt := bms[i].AndCard(bms[j])
+			cnt := count(i, j, e)
 			if cnt == 0 {
 				continue
 			}
@@ -185,5 +278,5 @@ func (pt *PairTable) Refresh(ev *Evaluator, changedPreds []string) (*PairTable, 
 	for _, e := range out.Pairs {
 		out.byFirst[e.I] = append(out.byFirst[e.I], e)
 	}
-	return out, nil
+	return out
 }

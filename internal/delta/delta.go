@@ -200,7 +200,7 @@ func (m *Maintainer) Sync() (SyncStats, error) {
 			}
 		}
 	}
-	changed, ok, err := m.ev.RefreshRowSet(touched)
+	changed, prev, spans, ok, err := m.ev.RefreshRowSetDelta(touched)
 	if err != nil {
 		return SyncStats{}, err
 	}
@@ -208,7 +208,18 @@ func (m *Maintainer) Sync() (SyncStats, error) {
 		return m.rebuild(lEpoch, rEpoch)
 	}
 	if len(changed) > 0 {
-		pt, err := m.pt.Refresh(m.ev, changed)
+		// Recount only the partitions the patch actually touched when they
+		// are a minority of the dense-id domain (each repriced pair then
+		// pays two span-restricted counts, so the span path must cover
+		// under half the spans to win); small domains — a single 64k span —
+		// keep the whole-set recount.
+		totalSpans := bitset.SpanCount(m.ev.Dict().Size())
+		var pt *combine.PairTable
+		if 2*len(spans) < totalSpans {
+			pt, err = m.pt.RefreshSpans(m.ev, prev, spans)
+		} else {
+			pt, err = m.pt.Refresh(m.ev, changed)
+		}
 		if err != nil {
 			return SyncStats{}, err
 		}

@@ -1,0 +1,135 @@
+package relstore
+
+import (
+	"sync"
+
+	"hypre/internal/bitset"
+	"hypre/internal/predicate"
+)
+
+// This file is the partition-sharded half of the vectorized scan engine:
+// the left-table kernel pass — the dominant cost of a predicate
+// materialization — fans out over contiguous block partitions, each worker
+// emitting into its own bitset.Builder (zero contention, per-container
+// compression as the block walk passes), and the per-partition selections
+// merge back with bitset.MergeAscending. Join handling stays serial: the
+// existence vector / right-side candidate walk is computed once and
+// intersected with the merged selection, exactly as the serial path would.
+
+// ScanAttrRowSetParts is ScanAttrRowSet with the left-table kernel pass
+// sharded over up to parts contiguous block partitions. Results are
+// identical to ScanAttrRowSet (the partition fan-out only re-orders which
+// kernel fills which blocks); parts <= 1, a table too small to split, or a
+// WHERE shape whose conjuncts mix both join sides all take the serial path.
+// Like ScanAttrRowSet, ok=false means the query defeats the vectorized
+// engine entirely and the caller must fall back to ScanAttrRows.
+func (db *DB) ScanAttrRowSetParts(q Query, attr string, splitAt int, spill func(lid int, v int64), parts int) (*bitset.Set, bool, error) {
+	left, right, leftPos, rightPos, pos, where, err := db.resolveAttrRowScan(q, attr)
+	if err != nil {
+		return nil, false, err
+	}
+	unlock := lockShared(left, right)
+	defer unlock()
+	lsel, ok := db.matchLeftVecParts(left, right, leftPos, rightPos, where, parts)
+	if !ok {
+		return nil, false, nil
+	}
+	attrRowSetTail(left, pos, lsel, splitAt, spill)
+	return lsel, true, nil
+}
+
+// matchLeftVecParts is matchLeftVec (full-scan mode) with the left kernel
+// pass partitioned over block ranges. Callers hold both tables' state
+// locks. The decomposition: WHERE splits by join side; the join/right-side
+// admission (existence vector or right-candidate walk, plus tombstones) is
+// computed once through the serial path with a TRUE left predicate; the
+// left conjuncts alone fan out per partition; and the merged selection
+// intersects the admission set — set algebra guarantees the same rows as
+// one serial pass.
+func (db *DB) matchLeftVecParts(left, right *Table, leftPos, rightPos int,
+	where predicate.Predicate, parts int) (*bitset.Set, bool) {
+	nBlocks := (left.n + blockSize - 1) / blockSize
+	if parts > nBlocks {
+		parts = nBlocks
+	}
+	if parts <= 1 {
+		return db.matchLeftVec(left, right, leftPos, rightPos, where, nil)
+	}
+
+	var leftParts, rightParts []predicate.Predicate
+	if right == nil {
+		leftParts = []predicate.Predicate{where}
+	} else {
+		for _, c := range flattenAnd(where) {
+			side, ok := classifySide(c, left, right)
+			if !ok {
+				return nil, false
+			}
+			if side == sideRight {
+				rightParts = append(rightParts, c)
+			} else {
+				leftParts = append(leftParts, c)
+			}
+		}
+	}
+	// Admission set: live left rows the join and right-side conjuncts
+	// allow. With no left conjuncts it already is the answer.
+	admitWhere := predicate.Predicate(predicate.True{})
+	if len(rightParts) > 0 {
+		admitWhere = predicate.NewAnd(rightParts...)
+	}
+	admit, ok := db.matchLeftVec(left, right, leftPos, rightPos, admitWhere, nil)
+	if !ok {
+		return nil, false
+	}
+	if len(leftParts) == 0 {
+		return admit, true
+	}
+	leftPred := predicate.NewAnd(leftParts...)
+
+	resolveL := func(a string) int {
+		if side, p := bindAttr(a, left, right); side == sideLeft {
+			return p
+		}
+		return -1
+	}
+	sels := make([]*bitset.Set, parts)
+	oks := make([]bool, parts)
+	var wg sync.WaitGroup
+	for w := 0; w < parts; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			blkLo, blkHi := w*nBlocks/parts, (w+1)*nBlocks/parts
+			if blkLo == blkHi {
+				sels[w], oks[w] = bitset.New(), true
+				return
+			}
+			blks := make([]int32, 0, blkHi-blkLo)
+			for b := blkLo; b < blkHi; b++ {
+				blks = append(blks, int32(b))
+			}
+			sel, ok := left.evalVec(leftPred, resolveL, blks)
+			if !ok {
+				return
+			}
+			// Kernels only filled the listed blocks; NOT/TRUE nodes cover
+			// the whole domain — clamp to the partition's row range.
+			mask := bitset.New()
+			mask.AddRange(blkLo*blockSize, min(blkHi*blockSize, left.n))
+			sel.AndWith(mask)
+			sels[w], oks[w] = sel, true
+		}(w)
+	}
+	wg.Wait()
+	for _, ok := range oks {
+		if !ok {
+			// A shape evalVec cannot run (the same answer every partition
+			// got): let the serial path decide the fallback.
+			return db.matchLeftVec(left, right, leftPos, rightPos, where, nil)
+		}
+	}
+	merged := bitset.MergeAscending(sels)
+	merged.AndWith(admit)
+	return merged, true
+}

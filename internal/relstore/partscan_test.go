@@ -1,0 +1,126 @@
+package relstore
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"hypre/internal/predicate"
+)
+
+// partScanDB builds a multi-block joined fixture: a papers table wide
+// enough to span many kernel blocks (with NULLs, strings, floats, deletes)
+// and an authorship join table.
+func partScanDB(t testing.TB, rows int, seed int64) *DB {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	db := NewDB()
+	papers, err := db.CreateTable("papers",
+		Column{"pid", predicate.KindInt},
+		Column{"year", predicate.KindInt},
+		Column{"score", predicate.KindFloat},
+		Column{"venue", predicate.KindString},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links, err := db.CreateTable("writes",
+		Column{"pid", predicate.KindInt},
+		Column{"aid", predicate.KindInt},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	venues := []string{"VLDB", "SIGMOD", "ICDE", "KDD", "WWW"}
+	for r := 0; r < rows; r++ {
+		year := predicate.Value(predicate.Int(int64(1990 + rng.Intn(30))))
+		if rng.Intn(40) == 0 {
+			year = predicate.Null()
+		}
+		if _, err := papers.Insert(
+			predicate.Int(int64(r)),
+			year,
+			predicate.Float(rng.Float64()*10),
+			predicate.String(venues[rng.Intn(len(venues))]),
+		); err != nil {
+			t.Fatal(err)
+		}
+		for n := rng.Intn(3); n > 0; n-- {
+			if _, err := links.Insert(predicate.Int(int64(r)), predicate.Int(int64(rng.Intn(50)))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Tombstones so the dead mask participates.
+	for n := rows / 50; n > 0; n-- {
+		papers.Delete(rng.Intn(rows))
+	}
+	return db
+}
+
+// TestScanAttrRowSetPartsMatchesSerial proves the block-partitioned kernel
+// fan-out yields the exact selection (and spill stream) of the serial scan
+// across partition counts, query shapes, and split points.
+func TestScanAttrRowSetPartsMatchesSerial(t *testing.T) {
+	const rows = 5000 // ~5 kernel blocks
+	db := partScanDB(t, rows, 7)
+	join := &JoinSpec{Table: "writes", LeftCol: "pid", RightCol: "pid"}
+	queries := []Query{
+		{From: "papers"},
+		{From: "papers", Where: mustPred(t, `year >= 2005`)},
+		{From: "papers", Where: mustPred(t, `venue = "VLDB"`)},
+		{From: "papers", Where: mustPred(t, `NOT (venue = "SIGMOD")`)},
+		{From: "papers", Where: mustPred(t, `year BETWEEN 1995 AND 2010 AND score < 4.5`)},
+		{From: "papers", Join: join, Where: mustPred(t, `year >= 2000`)},
+		{From: "papers", Join: join, Where: mustPred(t, `aid = 7`)},
+		{From: "papers", Join: join, Where: mustPred(t, `venue IN ("VLDB","KDD") AND aid < 10`)},
+	}
+	for qi, q := range queries {
+		for _, splitAt := range []int{-1, rows - 100} {
+			var wantSpill [][2]int64
+			want, ok, err := db.ScanAttrRowSet(q, "pid", splitAt, func(lid int, v int64) {
+				wantSpill = append(wantSpill, [2]int64{int64(lid), v})
+			})
+			if err != nil || !ok {
+				t.Fatalf("query %d: serial scan ok=%v err=%v", qi, ok, err)
+			}
+			for _, parts := range []int{1, 2, 3, runtime.NumCPU(), 64} {
+				var gotSpill [][2]int64
+				got, ok, err := db.ScanAttrRowSetParts(q, "pid", splitAt, func(lid int, v int64) {
+					gotSpill = append(gotSpill, [2]int64{int64(lid), v})
+				}, parts)
+				if err != nil || !ok {
+					t.Fatalf("query %d parts %d: ok=%v err=%v", qi, parts, ok, err)
+				}
+				tag := fmt.Sprintf("query %d parts %d splitAt %d", qi, parts, splitAt)
+				if got.Len() != want.Len() {
+					t.Fatalf("%s: %d rows, want %d", tag, got.Len(), want.Len())
+				}
+				got.ForEach(func(lid int) bool {
+					if !want.Contains(lid) {
+						t.Fatalf("%s: stray row %d", tag, lid)
+					}
+					return true
+				})
+				if len(gotSpill) != len(wantSpill) {
+					t.Fatalf("%s: %d spills, want %d", tag, len(gotSpill), len(wantSpill))
+				}
+				for i := range gotSpill {
+					if gotSpill[i] != wantSpill[i] {
+						t.Fatalf("%s: spill[%d]=%v want %v", tag, i, gotSpill[i], wantSpill[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func mustPred(t testing.TB, src string) predicate.Predicate {
+	t.Helper()
+	p, err := predicate.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -248,9 +248,16 @@ func (db *DB) ScanAttrRowSet(q Query, attr string, splitAt int, spill func(lid i
 	if !ok {
 		return nil, false, nil
 	}
-	// Drop rows whose attr does not convert (the rows ScanAttrRows would
-	// not have emitted) — one typed probe per selected row, skipped
-	// entirely for fully convertible columns (every key column).
+	attrRowSetTail(left, pos, lsel, splitAt, spill)
+	return lsel, true, nil
+}
+
+// attrRowSetTail is the shared epilogue of ScanAttrRowSet and
+// ScanAttrRowSetParts: drop rows whose attr does not convert (the rows
+// ScanAttrRows would not have emitted) — one typed probe per selected row,
+// skipped entirely for fully convertible columns (every key column) — then
+// split off rows at or beyond splitAt through spill (splitAt < 0 disables).
+func attrRowSetTail(left *Table, pos int, lsel *bitset.Set, splitAt int, spill func(lid int, v int64)) {
 	c := left.cols[pos]
 	if c.nNoInt > 0 {
 		lsel.Retain(func(lid int) bool {
@@ -268,7 +275,6 @@ func (db *DB) ScanAttrRowSet(q Query, attr string, splitAt int, spill func(lid i
 			lsel.Retain(func(lid int) bool { return lid < splitAt })
 		}
 	}
-	return lsel, true, nil
 }
 
 // matchLeftVec computes the selection of live left rows satisfying the
