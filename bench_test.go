@@ -17,6 +17,7 @@ import (
 
 	"hypre/internal/combine"
 	"hypre/internal/experiments"
+	"hypre/internal/topk"
 	"hypre/internal/workload"
 )
 
@@ -213,6 +214,67 @@ func BenchmarkMaterializeProfile(b *testing.B) {
 				ev := l.Evaluator()
 				if err := ev.MaterializeAll(prefs); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOneShotStreaming answers a cold top-k profile query through the
+// streaming block-iterator path: a fresh evaluator every iteration, no
+// bitmaps materialized, TA threshold early-exit live. Its counterpart
+// BenchmarkOneShotMaterialized is the same query answered materialize-first;
+// the pair is the one-shot visitor cost the oneshot experiment tracks.
+func BenchmarkOneShotStreaming(b *testing.B) {
+	l := benchSetup(b)
+	for _, tc := range []struct {
+		name string
+		uid  int64
+	}{{"Modest", l.Modest}, {"Rich", l.Rich}} {
+		b.Run(tc.name, func(b *testing.B) {
+			prefs := l.ProfileFor(tc.uid, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := l.Evaluator()
+				out, st, err := topk.EvaluateOneShot(ev, prefs, 100)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !st.Streamed {
+					b.Fatal("cold query did not take the streaming path")
+				}
+				if len(out) == 0 {
+					b.Fatal("empty result")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOneShotMaterialized is the materialize-first answer to the same
+// cold query: build every predicate bitmap, then TA over sorted lists.
+func BenchmarkOneShotMaterialized(b *testing.B) {
+	l := benchSetup(b)
+	for _, tc := range []struct {
+		name string
+		uid  int64
+	}{{"Modest", l.Modest}, {"Rich", l.Rich}} {
+		b.Run(tc.name, func(b *testing.B) {
+			prefs := l.ProfileFor(tc.uid, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := l.Evaluator()
+				if err := ev.MaterializeAll(prefs); err != nil {
+					b.Fatal(err)
+				}
+				lists, err := topk.BuildLists(ev, prefs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out := lists.TA(100); len(out) == 0 {
+					b.Fatal("empty result")
 				}
 			}
 		})

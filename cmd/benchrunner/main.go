@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"hypre/internal/experiments"
@@ -36,7 +37,41 @@ type benchReport struct {
 	Updates     []updatesJSON          `json:"update_stream,omitempty"`
 	BitmapMem   []bitmapMemJSON        `json:"bitmap_mem,omitempty"`
 	Shards      []shardsJSON           `json:"shards,omitempty"`
+	OneShot     []oneshotJSON          `json:"oneshot,omitempty"`
 	Extra       map[string]interface{} `json:"extra,omitempty"`
+}
+
+// machineJSON stamps each experiment record with the CPU budget the run
+// actually had: medians taken under a different core count or GOMAXPROCS
+// are not comparable, and the regression gate diffs these files across PRs.
+// Every record also carries its reps count, so the methodology (best-of-N
+// vs single sample) travels with the number.
+type machineJSON struct {
+	CPUs       int `json:"cpus"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+func machineStamp() machineJSON {
+	return machineJSON{CPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+}
+
+// oneshotJSON is the cold one-shot comparison: the streaming block-iterator
+// path versus materialize-first, same answer required, plus how much of the
+// scan the TA threshold skipped.
+type oneshotJSON struct {
+	machineJSON
+	UID                   int64 `json:"uid"`
+	Prefs                 int   `json:"prefs"`
+	K                     int   `json:"k"`
+	StreamBestNs          int64 `json:"oneshot_stream_best_ns"`
+	StreamAllocBytes      int64 `json:"oneshot_stream_alloc_bytes"`
+	MaterializeBestNs     int64 `json:"oneshot_materialize_best_ns"`
+	MaterializeAllocBytes int64 `json:"oneshot_materialize_alloc_bytes"`
+	BlocksScanned         int   `json:"blocks_scanned"`
+	BlocksTotal           int   `json:"blocks_total"`
+	EarlyExit             bool  `json:"early_exit"`
+	Matched               bool  `json:"matched"`
+	Reps                  int   `json:"reps"`
 }
 
 // shardsJSON is the partition-sharding worker sweep: per worker count, the
@@ -44,11 +79,11 @@ type benchReport struct {
 // PEPS timings, plus the machine's CPU budget (the hard ceiling on any
 // speedup) and the sharded-vs-serial equivalence verdict.
 type shardsJSON struct {
+	machineJSON
 	UID     int64            `json:"uid"`
 	Prefs   int              `json:"prefs"`
 	Pairs   int              `json:"pairs"`
 	Spans   int              `json:"spans"`
-	CPUs    int              `json:"cpus"`
 	K       int              `json:"k"`
 	Reps    int              `json:"reps"`
 	Matched bool             `json:"matched"`
@@ -65,9 +100,11 @@ type shardPointJSON struct {
 // bitmapMemJSON is the per-user compressed-vs-dense bitmap footprint of the
 // evaluator cache (bitset.SizeBytes rollup) plus the store-side masks.
 type bitmapMemJSON struct {
+	machineJSON
 	UID         int64 `json:"uid"`
 	Preds       int   `json:"preds"`
 	DictEntries int   `json:"dict_entries"`
+	Reps        int   `json:"reps"`
 
 	CompressedBytes int64   `json:"compressed_bytes"`
 	DenseBytes      int64   `json:"dense_bytes"`
@@ -82,6 +119,7 @@ type bitmapMemJSON struct {
 }
 
 type materializeJSON struct {
+	machineJSON
 	UID     int64 `json:"uid"`
 	Prefs   int   `json:"prefs"`
 	Queries int   `json:"queries"`
@@ -91,11 +129,13 @@ type materializeJSON struct {
 }
 
 type updatesJSON struct {
+	machineJSON
 	UID         int64 `json:"uid"`
 	Prefs       int   `json:"prefs"`
 	Batches     int   `json:"batches"`
 	OpsPerBatch int   `json:"ops_per_batch"`
 	K           int   `json:"k"`
+	Reps        int   `json:"reps"`
 	// Maintenance cost alone: delta Sync vs MaterializeAll+BuildPairTable.
 	MaintIncrementalNs   int64 `json:"maint_incremental_ns"`
 	MaintRematerializeNs int64 `json:"maint_rematerialize_ns"`
@@ -109,6 +149,7 @@ type updatesJSON struct {
 }
 
 type fig39JSON struct {
+	machineJSON
 	UID           int64            `json:"uid"`
 	PairBuildNs   int64            `json:"pair_build_ns"`
 	Points        []fig39PointJSON `json:"points"`
@@ -124,24 +165,28 @@ type fig39PointJSON struct {
 }
 
 type pairCacheJSON struct {
+	machineJSON
 	UID        int64 `json:"uid"`
 	Pairs      int   `json:"pairs"`
 	CachedNs   int64 `json:"cached_ns"`
 	SQLNs      int64 `json:"sql_ns"`
 	SQLQueries int   `json:"sql_queries"`
+	Reps       int   `json:"reps"`
 }
 
 type pepsVariantsJSON struct {
+	machineJSON
 	UID        int64   `json:"uid"`
 	K          int     `json:"k"`
 	CompleteNs int64   `json:"complete_ns"`
 	ApproxNs   int64   `json:"approximate_ns"`
 	Recall     float64 `json:"recall"`
+	Reps       int     `json:"reps"`
 }
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiment ids (table10,table11,table12,fig13,fig17,fig18,fig26,fig28,fig29,fig32,fig35,fig37,fig39,ablation,materialize,updates,bitmapmem,shards) or 'all'")
+		exp     = flag.String("exp", "all", "comma-separated experiment ids (table10,table11,table12,fig13,fig17,fig18,fig26,fig28,fig29,fig32,fig35,fig37,fig39,ablation,materialize,updates,bitmapmem,shards,oneshot) or 'all'")
 		papers  = flag.Int("papers", 4000, "number of papers in the synthetic network")
 		authors = flag.Int("authors", 1200, "number of authors")
 		venues  = flag.Int("venues", 40, "number of venues")
@@ -294,6 +339,7 @@ func main() {
 			}
 			r.Render(out)
 			fj := fig39JSON{
+				machineJSON:   machineStamp(),
 				UID:           r.UID,
 				PairBuildNs:   r.PairBuildTime.Nanoseconds(),
 				ProfileCap:    *cap_,
@@ -321,11 +367,13 @@ func main() {
 		r2.Render(out)
 		fmt.Println()
 		report.PEPS = append(report.PEPS, pepsVariantsJSON{
-			UID:        r2.UID,
-			K:          r2.K,
-			CompleteNs: r2.CompleteTime.Nanoseconds(),
-			ApproxNs:   r2.ApproxTime.Nanoseconds(),
-			Recall:     r2.Recall,
+			machineJSON: machineStamp(),
+			UID:         r2.UID,
+			K:           r2.K,
+			CompleteNs:  r2.CompleteTime.Nanoseconds(),
+			ApproxNs:    r2.ApproxTime.Nanoseconds(),
+			Recall:      r2.Recall,
+			Reps:        1,
 		})
 		r3, err := experiments.RunAblationPairCache(lab, lab.Modest, min(*cap_, 12))
 		if err != nil {
@@ -334,11 +382,13 @@ func main() {
 		r3.Render(out)
 		fmt.Println()
 		report.PairCache = append(report.PairCache, pairCacheJSON{
-			UID:        r3.UID,
-			Pairs:      r3.Pairs,
-			CachedNs:   r3.CachedTime.Nanoseconds(),
-			SQLNs:      r3.SQLTime.Nanoseconds(),
-			SQLQueries: r3.SQLQueries,
+			machineJSON: machineStamp(),
+			UID:         r3.UID,
+			Pairs:       r3.Pairs,
+			CachedNs:    r3.CachedTime.Nanoseconds(),
+			SQLNs:       r3.SQLTime.Nanoseconds(),
+			SQLQueries:  r3.SQLQueries,
+			Reps:        1,
 		})
 	}
 
@@ -369,6 +419,8 @@ func main() {
 			}
 			r.Render(out)
 			report.Updates = append(report.Updates, updatesJSON{
+				machineJSON:          machineStamp(),
+				Reps:                 updReps,
 				UID:                  r.UID,
 				Prefs:                r.ProfileSize,
 				Batches:              r.Batches,
@@ -395,6 +447,8 @@ func main() {
 			}
 			r.Render(out)
 			report.BitmapMem = append(report.BitmapMem, bitmapMemJSON{
+				machineJSON:           machineStamp(),
+				Reps:                  1,
 				UID:                   r.UID,
 				Preds:                 r.Preds,
 				DictEntries:           r.DictEntries,
@@ -424,14 +478,14 @@ func main() {
 			}
 			r.Render(out)
 			sj := shardsJSON{
-				UID:     r.UID,
-				Prefs:   r.Prefs,
-				Pairs:   r.Pairs,
-				Spans:   r.Spans,
-				CPUs:    r.CPUs,
-				K:       r.K,
-				Reps:    r.Reps,
-				Matched: r.Matched,
+				machineJSON: machineStamp(),
+				UID:         r.UID,
+				Prefs:       r.Prefs,
+				Pairs:       r.Pairs,
+				Spans:       r.Spans,
+				K:           r.K,
+				Reps:        r.Reps,
+				Matched:     r.Matched,
 			}
 			for _, p := range r.Points {
 				sj.Points = append(sj.Points, shardPointJSON{
@@ -458,18 +512,56 @@ func main() {
 			}
 			r.Render(out)
 			report.Materialize = append(report.Materialize, materializeJSON{
-				UID:     r.UID,
-				Prefs:   r.Prefs,
-				Queries: r.Queries,
-				BestNs:  r.Best.Nanoseconds(),
-				MeanNs:  r.Mean.Nanoseconds(),
-				Reps:    r.Reps,
+				machineJSON: machineStamp(),
+				UID:         r.UID,
+				Prefs:       r.Prefs,
+				Queries:     r.Queries,
+				BestNs:      r.Best.Nanoseconds(),
+				MeanNs:      r.Mean.Nanoseconds(),
+				Reps:        r.Reps,
 			})
 		}
 		fmt.Println()
 	}
 
-	if *bjson != "" && (len(report.Fig39) > 0 || len(report.PairCache) > 0 || len(report.PEPS) > 0 || len(report.Materialize) > 0 || len(report.Updates) > 0 || len(report.BitmapMem) > 0 || len(report.Shards) > 0) {
+	if run("oneshot") {
+		const oneShotReps = 5
+		ks := []int{10, *k}
+		if *k == 10 {
+			ks = ks[:1]
+		}
+		for _, uid := range lab.Users() {
+			for _, kk := range ks {
+				// Full profile (cap 0): the streaming path's win is widest
+				// where materialize-first has the most bitmaps to build, and
+				// the experiment verifies answer identity either way. The
+				// small-k point is where the threshold early-exit matters.
+				r, err := experiments.RunOneShotBench(lab, uid, kk, 0, oneShotReps)
+				if err != nil {
+					fatal(err)
+				}
+				r.Render(out)
+				report.OneShot = append(report.OneShot, oneshotJSON{
+					machineJSON:           machineStamp(),
+					UID:                   r.UID,
+					Prefs:                 r.Prefs,
+					K:                     r.K,
+					StreamBestNs:          r.StreamBest.Nanoseconds(),
+					StreamAllocBytes:      int64(r.StreamAlloc),
+					MaterializeBestNs:     r.MaterializeBest.Nanoseconds(),
+					MaterializeAllocBytes: int64(r.MaterializeAlloc),
+					BlocksScanned:         r.Stats.BlocksScanned,
+					BlocksTotal:           r.Stats.BlocksTotal,
+					EarlyExit:             r.Stats.EarlyExit,
+					Matched:               r.Matched,
+					Reps:                  r.Reps,
+				})
+			}
+		}
+		fmt.Println()
+	}
+
+	if *bjson != "" && (len(report.Fig39) > 0 || len(report.PairCache) > 0 || len(report.PEPS) > 0 || len(report.Materialize) > 0 || len(report.Updates) > 0 || len(report.BitmapMem) > 0 || len(report.Shards) > 0 || len(report.OneShot) > 0) {
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,79 @@
+package bitset
+
+// Batch intersection kernels: the run×array two-pointer fast paths that
+// replace per-element binary searches in the container ops, and the
+// AndCardInto batch-cardinality entry point the pair-table build and other
+// many-operand callers use to reuse one scratch slice across calls.
+
+// intersectArrayRuns appends arr ∩ runs to dst with a single forward merge
+// over both inputs — O(len(arr) + len(runs)) instead of the
+// O(len(arr)·log len(runs)) per-element searchRuns probing.
+func intersectArrayRuns(dst, arr []uint16, runs []interval) []uint16 {
+	j := 0
+	for i := 0; i < len(arr) && j < len(runs); {
+		switch {
+		case arr[i] < runs[j].start:
+			i++
+		case arr[i] > runs[j].last:
+			j++
+		default:
+			// arr values inside the current run are consecutive in arr;
+			// copy the whole covered stretch in one append.
+			k := i + 1
+			for k < len(arr) && arr[k] <= runs[j].last {
+				k++
+			}
+			dst = append(dst, arr[i:k]...)
+			i = k
+			j++
+		}
+	}
+	return dst
+}
+
+// andCardArrayRuns counts arr ∩ runs with the same forward merge.
+func andCardArrayRuns(arr []uint16, runs []interval) int {
+	n, j := 0, 0
+	for i := 0; i < len(arr) && j < len(runs); {
+		switch {
+		case arr[i] < runs[j].start:
+			i++
+		case arr[i] > runs[j].last:
+			j++
+		default:
+			k := i + 1
+			for k < len(arr) && arr[k] <= runs[j].last {
+				k++
+			}
+			n += k - i
+			i = k
+			j++
+		}
+	}
+	return n
+}
+
+// AndCardInto computes |s ∩ os[i]| for every operand into dst, growing and
+// returning it (pass dst[:0] of a retained scratch to stay allocation-free
+// across calls). One call prices a whole anchor row of the pair table; the
+// per-operand container walk matches AndCard exactly.
+func (s *Set) AndCardInto(os []*Set, dst []int) []int {
+	for _, o := range os {
+		n := 0
+		i, j := 0, 0
+		for i < len(s.keys) && j < len(o.keys) {
+			switch {
+			case s.keys[i] < o.keys[j]:
+				i++
+			case s.keys[i] > o.keys[j]:
+				j++
+			default:
+				n += andCardCtr(&s.cs[i], &o.cs[j])
+				i++
+				j++
+			}
+		}
+		dst = append(dst, n)
+	}
+	return dst
+}

@@ -347,11 +347,7 @@ func (s *Set) AndInto(a, b *Set) {
 			if cb.isFull() {
 				dst = append(dst, ca.arr...)
 			} else {
-				for _, v := range ca.arr {
-					if searchRuns(cb.runs, v) >= 0 {
-						dst = append(dst, v)
-					}
-				}
+				dst = intersectArrayRuns(dst, ca.arr, cb.runs)
 			}
 		}
 		s.c0[0] = container{typ: ctArray, card: int32(len(dst)), arr: dst}

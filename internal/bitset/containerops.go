@@ -35,12 +35,8 @@ func andCtr(a, b *container) container {
 		out.card = int32(len(out.arr))
 		return normalize(out)
 	case a.typ == ctArray && b.typ == ctRun:
-		out := container{typ: ctArray, arr: make([]uint16, 0, len(a.arr))}
-		for _, v := range a.arr {
-			if searchRuns(b.runs, v) >= 0 {
-				out.arr = append(out.arr, v)
-			}
-		}
+		out := container{typ: ctArray,
+			arr: intersectArrayRuns(make([]uint16, 0, len(a.arr)), a.arr, b.runs)}
 		out.card = int32(len(out.arr))
 		return normalize(out)
 	case a.typ == ctBitmap && b.typ == ctBitmap:
@@ -139,6 +135,21 @@ func intersectArraysInto(dst, a, b []uint16) []uint16 {
 	}
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
+		// Word-parallel-friendly skip: a[i..i+3] are all below b[j] (resp.
+		// b[j..j+3] below a[i]), so none can intersect — stride past them
+		// four at a time before the element-wise merge step.
+		for i+4 <= len(a) && a[i+3] < b[j] {
+			i += 4
+		}
+		if i == len(a) {
+			break
+		}
+		for j+4 <= len(b) && b[j+3] < a[i] {
+			j += 4
+		}
+		if j == len(b) {
+			break
+		}
 		switch {
 		case a[i] < b[j]:
 			i++
@@ -201,13 +212,7 @@ func andCardCtr(a, b *container) int {
 		}
 		return n
 	case a.typ == ctArray && b.typ == ctRun:
-		n := 0
-		for _, v := range a.arr {
-			if searchRuns(b.runs, v) >= 0 {
-				n++
-			}
-		}
-		return n
+		return andCardArrayRuns(a.arr, b.runs)
 	case a.typ == ctBitmap && b.typ == ctBitmap:
 		n := 0
 		for i, lim := 0, min(len(a.bmp), len(b.bmp)); i < lim; i++ {
@@ -263,6 +268,19 @@ func andCardArrays(a, b []uint16) int {
 	}
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
+		// Same 4-wide stride as intersectArraysInto.
+		for i+4 <= len(a) && a[i+3] < b[j] {
+			i += 4
+		}
+		if i == len(a) {
+			break
+		}
+		for j+4 <= len(b) && b[j+3] < a[i] {
+			j += 4
+		}
+		if j == len(b) {
+			break
+		}
 		switch {
 		case a[i] < b[j]:
 			i++

@@ -396,6 +396,22 @@ func (ev *Evaluator) PredBitmap(p hypre.ScoredPred) (*Bitmap, error) {
 	return b, nil
 }
 
+// CachedCount reports how many of prefs already have a cached bitmap — the
+// cost signal the one-shot entry point uses to route between the
+// materialized path (warm cache: O(result) random access) and the streaming
+// scan (cold: every bitmap would cost a full materialization first).
+func (ev *Evaluator) CachedCount(prefs []hypre.ScoredPred) int {
+	ev.mu.RLock()
+	defer ev.mu.RUnlock()
+	n := 0
+	for _, p := range prefs {
+		if _, ok := ev.bits[p.Pred]; ok {
+			n++
+		}
+	}
+	return n
+}
+
 // groupBitmap folds one OR group to its union. Single-member groups (the
 // common case: every pure AND combination) return the cached predicate
 // bitmap itself — safe because bitmap operations never mutate operands.

@@ -110,9 +110,13 @@ func buildPairCounts(bms []*Bitmap, workers int) []int64 {
 	}
 	spans := bitset.SpanUnion(sets...)
 	if workers <= 1 || len(spans) == 0 {
+		// Batch-count each anchor's row of the triangle in one AndCardInto
+		// call, reusing the scratch slice across anchors.
+		row := make([]int, 0, n)
 		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				counts[triIndex(n, i, j)] = int64(bms[i].AndCard(bms[j]))
+			row = sets[i].AndCardInto(sets[i+1:], row[:0])
+			for jo, c := range row {
+				counts[triIndex(n, i, i+1+jo)] = int64(c)
 			}
 		}
 		return counts

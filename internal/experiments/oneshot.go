@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"hypre/internal/combine"
+	"hypre/internal/topk"
+)
+
+// OneShotResult compares the two ways to answer a single cold top-k profile
+// query: materialize-first (build every predicate bitmap, then TA over
+// sorted lists) versus the streaming path (block iterators feeding TA with
+// threshold early-exit, no bitmaps built). Both runs start from a fresh
+// evaluator, so this is the latency a one-shot visitor actually pays.
+type OneShotResult struct {
+	UID   int64
+	Prefs int
+	K     int
+
+	StreamBest       time.Duration
+	StreamAlloc      uint64 // heap bytes allocated by the best-effort cold run
+	MaterializeBest  time.Duration
+	MaterializeAlloc uint64
+	Reps             int
+
+	Matched bool // both paths returned identical tuples in identical order
+	Stats   topk.StreamStats
+}
+
+// coldRun times fn and reports the heap allocation delta around it. The
+// explicit GC first puts every run behind the same heap state — without it,
+// garbage left by whatever ran earlier in the process gets collected inside
+// whichever timed region happens to trip the pacer, and the two paths'
+// numbers stop being comparable.
+func coldRun(fn func() error) (time.Duration, uint64, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	err := fn()
+	d := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return d, m1.TotalAlloc - m0.TotalAlloc, err
+}
+
+// RunOneShotBench measures reps cold runs of each path for uid's profile
+// (capped at cap preferences, 0 = full) and checks the answers against each
+// other tuple-for-tuple.
+func RunOneShotBench(l *Lab, uid int64, k, cap, reps int) (*OneShotResult, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	prefs := l.ProfileFor(uid, cap)
+	res := &OneShotResult{UID: uid, Prefs: len(prefs), K: k, Reps: reps}
+
+	var stream, mat []combine.ScoredTuple
+	for r := 0; r < reps; r++ {
+		ev := l.Evaluator()
+		var st *topk.StreamStats
+		d, alloc, err := coldRun(func() error {
+			var err error
+			stream, st, err = topk.EvaluateOneShot(ev, prefs, k)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if r == 0 || d < res.StreamBest {
+			res.StreamBest, res.StreamAlloc = d, alloc
+		}
+		res.Stats = *st
+
+		ev = l.Evaluator()
+		d, alloc, err = coldRun(func() error {
+			if err := ev.MaterializeAll(prefs); err != nil {
+				return err
+			}
+			lists, err := topk.BuildLists(ev, prefs)
+			if err != nil {
+				return err
+			}
+			mat = lists.TA(k)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if r == 0 || d < res.MaterializeBest {
+			res.MaterializeBest, res.MaterializeAlloc = d, alloc
+		}
+	}
+
+	res.Matched = len(stream) == len(mat)
+	if res.Matched {
+		for i := range stream {
+			if stream[i] != mat[i] {
+				res.Matched = false
+				break
+			}
+		}
+	}
+	if !res.Matched {
+		return nil, fmt.Errorf("oneshot uid %d: streaming and materialized answers diverge", uid)
+	}
+	return res, nil
+}
+
+// Render prints the comparison row.
+func (r *OneShotResult) Render(w io.Writer) {
+	speedup := float64(r.MaterializeBest) / float64(r.StreamBest)
+	fprintf(w, "One-shot top-%d (uid=%d, %d prefs): streaming best %v / %d B, materialized best %v / %d B (%.2fx), scanned %d/%d blocks, early-exit=%v, over %d cold runs\n",
+		r.K, r.UID, r.Prefs, r.StreamBest, r.StreamAlloc,
+		r.MaterializeBest, r.MaterializeAlloc, speedup,
+		r.Stats.BlocksScanned, r.Stats.BlocksTotal, r.Stats.EarlyExit, r.Reps)
+}

@@ -15,6 +15,16 @@ import (
 // whole WHERE tree costs a handful of tight typed loops instead of one
 // interpreted predicate walk per row.
 
+// selSink is the output surface of the vectorized kernels: bitset.Builder
+// for full materialized selections and bitset.Block for the streaming
+// one-block-at-a-time path. The kernels are generic (monomorphized per
+// sink), so the materialized hot path keeps its direct Builder calls with no
+// interface dispatch.
+type selSink interface {
+	Set(i int)
+	SetRange(lo, hi int)
+}
+
 // selWords returns the number of 64-bit words covering n rows — the sizing
 // helper for the dense []uint64 compatibility bridges.
 func selWords(n int) int { return (n + 63) / 64 }
@@ -81,19 +91,19 @@ func (t *Table) evalVec(p predicate.Predicate, resolve func(string) int, blks []
 	case *predicate.Cmp:
 		b := bitset.NewBuilder(t.n)
 		if pos := resolve(node.Attr); pos >= 0 {
-			t.scanCmp(pos, node.Op, node.Val, b, blks)
+			scanCmp(t, pos, node.Op, node.Val, b, blks)
 		}
 		return b.Finish(), true
 	case *predicate.Between:
 		b := bitset.NewBuilder(t.n)
 		if pos := resolve(node.Attr); pos >= 0 {
-			t.scanBetween(pos, node.Lo, node.Hi, b, blks)
+			scanBetween(t, pos, node.Lo, node.Hi, b, blks)
 		}
 		return b.Finish(), true
 	case *predicate.In:
 		b := bitset.NewBuilder(t.n)
 		if pos := resolve(node.Attr); pos >= 0 {
-			t.scanIn(pos, node.Vals, b, blks)
+			scanIn(t, pos, node.Vals, b, blks)
 		}
 		return b.Finish(), true
 	case *predicate.Not:
@@ -159,18 +169,18 @@ func blockIters(c *column, blks []int32) int {
 // scanCmp is the vectorized kernel for Attr Op Literal: per block it applies
 // the zone-map test, then either skips, bulk-accepts, or runs the tight
 // typed row loop. NULL literals match nothing (Compare against NULL fails).
-func (t *Table) scanCmp(pos int, op predicate.Op, val predicate.Value, sel *bitset.Builder, blks []int32) {
+func scanCmp[S selSink](t *Table, pos int, op predicate.Op, val predicate.Value, sel S, blks []int32) {
 	c := t.cols[pos]
 	lit := analyzeLit(val)
 	switch {
 	case lit.isNum:
-		t.scanCmpNum(c, op, lit.f, sel, blks)
+		scanCmpNum(t, c, op, lit.f, sel, blks)
 	case lit.isStr:
-		t.scanCmpStr(c, op, lit.s, sel, blks)
+		scanCmpStr(t, c, op, lit.s, sel, blks)
 	}
 }
 
-func (t *Table) scanCmpNum(c *column, op predicate.Op, lit float64, sel *bitset.Builder, blks []int32) {
+func scanCmpNum[S selSink](t *Table, c *column, op predicate.Op, lit float64, sel S, blks []int32) {
 	for k, nk := 0, blockIters(c, blks); k < nk; k++ {
 		bi := blockAt(blks, k)
 		z := &c.zones[bi]
@@ -245,7 +255,7 @@ func zoneFullCmp(z *zone, op predicate.Op, lit float64) bool {
 	}
 }
 
-func (t *Table) scanCmpStr(c *column, op predicate.Op, lit string, sel *bitset.Builder, blks []int32) {
+func scanCmpStr[S selSink](t *Table, c *column, op predicate.Op, lit string, sel S, blks []int32) {
 	if op == predicate.OpEq && !c.rawMode {
 		// Dictionary equality: one code comparison per row, and a literal
 		// absent from the dictionary empties the scan before touching any.
@@ -323,7 +333,7 @@ func (t *Table) scanCmpStr(c *column, op predicate.Op, lit string, sel *bitset.B
 // it is comparable with both bounds and lies inside; bounds of different
 // classes (one numeric, one string) can never both compare, so the result
 // is empty.
-func (t *Table) scanBetween(pos int, lov, hiv predicate.Value, sel *bitset.Builder, blks []int32) {
+func scanBetween[S selSink](t *Table, pos int, lov, hiv predicate.Value, sel S, blks []int32) {
 	c := t.cols[pos]
 	llo, lhi := analyzeLit(lov), analyzeLit(hiv)
 	switch {
@@ -385,7 +395,7 @@ func (t *Table) scanBetween(pos int, lov, hiv predicate.Value, sel *bitset.Build
 // widened three-way equality, string members resolve to dictionary codes
 // once (absent strings can never match) — or compare raw strings when the
 // column has migrated off the dictionary.
-func (t *Table) scanIn(pos int, vals []predicate.Value, sel *bitset.Builder, blks []int32) {
+func scanIn[S selSink](t *Table, pos int, vals []predicate.Value, sel S, blks []int32) {
 	c := t.cols[pos]
 	var nums []float64
 	var codes []uint32

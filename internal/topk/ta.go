@@ -137,7 +137,11 @@ func (h *taHeap) push(s taScored, k int) {
 //  1. Sorted access in parallel to each list; every newly seen object is
 //     random-accessed in the other lists and its overall grade computed.
 //  2. After each depth, the threshold τ is the aggregate of the last grades
-//     seen under sorted access; once k objects have grade >= τ, halt.
+//     seen under sorted access; once k objects have grade strictly above τ,
+//     halt. (Strict: an unseen object can still reach exactly τ, and under
+//     the grade-desc/pid-asc ranking it would displace a kept object with
+//     an equal grade but larger pid — the streaming path's equivalence
+//     suite caught the >= variant doing exactly that.)
 func (l *Lists) TA(k int) []combine.ScoredTuple {
 	if k <= 0 || len(l.sorted) == 0 {
 		return nil
@@ -177,7 +181,7 @@ func (l *Lists) TA(k int) []combine.ScoredTuple {
 		}
 		tau := hypre.FAndAll(lastGrades...)
 		// top[0] is the k-th (worst kept) grade, the halting bound.
-		if len(top) >= k && top[0].grade >= tau {
+		if len(top) >= k && top[0].grade > tau {
 			break
 		}
 	}
