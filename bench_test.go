@@ -300,6 +300,29 @@ func BenchmarkUpdateStream(b *testing.B) {
 	}
 }
 
+// BenchmarkCacheServe replays the Zipf serving workload through the
+// result/plan cache end to end (off phase, on phase, single-flight burst,
+// churn under the maintainer) and fails on any cached-vs-uncached answer
+// divergence.
+func BenchmarkCacheServe(b *testing.B) {
+	l := benchSetup(b)
+	cfg := experiments.DefaultCacheServeConfig()
+	cfg.Queries = 120
+	cfg.ChurnBatches = 2
+	cfg.ChurnOps = 24
+	cfg.Reps = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunCacheServe(l, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Matched {
+			b.Fatal("cached answers diverged from uncached evaluation")
+		}
+	}
+}
+
 // shardedBenchWorkers is the shard-count sweep for the partition-sharded
 // hot paths; speedup beyond 1 worker is bounded by the machine's cores.
 var shardedBenchWorkers = []int{1, 2, 4, 8}

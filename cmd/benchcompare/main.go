@@ -9,6 +9,9 @@
 //	materialize_best_ns         median best cold profile materialization across uids
 //	update_maint_incremental_ns median incremental maintenance across uids
 //	oneshot_stream_best_ns      median best cold streaming one-shot query across uids and k
+//	cacheserve_off_p50_ns       serving median without the result cache
+//	cacheserve_on_p50_ns        serving median through the result/plan cache
+//	cacheserve_on_p99_ns        serving tail through the cache (misses + churn)
 //
 // Thresholds are per metric: sub-millisecond medians (incremental
 // maintenance, quant-only PEPS) jitter more between CI runs than the
@@ -48,6 +51,12 @@ var defaultThresholds = map[string]float64{
 	"materialize_best_ns":         1.25,
 	"update_maint_incremental_ns": 1.40,
 	"oneshot_stream_best_ns":      1.30,
+	// Serving-tier percentiles: the cache-on medians are microseconds (map
+	// lookup + clone), so they jitter hardest and get the most headroom; the
+	// p99 mixes misses and churn-phase re-evaluations.
+	"cacheserve_on_p50_ns":  1.60,
+	"cacheserve_on_p99_ns":  1.75,
+	"cacheserve_off_p50_ns": 1.35,
 }
 
 // benchRecord mirrors the subset of benchrunner's -benchjson schema the
@@ -75,6 +84,12 @@ type benchRecord struct {
 		K            int   `json:"k"`
 		StreamBestNs int64 `json:"oneshot_stream_best_ns"`
 	} `json:"oneshot"`
+	CacheServe []struct {
+		OffP50Ns int64 `json:"cacheserve_off_p50_ns"`
+		OffP99Ns int64 `json:"cacheserve_off_p99_ns"`
+		OnP50Ns  int64 `json:"cacheserve_on_p50_ns"`
+		OnP99Ns  int64 `json:"cacheserve_on_p99_ns"`
+	} `json:"cacheserve"`
 }
 
 func load(path string) (*benchRecord, error) {
@@ -119,6 +134,15 @@ func metrics(r *benchRecord) map[string]float64 {
 		oneshot = append(oneshot, float64(o.StreamBestNs))
 	}
 	put(out, "oneshot_stream_best_ns", oneshot)
+	var csOffP50, csOnP50, csOnP99 []float64
+	for _, c := range r.CacheServe {
+		csOffP50 = append(csOffP50, float64(c.OffP50Ns))
+		csOnP50 = append(csOnP50, float64(c.OnP50Ns))
+		csOnP99 = append(csOnP99, float64(c.OnP99Ns))
+	}
+	put(out, "cacheserve_off_p50_ns", csOffP50)
+	put(out, "cacheserve_on_p50_ns", csOnP50)
+	put(out, "cacheserve_on_p99_ns", csOnP99)
 	return out
 }
 

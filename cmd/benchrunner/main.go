@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"hypre/internal/experiments"
+	"hypre/internal/metrics"
 	"hypre/internal/workload"
 )
 
@@ -38,6 +39,7 @@ type benchReport struct {
 	BitmapMem   []bitmapMemJSON        `json:"bitmap_mem,omitempty"`
 	Shards      []shardsJSON           `json:"shards,omitempty"`
 	OneShot     []oneshotJSON          `json:"oneshot,omitempty"`
+	CacheServe  []cacheserveJSON       `json:"cacheserve,omitempty"`
 	Extra       map[string]interface{} `json:"extra,omitempty"`
 }
 
@@ -64,14 +66,43 @@ type oneshotJSON struct {
 	Prefs                 int   `json:"prefs"`
 	K                     int   `json:"k"`
 	StreamBestNs          int64 `json:"oneshot_stream_best_ns"`
+	StreamP50Ns           int64 `json:"oneshot_stream_p50_ns"`
+	StreamP99Ns           int64 `json:"oneshot_stream_p99_ns"`
 	StreamAllocBytes      int64 `json:"oneshot_stream_alloc_bytes"`
 	MaterializeBestNs     int64 `json:"oneshot_materialize_best_ns"`
+	MaterializeP50Ns      int64 `json:"oneshot_materialize_p50_ns"`
+	MaterializeP99Ns      int64 `json:"oneshot_materialize_p99_ns"`
 	MaterializeAllocBytes int64 `json:"oneshot_materialize_alloc_bytes"`
 	BlocksScanned         int   `json:"blocks_scanned"`
 	BlocksTotal           int   `json:"blocks_total"`
 	EarlyExit             bool  `json:"early_exit"`
 	Matched               bool  `json:"matched"`
 	Reps                  int   `json:"reps"`
+}
+
+// cacheserveJSON is the serving-tier comparison: the same Zipf-skewed
+// profile-query sequence replayed uncached and through the result/plan
+// cache, plus the single-flight burst and the churn-phase counter state.
+type cacheserveJSON struct {
+	machineJSON
+	Queries       int                   `json:"queries"`
+	DistinctUsers int                   `json:"distinct_users"`
+	Workers       int                   `json:"workers"`
+	K             int                   `json:"k"`
+	ZipfS         float64               `json:"zipf_s"`
+	TopShare      float64               `json:"top4_share"`
+	OffP50Ns      int64                 `json:"cacheserve_off_p50_ns"`
+	OffP99Ns      int64                 `json:"cacheserve_off_p99_ns"`
+	OnP50Ns       int64                 `json:"cacheserve_on_p50_ns"`
+	OnP99Ns       int64                 `json:"cacheserve_on_p99_ns"`
+	MedianSpeedup float64               `json:"median_speedup"`
+	HitRate       float64               `json:"hit_rate"`
+	DedupRequests int                   `json:"dedup_requests"`
+	DedupLeaders  int                   `json:"dedup_leaders"`
+	DedupFactor   float64               `json:"dedup_factor"`
+	Cache         metrics.CacheSnapshot `json:"cache"`
+	Matched       bool                  `json:"matched"`
+	Reps          int                   `json:"reps"`
 }
 
 // shardsJSON is the partition-sharding worker sweep: per worker count, the
@@ -186,7 +217,7 @@ type pepsVariantsJSON struct {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiment ids (table10,table11,table12,fig13,fig17,fig18,fig26,fig28,fig29,fig32,fig35,fig37,fig39,ablation,materialize,updates,bitmapmem,shards,oneshot) or 'all'")
+		exp     = flag.String("exp", "all", "comma-separated experiment ids (table10,table11,table12,fig13,fig17,fig18,fig26,fig28,fig29,fig32,fig35,fig37,fig39,ablation,materialize,updates,bitmapmem,shards,oneshot,cacheserve) or 'all'")
 		papers  = flag.Int("papers", 4000, "number of papers in the synthetic network")
 		authors = flag.Int("authors", 1200, "number of authors")
 		venues  = flag.Int("venues", 40, "number of venues")
@@ -547,8 +578,12 @@ func main() {
 					Prefs:                 r.Prefs,
 					K:                     r.K,
 					StreamBestNs:          r.StreamBest.Nanoseconds(),
+					StreamP50Ns:           r.StreamP50.Nanoseconds(),
+					StreamP99Ns:           r.StreamP99.Nanoseconds(),
 					StreamAllocBytes:      int64(r.StreamAlloc),
 					MaterializeBestNs:     r.MaterializeBest.Nanoseconds(),
+					MaterializeP50Ns:      r.MaterializeP50.Nanoseconds(),
+					MaterializeP99Ns:      r.MaterializeP99.Nanoseconds(),
 					MaterializeAllocBytes: int64(r.MaterializeAlloc),
 					BlocksScanned:         r.Stats.BlocksScanned,
 					BlocksTotal:           r.Stats.BlocksTotal,
@@ -561,7 +596,42 @@ func main() {
 		fmt.Println()
 	}
 
-	if *bjson != "" && (len(report.Fig39) > 0 || len(report.PairCache) > 0 || len(report.PEPS) > 0 || len(report.Materialize) > 0 || len(report.Updates) > 0 || len(report.BitmapMem) > 0 || len(report.Shards) > 0 || len(report.OneShot) > 0) {
+	if run("cacheserve") {
+		csCfg := experiments.DefaultCacheServeConfig()
+		csCfg.K = min(*k, 50)
+		r, err := experiments.RunCacheServe(lab, csCfg)
+		if err != nil {
+			fatal(err)
+		}
+		r.Render(out)
+		if !r.Matched {
+			fatal(fmt.Errorf("cacheserve: cached answers diverged from uncached evaluation"))
+		}
+		report.CacheServe = append(report.CacheServe, cacheserveJSON{
+			machineJSON:   machineStamp(),
+			Queries:       r.Queries,
+			DistinctUsers: r.Distinct,
+			Workers:       r.Workers,
+			K:             r.K,
+			ZipfS:         r.ZipfS,
+			TopShare:      r.TopShare,
+			OffP50Ns:      r.OffP50.Nanoseconds(),
+			OffP99Ns:      r.OffP99.Nanoseconds(),
+			OnP50Ns:       r.OnP50.Nanoseconds(),
+			OnP99Ns:       r.OnP99.Nanoseconds(),
+			MedianSpeedup: r.MedianSpeedup,
+			HitRate:       r.HitRate,
+			DedupRequests: r.DedupRequests,
+			DedupLeaders:  r.DedupLeaders,
+			DedupFactor:   r.DedupFactor,
+			Cache:         r.Snapshot,
+			Matched:       r.Matched,
+			Reps:          r.Reps,
+		})
+		fmt.Println()
+	}
+
+	if *bjson != "" && (len(report.Fig39) > 0 || len(report.PairCache) > 0 || len(report.PEPS) > 0 || len(report.Materialize) > 0 || len(report.Updates) > 0 || len(report.BitmapMem) > 0 || len(report.Shards) > 0 || len(report.OneShot) > 0 || len(report.CacheServe) > 0) {
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fatal(err)

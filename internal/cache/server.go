@@ -1,0 +1,380 @@
+package cache
+
+import (
+	"errors"
+	"sync"
+
+	"hypre/internal/bitset"
+	"hypre/internal/combine"
+	"hypre/internal/hypre"
+	"hypre/internal/metrics"
+	"hypre/internal/predicate"
+	"hypre/internal/relstore"
+	"hypre/internal/topk"
+)
+
+// Server is the concurrency-safe caching front to one evaluator: TopK
+// canonicalizes the profile, serves repeats from the result cache,
+// deduplicates concurrent identical cold queries through single flight, and
+// stays byte-identical to uncached evaluation under mutations via the
+// delta-aware invalidation the delta.Maintainer drives (AttachCache).
+//
+// Freshness discipline: the server records the store's epoch stamp each
+// time ApplyDelta/InvalidateAll synchronizes it. A request arriving while
+// the stamp has advanced past that point (mutations committed, maintainer
+// not yet synced) bypasses the cache entirely — it evaluates uncached and
+// stores nothing — so a cached answer always describes a synced snapshot.
+type Server struct {
+	ev       *combine.Evaluator
+	db       *relstore.DB
+	c        *Cache
+	counters *metrics.CacheCounters
+	tables   []string
+
+	flight flightGroup
+
+	// mu guards the predicate-footprint registry and the freshness state.
+	// Lock order: mu before store locks (footprint scans, ApplyDelta
+	// re-matches) and before shard locks (the invalidation sweep); shard
+	// locks never nest inside store locks or vice versa.
+	mu         sync.Mutex
+	preds      map[string]*predFoot
+	validStamp uint64
+	gen        uint64
+}
+
+// predFoot is one registered predicate's invalidation state: its full query
+// shape and the base rows it matched when last observed. rows == nil means
+// the footprint could not be computed (unvectorizable shape); such a
+// predicate is conservatively treated as moved by every mutation batch.
+type predFoot struct {
+	q    relstore.Query
+	rows *bitset.Set
+}
+
+// Outcome reports how one TopK request was served.
+type Outcome uint8
+
+const (
+	// Hit: answered from the result cache.
+	Hit Outcome = iota
+	// Miss: this request ran the evaluation (single-flight leader).
+	Miss
+	// SharedMiss: waited on another session's in-flight evaluation.
+	SharedMiss
+	// StaleBypass: store epochs moved past the last sync; evaluated
+	// uncached, nothing stored.
+	StaleBypass
+)
+
+// String names the outcome for logs and bench rows.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case SharedMiss:
+		return "shared"
+	default:
+		return "bypass"
+	}
+}
+
+// NewServer wraps an evaluator in the caching tier. The evaluator's base
+// query names the tables whose epochs gate freshness.
+func NewServer(ev *combine.Evaluator, cfg Config) *Server {
+	if cfg.Counters == nil {
+		cfg.Counters = &metrics.CacheCounters{}
+	}
+	base := ev.BaseQuery(predicate.True{})
+	tables := []string{base.From}
+	if base.Join != nil {
+		tables = append(tables, base.Join.Table)
+	}
+	db := ev.DB()
+	return &Server{
+		ev:         ev,
+		db:         db,
+		c:          NewCache(cfg),
+		counters:   cfg.Counters,
+		tables:     tables,
+		preds:      make(map[string]*predFoot),
+		validStamp: db.EpochStamp(tables...),
+	}
+}
+
+// Cache exposes the underlying store for stats and tests.
+func (s *Server) Cache() *Cache { return s.c }
+
+// Counters exposes the shared counter set.
+func (s *Server) Counters() *metrics.CacheCounters { return s.counters }
+
+// TopK answers a top-k profile query through the cache. The answer is
+// byte-identical to topk.EvaluateOneShot over the canonical form of prefs
+// (combine.CanonicalProfile) against the last-synced store snapshot; the
+// returned slice is the caller's to keep.
+func (s *Server) TopK(prefs []hypre.ScoredPred, k int) ([]combine.ScoredTuple, Outcome, error) {
+	canon, fp := combine.CanonicalProfile(prefs)
+	stamp := s.db.EpochStamp(s.tables...)
+	s.mu.Lock()
+	valid := stamp == s.validStamp
+	s.mu.Unlock()
+	if !valid {
+		// Unsynced mutations exist: a cached entry could not be told apart
+		// from a stale one, so serve this request uncached and let the next
+		// ApplyDelta re-open the cache.
+		s.counters.StaleBypasses.Add(1)
+		out, _, err := topk.EvaluateOneShot(s.ev, canon, k)
+		return out, StaleBypass, err
+	}
+
+	rk := entryKey{fp: fp, k: int32(k), kind: kindResult}
+	if e, ok := s.c.get(rk); ok {
+		s.counters.Hits.Add(1)
+		return cloneTuples(e.tuples), Hit, nil
+	}
+	val, leader, err := s.flight.do(rk, func() ([]combine.ScoredTuple, error) {
+		return s.evaluate(canon, fp, k, stamp)
+	})
+	if err != nil {
+		return nil, Miss, err
+	}
+	if leader {
+		s.counters.Misses.Add(1)
+		return val, Miss, nil
+	}
+	s.counters.SharedWaits.Add(1)
+	return cloneTuples(val), SharedMiss, nil
+}
+
+// evaluate is the single-flight leader body: route and run the evaluation
+// (reusing a cached plan when one exists), register predicate footprints,
+// and publish the plan and result entries — unless the store moved while we
+// were working, in which case the answer is returned but nothing is cached.
+func (s *Server) evaluate(canon []hypre.ScoredPred, fp combine.Fingerprint, k int, stamp uint64) ([]combine.ScoredTuple, error) {
+	s.mu.Lock()
+	gen := s.gen
+	s.mu.Unlock()
+
+	res, lists, streamed, err := s.route(canon, fp, k)
+	if err != nil {
+		return nil, err
+	}
+	keys := predKeysOf(canon)
+	if err := s.registerPreds(canon); err != nil {
+		return nil, err
+	}
+
+	// Publish gate: entries must describe the stamp-state the evaluation
+	// and the footprint scans both observed. Any commit in between bumps
+	// the epoch stamp; any maintainer sync bumps gen. Either one rejects
+	// the publish (the caller still gets the answer).
+	s.mu.Lock()
+	publish := gen == s.gen && s.db.EpochStamp(s.tables...) == stamp
+	s.mu.Unlock()
+	if publish {
+		pe := &entry{key: entryKey{fp: fp, kind: kindPlan}, lists: lists, streamed: streamed, predKeys: keys}
+		pe.size = 64 + predKeyBytes(keys)
+		if lists != nil {
+			pe.size += lists.SizeBytes()
+		}
+		s.c.put(pe)
+		re := &entry{key: entryKey{fp: fp, k: int32(k), kind: kindResult}, tuples: cloneTuples(res), predKeys: keys}
+		re.size = tupleSliceBytes(re.tuples) + predKeyBytes(keys)
+		s.c.put(re)
+	}
+	return res, nil
+}
+
+// route mirrors topk.EvaluateOneShot's cost-based router, with one addition
+// in front: a cached compiled plan for this fingerprint answers a new k
+// without touching the store at all (the different-k warm path), and a
+// cached streaming decision skips the router probe.
+func (s *Server) route(canon []hypre.ScoredPred, fp combine.Fingerprint, k int) (res []combine.ScoredTuple, lists *topk.Lists, streamed bool, err error) {
+	if e, ok := s.c.get(entryKey{fp: fp, kind: kindPlan}); ok {
+		if e.lists != nil {
+			s.counters.PlanHits.Add(1)
+			return e.lists.TA(k), e.lists, false, nil
+		}
+		if e.streamed {
+			out, _, err := topk.EvaluateStreaming(s.ev, canon, k)
+			if err == nil {
+				return out, nil, true, nil
+			}
+			if !errors.Is(err, relstore.ErrStreamUnsupported) {
+				return nil, nil, false, err
+			}
+			// The shape stopped streaming (schema drift): fall through to
+			// the materialized path below.
+		}
+	}
+	if len(canon) > 0 && s.ev.CachedCount(canon) == len(canon) {
+		lists, err = topk.BuildLists(s.ev, canon)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		return lists.TA(k), lists, false, nil
+	}
+	out, st, err := topk.EvaluateStreaming(s.ev, canon, k)
+	if err == nil {
+		return out, nil, st.Streamed, nil
+	}
+	if !errors.Is(err, relstore.ErrStreamUnsupported) {
+		return nil, nil, false, err
+	}
+	lists, err = topk.BuildLists(s.ev, canon)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return lists.TA(k), lists, false, nil
+}
+
+// predKeysOf lists the canonical profile's dependency keys.
+func predKeysOf(canon []hypre.ScoredPred) []string {
+	keys := make([]string, len(canon))
+	for i, p := range canon {
+		keys[i] = p.Pred
+	}
+	return keys
+}
+
+// registerPreds ensures every predicate of the profile has a footprint in
+// the registry: the base rows it currently matches, computed by one
+// vectorized scan per predicate, once per cache lifetime. The scans run
+// outside the registry lock; a racing registration of the same predicate
+// wastes one scan and keeps the first entry.
+func (s *Server) registerPreds(canon []hypre.ScoredPred) error {
+	var missing []hypre.ScoredPred
+	s.mu.Lock()
+	for _, p := range canon {
+		if _, ok := s.preds[p.Pred]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	s.mu.Unlock()
+	if len(missing) == 0 {
+		return nil
+	}
+	scanned := make([]*predFoot, len(missing))
+	for i, p := range missing {
+		q := s.ev.BaseQuery(p.P)
+		rows, err := s.footprint(q)
+		if err != nil {
+			return err
+		}
+		scanned[i] = &predFoot{q: q, rows: rows}
+		s.counters.FootprintScans.Add(1)
+	}
+	s.mu.Lock()
+	for i, p := range missing {
+		if _, ok := s.preds[p.Pred]; !ok {
+			s.preds[p.Pred] = scanned[i]
+		}
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// footprint computes the live base rows matching one predicate's query.
+// nil (with nil error) means the shape defeats both scan paths; the
+// predicate then invalidates conservatively.
+func (s *Server) footprint(q relstore.Query) (*bitset.Set, error) {
+	sel, ok, err := s.db.ScanAttrRowSet(q, s.ev.KeyAttr(), -1, nil)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return sel, nil
+	}
+	rows := bitset.New()
+	if err := s.db.ScanAttrRows(q, s.ev.KeyAttr(), func(lid int, _ int64) {
+		rows.Add(lid)
+	}); err != nil {
+		// The key attribute does not bind to the base table for this
+		// query shape; no row footprint exists.
+		return nil, nil //nolint:nilerr // conservative-invalidation fallback
+	}
+	return rows, nil
+}
+
+// ApplyDelta is the delta.CacheSyncer hook: after a mutation batch, the
+// maintainer hands over the touched base-row mask and the epochs it synced
+// to. Each registered predicate re-matches only the touched rows
+// (relstore.MatchLeftRowSet — kernels restricted to the touched rows'
+// blocks); predicates whose membership over those rows did not move keep
+// their entries, everything else is swept. Cost scales with touched rows ×
+// registered predicates, never with the number of cached entries surviving.
+func (s *Server) ApplyDelta(touched *bitset.Set, leftEpoch, rightEpoch uint64) {
+	stamp := leftEpoch + rightEpoch
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if touched == nil || touched.IsEmpty() {
+		s.validStamp = stamp
+		return
+	}
+	// Any in-flight evaluation raced this batch; its publish gate checks
+	// gen, so bump it before sweeping.
+	s.gen++
+	dirty := make(map[string]bool)
+	for key, pf := range s.preds {
+		if pf.rows == nil {
+			dirty[key] = true
+			continue
+		}
+		old := pf.rows.And(touched)
+		now, err := s.db.MatchLeftRowSet(pf.q, touched)
+		if err != nil {
+			dirty[key] = true
+			pf.rows = nil
+			continue
+		}
+		if !setsEqual(old, now) {
+			dirty[key] = true
+			pf.rows = pf.rows.AndNot(touched).Or(now)
+		}
+	}
+	s.validStamp = stamp
+	if len(dirty) > 0 {
+		n := s.c.removeWhere(func(e *entry) bool {
+			for _, k := range e.predKeys {
+				if dirty[k] {
+					return true
+				}
+			}
+			return false
+		})
+		s.counters.Invalidated.Add(int64(n))
+	}
+}
+
+// InvalidateAll is the delta.CacheSyncer full-rebuild hook: every entry and
+// every footprint is dropped (the store state they described is gone), and
+// the server resynchronizes to the given epochs.
+func (s *Server) InvalidateAll(leftEpoch, rightEpoch uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gen++
+	s.preds = make(map[string]*predFoot)
+	n := s.c.purge()
+	s.counters.Invalidated.Add(int64(n))
+	s.validStamp = leftEpoch + rightEpoch
+}
+
+// Reset drops every entry and footprint and resynchronizes to the store's
+// current epochs — a cold cache over the current snapshot. Unlike
+// InvalidateAll it is caller-driven (no maintainer epochs needed) and does
+// not count toward the Invalidated metric.
+func (s *Server) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gen++
+	s.preds = make(map[string]*predFoot)
+	s.c.purge()
+	s.validStamp = s.db.EpochStamp(s.tables...)
+}
+
+// setsEqual reports a == b without materializing a diff.
+func setsEqual(a, b *bitset.Set) bool {
+	return a.Len() == b.Len() && a.AndCard(b) == a.Len()
+}

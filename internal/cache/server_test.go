@@ -1,0 +1,436 @@
+package cache_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hypre/internal/cache"
+	"hypre/internal/combine"
+	"hypre/internal/delta"
+	"hypre/internal/hypre"
+	"hypre/internal/predicate"
+	"hypre/internal/topk"
+	"hypre/internal/workload"
+)
+
+// testNet generates a small citation network for serving tests.
+func testNet(t testing.TB, seed int64) *workload.Network {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumPapers = 600
+	cfg.NumAuthors = 150
+	cfg.NumVenues = 12
+	net, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func newServer(t testing.TB, net *workload.Network) (*cache.Server, *combine.Evaluator) {
+	t.Helper()
+	ev := combine.NewEvaluator(net.DB, workload.BaseQuery, "dblp.pid")
+	return cache.NewServer(ev, cache.Config{}), ev
+}
+
+func sp(t testing.TB, pred string, in float64) hypre.ScoredPred {
+	t.Helper()
+	p, err := hypre.NewScoredPred(pred, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// venueProfile builds a profile over venue/year predicates of the network.
+func venueProfile(t testing.TB, net *workload.Network, venues []int, year int) []hypre.ScoredPred {
+	t.Helper()
+	var out []hypre.ScoredPred
+	for i, vi := range venues {
+		out = append(out, sp(t, fmt.Sprintf("dblp.venue=%q", net.Venues[vi]), 0.2+0.1*float64(i)))
+	}
+	if year > 0 {
+		out = append(out, sp(t, fmt.Sprintf("dblp.year=%d", year), 0.35))
+	}
+	return out
+}
+
+func sameRanking(a, b []combine.ScoredTuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// uncached evaluates the canonical profile on a fresh evaluator — the
+// reference answer every cached result must equal byte for byte.
+func uncached(t testing.TB, net *workload.Network, prefs []hypre.ScoredPred, k int) []combine.ScoredTuple {
+	t.Helper()
+	canon, _ := combine.CanonicalProfile(prefs)
+	ev := combine.NewEvaluator(net.DB, workload.BaseQuery, "dblp.pid")
+	out, _, err := topk.EvaluateOneShot(ev, canon, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestServerHitIdentical: second ask is a Hit and matches both the first
+// answer and a fresh uncached evaluation.
+func TestServerHitIdentical(t *testing.T) {
+	net := testNet(t, 7)
+	srv, _ := newServer(t, net)
+	prof := venueProfile(t, net, []int{0, 2, 5}, 2001)
+
+	first, out1, err := srv.TopK(prof, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1 != cache.Miss {
+		t.Fatalf("cold ask outcome = %v, want Miss", out1)
+	}
+	second, out2, err := srv.TopK(prof, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2 != cache.Hit {
+		t.Fatalf("warm ask outcome = %v, want Hit", out2)
+	}
+	if !sameRanking(first, second) {
+		t.Fatalf("hit diverged from the evaluation it cached")
+	}
+	if want := uncached(t, net, prof, 10); !sameRanking(second, want) {
+		t.Fatalf("cached answer diverged from uncached evaluation")
+	}
+	// A permutation of the profile is the same fingerprint → same entry.
+	perm := []hypre.ScoredPred{prof[3], prof[1], prof[0], prof[2]}
+	permuted, out3, err := srv.TopK(perm, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out3 != cache.Hit || !sameRanking(permuted, second) {
+		t.Fatalf("permuted profile missed the cache (outcome %v)", out3)
+	}
+}
+
+// TestServerPlanHitNewK: a different k for a known fingerprint reuses the
+// compiled plan (no store work) and still matches uncached evaluation. The
+// evaluator is pre-warmed so the router takes the materialized path — a
+// cold first ask streams instead, and a streaming plan has no lists to
+// re-rank.
+func TestServerPlanHitNewK(t *testing.T) {
+	net := testNet(t, 8)
+	srv, ev := newServer(t, net)
+	prof := venueProfile(t, net, []int{1, 3}, 1997)
+	if err := ev.MaterializeAll(prof); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := srv.TopK(prof, 10); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := srv.TopK(prof, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph := srv.Counters().PlanHits.Load(); ph == 0 {
+		t.Fatalf("second k did not reuse the compiled plan")
+	}
+	if want := uncached(t, net, prof, 25); !sameRanking(got, want) {
+		t.Fatalf("plan-hit answer diverged from uncached evaluation")
+	}
+}
+
+// mutateVenue rewrites one live paper's venue, returning its row id. It
+// picks a row currently in fromVenue (by index into net.Venues).
+func mutateVenue(t *testing.T, net *workload.Network, fromVenue, toVenue string) {
+	t.Helper()
+	dblp := net.DB.Table("dblp")
+	for row := 0; row < dblp.Len(); row++ {
+		if !dblp.Alive(row) || dblp.Value(row, "venue").AsString() != fromVenue {
+			continue
+		}
+		if err := dblp.UpdateCol(row, "venue", predicate.String(toVenue)); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	t.Fatalf("no live paper in venue %q", fromVenue)
+}
+
+// TestServerDeltaInvalidationPrecision: a mutation batch drops only the
+// entries whose predicate membership moved; unrelated entries keep serving
+// hits, and every post-sync answer matches uncached evaluation.
+func TestServerDeltaInvalidationPrecision(t *testing.T) {
+	net := testNet(t, 9)
+	srv, ev := newServer(t, net)
+	m, err := delta.NewMaintainer(ev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AttachCache(srv)
+
+	profA := venueProfile(t, net, []int{0}, 0) // venue[0] only
+	profB := venueProfile(t, net, []int{1}, 0) // venue[1] only
+	if _, _, err := srv.TopK(profA, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.TopK(profB, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	// Move a paper from venue[2] into venue[0]: profA's predicate gains a
+	// row, profB's is untouched.
+	mutateVenue(t, net, net.Venues[2], net.Venues[0])
+	if _, err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	gotB, outB, err := srv.TopK(profB, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outB != cache.Hit {
+		t.Fatalf("unrelated entry was invalidated (outcome %v)", outB)
+	}
+	gotA, outA, err := srv.TopK(profA, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outA != cache.Miss {
+		t.Fatalf("moved entry survived invalidation (outcome %v)", outA)
+	}
+	if want := uncached(t, net, profA, 10); !sameRanking(gotA, want) {
+		t.Fatalf("post-sync answer for the moved profile diverged")
+	}
+	if want := uncached(t, net, profB, 10); !sameRanking(gotB, want) {
+		t.Fatalf("surviving entry's answer diverged from the store")
+	}
+	if inv := srv.Counters().Invalidated.Load(); inv == 0 {
+		t.Fatalf("invalidation counter did not move")
+	}
+}
+
+// TestServerStaleBypass: between a mutation and the maintainer's Sync the
+// server serves uncached (correct against the live store) and caches
+// nothing; after Sync it resumes caching.
+func TestServerStaleBypass(t *testing.T) {
+	net := testNet(t, 10)
+	srv, ev := newServer(t, net)
+	m, err := delta.NewMaintainer(ev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AttachCache(srv)
+	prof := venueProfile(t, net, []int{0, 4}, 1995)
+	if _, _, err := srv.TopK(prof, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	mutateVenue(t, net, net.Venues[3], net.Venues[0])
+	got, out, err := srv.TopK(prof, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != cache.StaleBypass {
+		t.Fatalf("unsynced store served outcome %v, want StaleBypass", out)
+	}
+	if want := uncached(t, net, prof, 10); !sameRanking(got, want) {
+		t.Fatalf("bypass answer diverged from the live store")
+	}
+	if _, err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, out, err = srv.TopK(prof, 10); err != nil || out != cache.Miss {
+		t.Fatalf("post-sync ask = (%v, %v), want a caching Miss", out, err)
+	}
+	if _, out, err = srv.TopK(prof, 10); err != nil || out != cache.Hit {
+		t.Fatalf("post-sync repeat = (%v, %v), want Hit", out, err)
+	}
+}
+
+// TestServerSingleFlight: concurrent identical cold queries collapse to one
+// evaluation and all receive the same answer.
+func TestServerSingleFlight(t *testing.T) {
+	net := testNet(t, 11)
+	srv, _ := newServer(t, net)
+	prof := venueProfile(t, net, []int{0, 1, 2, 3}, 2004)
+
+	const n = 16
+	results := make([][]combine.ScoredTuple, n)
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			out, _, err := srv.TopK(prof, 10)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = out
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	snap := srv.Counters().Snapshot()
+	if snap.Misses != 1 {
+		t.Fatalf("%d evaluations for one cold fingerprint, want 1", snap.Misses)
+	}
+	if snap.Hits+snap.SharedWaits != n-1 {
+		t.Fatalf("hits %d + shared %d != %d waiters", snap.Hits, snap.SharedWaits, n-1)
+	}
+	for i := 1; i < n; i++ {
+		if !sameRanking(results[0], results[i]) {
+			t.Fatalf("concurrent requester %d received a different answer", i)
+		}
+	}
+}
+
+// TestServerEquivalenceRandomized is the randomized acceptance suite:
+// across seeds × mutation batches × zipf query mixes, every cached answer
+// equals a fresh uncached evaluation of the same canonical profile.
+func TestServerEquivalenceRandomized(t *testing.T) {
+	for _, seed := range []int64{3, 17} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			net := testNet(t, seed)
+			srv, ev := newServer(t, net)
+			m, err := delta.NewMaintainer(ev, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.AttachCache(srv)
+			stream, err := workload.NewUpdateStream(net, workload.DefaultStreamConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// A pool of overlapping profiles: shared venue predicates make
+			// invalidation hit several entries at once.
+			rng := rand.New(rand.NewSource(seed))
+			var pool [][]hypre.ScoredPred
+			for i := 0; i < 8; i++ {
+				nv := 1 + rng.Intn(3)
+				venues := make([]int, nv)
+				for j := range venues {
+					venues[j] = rng.Intn(len(net.Venues))
+				}
+				year := 0
+				if rng.Intn(2) == 0 {
+					year = 1991 + rng.Intn(20)
+				}
+				pool = append(pool, venueProfile(t, net, venues, year))
+			}
+			mixCfg := workload.ProfileMixConfig{Seed: seed, S: 1.4}
+			uids := make([]int64, len(pool))
+			for i := range uids {
+				uids[i] = int64(i)
+			}
+			mix := workload.ZipfProfileSequence(uids, 60, mixCfg)
+
+			for batch := 0; batch < 4; batch++ {
+				for _, idx := range mix.Seq {
+					got, _, err := srv.TopK(pool[idx], 10)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if want := uncached(t, net, pool[idx], 10); !sameRanking(got, want) {
+						t.Fatalf("batch %d profile %d: cached answer diverged from uncached", batch, idx)
+					}
+				}
+				if _, err := stream.Apply(30); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := m.Sync(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestServerConcurrentServeAndMutate interleaves cache-hit serving with
+// mutation batches and delta Syncs — the -race interleaving test. Served
+// answers during the window only need to be error-free (they may be
+// bypasses); after the final Sync every answer must match uncached
+// evaluation again.
+func TestServerConcurrentServeAndMutate(t *testing.T) {
+	net := testNet(t, 13)
+	srv, ev := newServer(t, net)
+	m, err := delta.NewMaintainer(ev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AttachCache(srv)
+	stream, err := workload.NewUpdateStream(net, workload.DefaultStreamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var pool [][]hypre.ScoredPred
+	for i := 0; i < 6; i++ {
+		pool = append(pool, venueProfile(t, net, []int{i, (i + 3) % 12}, 1993+i))
+	}
+	// Warm the cache.
+	for _, p := range pool {
+		if _, _, err := srv.TopK(p, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := w
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := srv.TopK(pool[i%len(pool)], 10); err != nil {
+					t.Error(err)
+					return
+				}
+				i++
+			}
+		}(w)
+	}
+	for batch := 0; batch < 6; batch++ {
+		if _, err := stream.Apply(20); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if _, err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pool {
+		got, _, err := srv.TopK(p, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := uncached(t, net, p, 10); !sameRanking(got, want) {
+			t.Fatalf("profile %d: post-churn cached answer diverged from the store", i)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package cache
+
+import (
+	"sync"
+
+	"hypre/internal/combine"
+)
+
+// flightGroup collapses concurrent evaluations of the same (fingerprint, k)
+// into one: the first arrival becomes the leader and runs the evaluation;
+// every later arrival for the same key blocks on the leader's WaitGroup and
+// shares the answer. N sessions asking the same cold profile at once cost
+// one store scan, not N — the dedup half of the caching tier.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[entryKey]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val []combine.ScoredTuple
+	err error
+}
+
+// do runs fn once per concurrent key: the leader (leader=true) executes fn,
+// waiters receive the leader's value and error. The shared value is the
+// cache-internal slice; callers copy before handing it out.
+func (g *flightGroup) do(key entryKey, fn func() ([]combine.ScoredTuple, error)) (val []combine.ScoredTuple, leader bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[entryKey]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, false, c.err
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return c.val, true, c.err
+}

@@ -60,6 +60,28 @@ type Maintainer struct {
 	keyPos       int // position of the key column in the base table
 	leftEpoch    uint64
 	rightEpoch   uint64
+
+	cache CacheSyncer
+}
+
+// CacheSyncer is the hook a serving-tier cache registers to ride the
+// maintainer's delta pipeline: after each successful Sync it receives the
+// touched base-row mask and the epochs the maintainer synced to, so it can
+// invalidate exactly the entries whose predicate membership moved and
+// re-open itself for the new store snapshot. A full rebuild (log trimmed,
+// key-column rewrite) instead drops everything via InvalidateAll.
+// internal/cache.Server implements it.
+type CacheSyncer interface {
+	ApplyDelta(touched *bitset.Set, leftEpoch, rightEpoch uint64)
+	InvalidateAll(leftEpoch, rightEpoch uint64)
+}
+
+// AttachCache registers a cache for delta-aware invalidation. Call before
+// serving traffic; the maintainer notifies it on every Sync. The cache is
+// immediately synchronized to the maintainer's current epochs.
+func (m *Maintainer) AttachCache(cs CacheSyncer) {
+	m.cache = cs
+	cs.ApplyDelta(nil, m.leftEpoch, m.rightEpoch)
 }
 
 // SyncStats reports what one Sync cost.
@@ -161,6 +183,11 @@ func (m *Maintainer) Sync() (SyncStats, error) {
 	}
 	if len(lch) == 0 && len(rch) == 0 {
 		m.leftEpoch, m.rightEpoch = lEpoch, rEpoch
+		if m.cache != nil {
+			// Nothing touched, but the stamp may have advanced (empty
+			// commits); let the cache re-open for the new epochs.
+			m.cache.ApplyDelta(nil, lEpoch, rEpoch)
+		}
 		return SyncStats{}, nil
 	}
 
@@ -226,6 +253,9 @@ func (m *Maintainer) Sync() (SyncStats, error) {
 		m.pt = pt
 	}
 	m.leftEpoch, m.rightEpoch = lEpoch, rEpoch
+	if m.cache != nil {
+		m.cache.ApplyDelta(touched, lEpoch, rEpoch)
+	}
 	return SyncStats{
 		TouchedRows:      touched.Len(),
 		ChangedPreds:     len(changed),
@@ -255,6 +285,9 @@ func (m *Maintainer) rebuild(lEpoch, rEpoch uint64) (SyncStats, error) {
 	}
 	m.pt = pt
 	m.leftEpoch, m.rightEpoch = lEpoch, rEpoch
+	if m.cache != nil {
+		m.cache.InvalidateAll(lEpoch, rEpoch)
+	}
 	return SyncStats{FullRebuild: true}, nil
 }
 

@@ -26,6 +26,11 @@ type OneShotResult struct {
 	MaterializeAlloc uint64
 	Reps             int
 
+	// Latency percentiles over the cold reps (p99 degrades to the max when
+	// reps are few) — the distribution the best-of figures summarize.
+	StreamP50, StreamP99           time.Duration
+	MaterializeP50, MaterializeP99 time.Duration
+
 	Matched bool // both paths returned identical tuples in identical order
 	Stats   topk.StreamStats
 }
@@ -57,6 +62,8 @@ func RunOneShotBench(l *Lab, uid int64, k, cap, reps int) (*OneShotResult, error
 	res := &OneShotResult{UID: uid, Prefs: len(prefs), K: k, Reps: reps}
 
 	var stream, mat []combine.ScoredTuple
+	streamLats := make([]time.Duration, 0, reps)
+	matLats := make([]time.Duration, 0, reps)
 	for r := 0; r < reps; r++ {
 		ev := l.Evaluator()
 		var st *topk.StreamStats
@@ -71,6 +78,7 @@ func RunOneShotBench(l *Lab, uid int64, k, cap, reps int) (*OneShotResult, error
 		if r == 0 || d < res.StreamBest {
 			res.StreamBest, res.StreamAlloc = d, alloc
 		}
+		streamLats = append(streamLats, d)
 		res.Stats = *st
 
 		ev = l.Evaluator()
@@ -91,7 +99,10 @@ func RunOneShotBench(l *Lab, uid int64, k, cap, reps int) (*OneShotResult, error
 		if r == 0 || d < res.MaterializeBest {
 			res.MaterializeBest, res.MaterializeAlloc = d, alloc
 		}
+		matLats = append(matLats, d)
 	}
+	res.StreamP50, res.StreamP99 = pctile(streamLats, 0.50), pctile(streamLats, 0.99)
+	res.MaterializeP50, res.MaterializeP99 = pctile(matLats, 0.50), pctile(matLats, 0.99)
 
 	res.Matched = len(stream) == len(mat)
 	if res.Matched {

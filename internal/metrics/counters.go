@@ -1,0 +1,70 @@
+package metrics
+
+import "sync/atomic"
+
+// CacheCounters is the serving-tier observability surface: every counter
+// the result/plan cache increments on its hot path, lock-free. One instance
+// is shared between the cache shards and the server wrapper; the cacheserve
+// bench snapshots it into the BENCH_*.json record.
+type CacheCounters struct {
+	// Hits counts result-cache hits (answer returned without evaluation).
+	Hits atomic.Int64
+	// Misses counts evaluations actually run (single-flight leaders).
+	Misses atomic.Int64
+	// PlanHits counts misses answered from a cached compiled plan (built
+	// TA lists re-ranked for a new k) instead of a store evaluation.
+	PlanHits atomic.Int64
+	// SharedWaits counts requests that piggybacked on another session's
+	// in-flight evaluation of the same fingerprint (single-flight dedup).
+	SharedWaits atomic.Int64
+	// Evictions counts entries dropped by the byte-budget LRU.
+	Evictions atomic.Int64
+	// Invalidated counts entries dropped because a mutation batch moved
+	// the membership of a predicate they depend on.
+	Invalidated atomic.Int64
+	// StaleBypasses counts requests served uncached because the store's
+	// epoch stamp had advanced past the cache's last synced state.
+	StaleBypasses atomic.Int64
+	// FootprintScans counts predicate-footprint registrations (one scan
+	// per distinct predicate per cache lifetime).
+	FootprintScans atomic.Int64
+}
+
+// CacheSnapshot is a plain-value copy of the counters, for JSON records and
+// assertions.
+type CacheSnapshot struct {
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	PlanHits       int64 `json:"plan_hits"`
+	SharedWaits    int64 `json:"shared_waits"`
+	Evictions      int64 `json:"evictions"`
+	Invalidated    int64 `json:"invalidated"`
+	StaleBypasses  int64 `json:"stale_bypasses"`
+	FootprintScans int64 `json:"footprint_scans"`
+}
+
+// Snapshot reads every counter once. Individual loads are atomic; the
+// snapshot as a whole is approximate under concurrent traffic, which is all
+// a metrics export needs.
+func (c *CacheCounters) Snapshot() CacheSnapshot {
+	return CacheSnapshot{
+		Hits:           c.Hits.Load(),
+		Misses:         c.Misses.Load(),
+		PlanHits:       c.PlanHits.Load(),
+		SharedWaits:    c.SharedWaits.Load(),
+		Evictions:      c.Evictions.Load(),
+		Invalidated:    c.Invalidated.Load(),
+		StaleBypasses:  c.StaleBypasses.Load(),
+		FootprintScans: c.FootprintScans.Load(),
+	}
+}
+
+// HitRate is hits over served lookups (hits + misses + shared waits); 0
+// when nothing has been served.
+func (s CacheSnapshot) HitRate() float64 {
+	total := s.Hits + s.Misses + s.SharedWaits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

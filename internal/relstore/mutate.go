@@ -62,6 +62,22 @@ func (t *Table) Epoch() uint64 {
 	return t.gen
 }
 
+// EpochStamp folds the named tables' epochs into one monotonically
+// non-decreasing version stamp. Every committed mutation bumps exactly one
+// table's epoch, so the sum moves on every commit — the cheap freshness
+// probe the result-cache tier reads per request to decide whether its
+// entries still describe the store it is serving (unknown table names
+// contribute nothing, matching Table's nil return).
+func (db *DB) EpochStamp(names ...string) uint64 {
+	var stamp uint64
+	for _, name := range names {
+		if t := db.Table(name); t != nil {
+			stamp += t.Epoch()
+		}
+	}
+	return stamp
+}
+
 // Alive reports whether row id exists and is not tombstoned.
 func (t *Table) Alive(id int) bool {
 	t.state.RLock()

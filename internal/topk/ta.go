@@ -55,6 +55,25 @@ func (l *Lists) Size() int {
 	return n
 }
 
+// SizeBytes estimates the structure's resident footprint for cache byte
+// accounting: each entry is stored twice (a 16-byte sorted pair plus a
+// grade-map slot, costed at 16 bytes of payload), plus the attribute names.
+// TA and aggregate only read the structure, so a cached Lists may serve
+// concurrent rankings.
+func (l *Lists) SizeBytes() int64 {
+	var n int64
+	for _, s := range l.sorted {
+		n += int64(len(s)) * 16
+	}
+	for _, m := range l.grades {
+		n += int64(len(m)) * 16
+	}
+	for _, name := range l.Names {
+		n += int64(len(name))
+	}
+	return n
+}
+
 // aggregate computes the overall grade t(R) = f∧ over the grades of R in
 // every list where it appears (absent lists contribute 0, the identity of
 // f∧), matching §7.6.1's final combination step which "also added all the
