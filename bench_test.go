@@ -14,9 +14,12 @@ import (
 	"io"
 	"sync"
 	"testing"
+	"time"
 
+	"hypre/internal/cache"
 	"hypre/internal/combine"
 	"hypre/internal/experiments"
+	"hypre/internal/obs"
 	"hypre/internal/topk"
 	"hypre/internal/workload"
 )
@@ -321,6 +324,51 @@ func BenchmarkCacheServe(b *testing.B) {
 			b.Fatal("cached answers diverged from uncached evaluation")
 		}
 	}
+}
+
+// BenchmarkCacheServeHitPath prices the observability tier on the hottest
+// serving route — a warm result-cache hit — in three configurations: plain
+// (nothing attached: the zero-overhead-when-disabled claim, no clock reads
+// on the serve path), histogram (registry + slow log attached, requests
+// untraced), and traced (a fresh Trace per request, full span capture).
+func BenchmarkCacheServeHitPath(b *testing.B) {
+	l := benchSetup(b)
+	prof := l.ProfileFor(l.Modest, benchProfileCap)
+	run := func(b *testing.B, cfg cache.Config, traced bool) {
+		srv := cache.NewServer(l.Evaluator(), cfg)
+		if _, _, err := srv.TopK(prof, 10); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var tr *obs.Trace
+			if traced {
+				tr = obs.NewTrace()
+			}
+			_, out, err := srv.TopKTraced(prof, 10, tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out != cache.Hit {
+				b.Fatalf("outcome %v, want Hit", out)
+			}
+		}
+	}
+	b.Run("plain", func(b *testing.B) {
+		run(b, cache.Config{}, false)
+	})
+	b.Run("histogram", func(b *testing.B) {
+		run(b, cache.Config{
+			Registry: obs.NewRegistry(),
+			SlowLog:  obs.NewSlowLog(time.Second, 32),
+		}, false)
+	})
+	b.Run("traced", func(b *testing.B) {
+		run(b, cache.Config{
+			Registry: obs.NewRegistry(),
+			SlowLog:  obs.NewSlowLog(time.Second, 32),
+		}, true)
+	})
 }
 
 // shardedBenchWorkers is the shard-count sweep for the partition-sharded

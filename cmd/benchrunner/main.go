@@ -18,12 +18,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
+	"time"
 
+	"hypre/internal/cache"
 	"hypre/internal/experiments"
 	"hypre/internal/metrics"
+	"hypre/internal/obs"
 	"hypre/internal/workload"
 )
 
@@ -97,12 +103,26 @@ type cacheserveJSON struct {
 	OnP99Ns       int64                 `json:"cacheserve_on_p99_ns"`
 	MedianSpeedup float64               `json:"median_speedup"`
 	HitRate       float64               `json:"hit_rate"`
+	ServedRate    float64               `json:"served_rate"`
 	DedupRequests int                   `json:"dedup_requests"`
 	DedupLeaders  int                   `json:"dedup_leaders"`
 	DedupFactor   float64               `json:"dedup_factor"`
 	Cache         metrics.CacheSnapshot `json:"cache"`
+	Routes        []routeStatJSON       `json:"routes,omitempty"`
+	TraceQueries  int                   `json:"trace_queries"`
+	TraceCoverMin float64               `json:"trace_coverage_min"`
+	TraceCoverOK  bool                  `json:"trace_coverage_ok"`
 	Matched       bool                  `json:"matched"`
 	Reps          int                   `json:"reps"`
+}
+
+// routeStatJSON is one route class's latency summary from the serving
+// histograms (hit / miss / shared / bypass).
+type routeStatJSON struct {
+	Route string `json:"route"`
+	Count int64  `json:"count"`
+	P50Ns int64  `json:"p50_ns"`
+	P99Ns int64  `json:"p99_ns"`
 }
 
 // shardsJSON is the partition-sharding worker sweep: per worker count, the
@@ -228,6 +248,7 @@ func main() {
 		cites   = flag.Float64("cites", 3, "mean citations per paper")
 		zipf    = flag.Float64("zipf", 1.3, "venue/author popularity skew (>1)")
 		bjson   = flag.String("benchjson", "BENCH_results.json", "write timed experiments to this JSON file (empty = off)")
+		dbgAddr = flag.String("debug.addr", "", "serve /metrics, /debug/slowlog, /debug/trace and /debug/pprof on this address; the process stays alive after the experiments finish (use -exp none for a pure ops server)")
 	)
 	flag.Parse()
 
@@ -248,6 +269,12 @@ func main() {
 	fmt.Printf("# exemplar users: rich uid=%d (%d prefs), modest uid=%d (%d prefs)\n\n",
 		lab.Rich, lab.Prefs.CountByUser()[lab.Rich],
 		lab.Modest, lab.Prefs.CountByUser()[lab.Modest])
+
+	if *dbgAddr != "" {
+		if err := startDebugServer(*dbgAddr, lab); err != nil {
+			fatal(err)
+		}
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
@@ -607,6 +634,19 @@ func main() {
 		if !r.Matched {
 			fatal(fmt.Errorf("cacheserve: cached answers diverged from uncached evaluation"))
 		}
+		if !r.TraceCoverageOK {
+			fatal(fmt.Errorf("cacheserve: trace span coverage out of bounds (min %.3f over %d traced queries)",
+				r.TraceCoverageMin, r.TraceQueries))
+		}
+		routes := make([]routeStatJSON, 0, len(r.Routes))
+		for _, rs := range r.Routes {
+			routes = append(routes, routeStatJSON{
+				Route: rs.Route,
+				Count: rs.Count,
+				P50Ns: rs.P50.Nanoseconds(),
+				P99Ns: rs.P99.Nanoseconds(),
+			})
+		}
 		report.CacheServe = append(report.CacheServe, cacheserveJSON{
 			machineJSON:   machineStamp(),
 			Queries:       r.Queries,
@@ -621,10 +661,15 @@ func main() {
 			OnP99Ns:       r.OnP99.Nanoseconds(),
 			MedianSpeedup: r.MedianSpeedup,
 			HitRate:       r.HitRate,
+			ServedRate:    r.ServedRate,
 			DedupRequests: r.DedupRequests,
 			DedupLeaders:  r.DedupLeaders,
 			DedupFactor:   r.DedupFactor,
 			Cache:         r.Snapshot,
+			Routes:        routes,
+			TraceQueries:  r.TraceQueries,
+			TraceCoverMin: r.TraceCoverageMin,
+			TraceCoverOK:  r.TraceCoverageOK,
 			Matched:       r.Matched,
 			Reps:          r.Reps,
 		})
@@ -641,6 +686,49 @@ func main() {
 		}
 		fmt.Printf("# wrote %s\n", *bjson)
 	}
+
+	if *dbgAddr != "" {
+		fmt.Println("# experiments done; debug server still serving (ctrl-c to exit)")
+		select {}
+	}
+}
+
+// startDebugServer exposes the ops surface over a live serving stack: a
+// cache.Server on the lab's store with a registry and slow log attached,
+// plus a trace runner that serves /debug/trace?query=<uid>&k=N by running
+// that user's profile through the traced serve path.
+func startDebugServer(addr string, lab *experiments.Lab) error {
+	reg := obs.NewRegistry()
+	slow := obs.NewSlowLog(time.Millisecond, 128)
+	srv := cache.NewServer(lab.Evaluator(), cache.Config{Registry: reg, SlowLog: slow})
+	runner := func(query string, k int) (*obs.Trace, error) {
+		uid, err := strconv.ParseInt(strings.TrimSpace(query), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("query must be a uid (try %d or %d): %v", lab.Rich, lab.Modest, err)
+		}
+		prof := lab.ProfileFor(uid, 0)
+		if len(prof) == 0 {
+			return nil, fmt.Errorf("uid %d has no positive profile", uid)
+		}
+		tr := obs.NewTrace()
+		if _, _, err := srv.TopKTraced(prof, k, tr); err != nil {
+			return nil, err
+		}
+		return tr, nil
+	}
+	mux := obs.NewDebugMux(obs.DebugOptions{Registry: reg, SlowLog: slow, Trace: runner})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# debug server on http://%s/ (metrics, debug/slowlog, debug/trace?query=%d&k=10, debug/pprof)\n",
+		ln.Addr(), lab.Rich)
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner: debug server:", err)
+		}
+	}()
+	return nil
 }
 
 func min(a, b int) int {

@@ -17,6 +17,7 @@ import (
 
 	"hypre/internal/combine"
 	"hypre/internal/metrics"
+	"hypre/internal/obs"
 	"hypre/internal/topk"
 )
 
@@ -84,6 +85,15 @@ type Config struct {
 	Shards int
 	// Counters receives hit/miss/eviction traffic (default: a private set).
 	Counters *metrics.CacheCounters
+
+	// Registry, when set, receives per-route-class latency histograms
+	// (serve_hit / serve_miss / serve_shared / serve_bypass) and the
+	// counter set as a group. Nil disables latency measurement entirely —
+	// the serve path then never reads the clock.
+	Registry *obs.Registry
+	// SlowLog, when set, retains queries at or above its threshold; traced
+	// queries log their full trace, untraced ones a summary line.
+	SlowLog *obs.SlowLog
 }
 
 // NewCache builds an empty cache.

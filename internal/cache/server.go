@@ -3,11 +3,13 @@ package cache
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"hypre/internal/bitset"
 	"hypre/internal/combine"
 	"hypre/internal/hypre"
 	"hypre/internal/metrics"
+	"hypre/internal/obs"
 	"hypre/internal/predicate"
 	"hypre/internal/relstore"
 	"hypre/internal/topk"
@@ -32,6 +34,14 @@ type Server struct {
 	tables   []string
 
 	flight flightGroup
+
+	// Observability: obsOn gates every clock read on the serve path (false
+	// when neither a registry nor a slow log is attached — the instrumented
+	// path is then branch-only). routeHists indexes by Outcome.
+	obsOn      bool
+	reg        *obs.Registry
+	slow       *obs.SlowLog
+	routeHists [4]*obs.Histogram
 
 	// mu guards the predicate-footprint registry and the freshness state.
 	// Lock order: mu before store locks (footprint scans, ApplyDelta
@@ -93,7 +103,7 @@ func NewServer(ev *combine.Evaluator, cfg Config) *Server {
 		tables = append(tables, base.Join.Table)
 	}
 	db := ev.DB()
-	return &Server{
+	s := &Server{
 		ev:         ev,
 		db:         db,
 		c:          NewCache(cfg),
@@ -101,7 +111,34 @@ func NewServer(ev *combine.Evaluator, cfg Config) *Server {
 		tables:     tables,
 		preds:      make(map[string]*predFoot),
 		validStamp: db.EpochStamp(tables...),
+		reg:        cfg.Registry,
+		slow:       cfg.SlowLog,
+		obsOn:      cfg.Registry != nil || cfg.SlowLog != nil,
 	}
+	if s.reg != nil {
+		for out, name := range map[Outcome]string{
+			Hit: "serve_hit", Miss: "serve_miss",
+			SharedMiss: "serve_shared", StaleBypass: "serve_bypass",
+		} {
+			s.routeHists[out] = s.reg.Histogram(name)
+		}
+		counters := s.counters
+		s.reg.RegisterGroup("cache", func() map[string]int64 {
+			snap := counters.Snapshot()
+			return map[string]int64{
+				"hits":            snap.Hits,
+				"misses":          snap.Misses,
+				"plan_hits":       snap.PlanHits,
+				"evaluations":     snap.Evaluations,
+				"shared_waits":    snap.SharedWaits,
+				"evictions":       snap.Evictions,
+				"invalidated":     snap.Invalidated,
+				"stale_bypasses":  snap.StaleBypasses,
+				"footprint_scans": snap.FootprintScans,
+			}
+		})
+	}
+	return s
 }
 
 // Cache exposes the underlying store for stats and tests.
@@ -115,7 +152,34 @@ func (s *Server) Counters() *metrics.CacheCounters { return s.counters }
 // (combine.CanonicalProfile) against the last-synced store snapshot; the
 // returned slice is the caller's to keep.
 func (s *Server) TopK(prefs []hypre.ScoredPred, k int) ([]combine.ScoredTuple, Outcome, error) {
+	return s.TopKTraced(prefs, k, nil)
+}
+
+// TopKTraced is TopK under per-query observability: the route decision,
+// contiguous stage spans, and the chosen path's engine counters land in tr
+// (nil = disabled, TopK calls it that way). Latency histograms and the slow
+// log observe every call when attached, traced or not; with neither
+// attached and tr nil the serve path never reads the clock.
+func (s *Server) TopKTraced(prefs []hypre.ScoredPred, k int, tr *obs.Trace) ([]combine.ScoredTuple, Outcome, error) {
+	// Span discipline: top-level spans tile the request — each stage hands
+	// off to the next through Transition (one shared clock reading, zero
+	// gap), and the final stage stays open for Finish to close at the same
+	// instant it stamps Total. TopLevelSum therefore tracks Total to within
+	// a few clock reads even on microsecond hit paths.
+	sp := tr.StartSpan(obs.StageCanonicalize)
+	var started time.Time
+	if s.obsOn {
+		started = time.Now()
+	}
+	tr.SetK(k)
 	canon, fp := combine.CanonicalProfile(prefs)
+	if tr != nil {
+		// Formatting the fingerprint is tracing's own cost; charge it to the
+		// canonicalize span so the spans still tile the request.
+		tr.SetQuery(fp.String())
+	}
+
+	sp = tr.Transition(sp, obs.StageLookup)
 	stamp := s.db.EpochStamp(s.tables...)
 	s.mu.Lock()
 	valid := stamp == s.validStamp
@@ -125,44 +189,85 @@ func (s *Server) TopK(prefs []hypre.ScoredPred, k int) ([]combine.ScoredTuple, O
 		// from a stale one, so serve this request uncached and let the next
 		// ApplyDelta re-open the cache.
 		s.counters.StaleBypasses.Add(1)
-		out, _, err := topk.EvaluateOneShot(s.ev, canon, k)
+		tr.Transition(sp, obs.StageEvaluate)
+		out, _, err := topk.EvaluateOneShotTraced(s.ev, canon, k, tr)
+		s.observe(tr, StaleBypass, started, fp, k, err)
 		return out, StaleBypass, err
 	}
 
 	rk := entryKey{fp: fp, k: int32(k), kind: kindResult}
 	if e, ok := s.c.get(rk); ok {
 		s.counters.Hits.Add(1)
-		return cloneTuples(e.tuples), Hit, nil
+		tr.Transition(sp, obs.StageRank)
+		out := cloneTuples(e.tuples)
+		s.observe(tr, Hit, started, fp, k, nil)
+		return out, Hit, nil
 	}
+
+	// The leader's closure runs on the first arriving goroutine; a traced
+	// waiter sees only the flight span (the leader's trace, if any, is the
+	// leader's own).
+	fsp := tr.Transition(sp, obs.StageFlight)
 	val, leader, err := s.flight.do(rk, func() ([]combine.ScoredTuple, error) {
-		return s.evaluate(canon, fp, k, stamp)
+		return s.evaluate(canon, fp, k, stamp, tr)
 	})
 	if err != nil {
+		s.observe(tr, Miss, started, fp, k, err)
 		return nil, Miss, err
 	}
 	if leader {
 		s.counters.Misses.Add(1)
+		s.observe(tr, Miss, started, fp, k, nil)
 		return val, Miss, nil
 	}
 	s.counters.SharedWaits.Add(1)
-	return cloneTuples(val), SharedMiss, nil
+	tr.Transition(fsp, obs.StageRank)
+	out := cloneTuples(val)
+	s.observe(tr, SharedMiss, started, fp, k, nil)
+	return out, SharedMiss, nil
+}
+
+// observe finishes the trace and records the request into the per-route
+// histogram and the slow log. The duration is measured only when obsOn (a
+// registry or slow log is attached); the fingerprint is formatted only on
+// the slow path of an untraced request.
+func (s *Server) observe(tr *obs.Trace, out Outcome, started time.Time, fp combine.Fingerprint, k int, err error) {
+	if tr != nil {
+		tr.SetRoute(out.String())
+		tr.SetErr(err)
+		tr.Finish()
+	}
+	if !s.obsOn {
+		return
+	}
+	d := time.Since(started)
+	if h := s.routeHists[out]; h != nil {
+		h.RecordDuration(d)
+	}
+	if s.slow != nil && d >= s.slow.Threshold() {
+		query := fp.String()
+		s.slow.Observe(out.String(), query, k, d, tr)
+	}
 }
 
 // evaluate is the single-flight leader body: route and run the evaluation
 // (reusing a cached plan when one exists), register predicate footprints,
 // and publish the plan and result entries — unless the store moved while we
 // were working, in which case the answer is returned but nothing is cached.
-func (s *Server) evaluate(canon []hypre.ScoredPred, fp combine.Fingerprint, k int, stamp uint64) ([]combine.ScoredTuple, error) {
+func (s *Server) evaluate(canon []hypre.ScoredPred, fp combine.Fingerprint, k int, stamp uint64, tr *obs.Trace) ([]combine.ScoredTuple, error) {
 	s.mu.Lock()
 	gen := s.gen
 	s.mu.Unlock()
 
-	res, lists, streamed, err := s.route(canon, fp, k)
+	res, lists, streamed, err := s.route(canon, fp, k, tr)
 	if err != nil {
 		return nil, err
 	}
 	keys := predKeysOf(canon)
-	if err := s.registerPreds(canon); err != nil {
+	fsp := tr.StartSpan(obs.StageFootprint)
+	err = s.registerPreds(canon)
+	tr.EndSpan(fsp)
+	if err != nil {
 		return nil, err
 	}
 
@@ -170,6 +275,8 @@ func (s *Server) evaluate(canon []hypre.ScoredPred, fp combine.Fingerprint, k in
 	// and the footprint scans both observed. Any commit in between bumps
 	// the epoch stamp; any maintainer sync bumps gen. Either one rejects
 	// the publish (the caller still gets the answer).
+	psp := tr.StartSpan(obs.StagePublish)
+	defer tr.EndSpan(psp)
 	s.mu.Lock()
 	publish := gen == s.gen && s.db.EpochStamp(s.tables...) == stamp
 	s.mu.Unlock()
@@ -191,15 +298,34 @@ func (s *Server) evaluate(canon []hypre.ScoredPred, fp combine.Fingerprint, k in
 // in front: a cached compiled plan for this fingerprint answers a new k
 // without touching the store at all (the different-k warm path), and a
 // cached streaming decision skips the router probe.
-func (s *Server) route(canon []hypre.ScoredPred, fp combine.Fingerprint, k int) (res []combine.ScoredTuple, lists *topk.Lists, streamed bool, err error) {
+//
+// Counter discipline: every path that actually evaluates against the store
+// counts one Evaluations tick — exactly one per call, even when the
+// streamed-decision path falls through to the materialized one — while the
+// plan-hit path (no store touched) counts PlanHits instead. Together with
+// the leader's Misses tick this pins Misses == PlanHits + Evaluations.
+func (s *Server) route(canon []hypre.ScoredPred, fp combine.Fingerprint, k int, tr *obs.Trace) (res []combine.ScoredTuple, lists *topk.Lists, streamed bool, err error) {
+	evaluated := false
+	countEval := func() {
+		if !evaluated {
+			evaluated = true
+			s.counters.Evaluations.Add(1)
+		}
+	}
 	if e, ok := s.c.get(entryKey{fp: fp, kind: kindPlan}); ok {
 		if e.lists != nil {
 			s.counters.PlanHits.Add(1)
-			return e.lists.TA(k), e.lists, false, nil
+			tr.SetExec("plan_hit")
+			sp := tr.StartSpan(obs.StagePlanTA)
+			out := e.lists.TATraced(k, tr)
+			tr.EndSpan(sp)
+			return out, e.lists, false, nil
 		}
 		if e.streamed {
-			out, _, err := topk.EvaluateStreaming(s.ev, canon, k)
+			countEval()
+			out, _, err := topk.EvaluateStreamingTraced(s.ev, canon, k, tr)
 			if err == nil {
+				tr.SetExec("streaming")
 				return out, nil, true, nil
 			}
 			if !errors.Is(err, relstore.ErrStreamUnsupported) {
@@ -210,24 +336,39 @@ func (s *Server) route(canon []hypre.ScoredPred, fp combine.Fingerprint, k int) 
 		}
 	}
 	if len(canon) > 0 && s.ev.CachedCount(canon) == len(canon) {
+		countEval()
+		tr.SetExec("ta_cached")
+		sp := tr.StartSpan(obs.StageBuildLists)
 		lists, err = topk.BuildLists(s.ev, canon)
+		tr.EndSpan(sp)
 		if err != nil {
 			return nil, nil, false, err
 		}
-		return lists.TA(k), lists, false, nil
+		sp = tr.StartSpan(obs.StageTA)
+		out := lists.TATraced(k, tr)
+		tr.EndSpan(sp)
+		return out, lists, false, nil
 	}
-	out, st, err := topk.EvaluateStreaming(s.ev, canon, k)
+	countEval()
+	out, st, err := topk.EvaluateStreamingTraced(s.ev, canon, k, tr)
 	if err == nil {
+		tr.SetExec("streaming")
 		return out, nil, st.Streamed, nil
 	}
 	if !errors.Is(err, relstore.ErrStreamUnsupported) {
 		return nil, nil, false, err
 	}
+	tr.SetExec("materialized_fallback")
+	sp := tr.StartSpan(obs.StageBuildLists)
 	lists, err = topk.BuildLists(s.ev, canon)
+	tr.EndSpan(sp)
 	if err != nil {
 		return nil, nil, false, err
 	}
-	return lists.TA(k), lists, false, nil
+	sp = tr.StartSpan(obs.StageTA)
+	out = lists.TATraced(k, tr)
+	tr.EndSpan(sp)
+	return out, lists, false, nil
 }
 
 // predKeysOf lists the canonical profile's dependency keys.

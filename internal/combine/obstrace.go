@@ -1,0 +1,33 @@
+package combine
+
+import (
+	"hypre/internal/hypre"
+	"hypre/internal/obs"
+)
+
+// PEPSTraced is PEPS under a trace span: the DFS runs inside a
+// StagePEPS span and its expansion counters (anchors visited, combinations
+// expanded — each one bitmap intersection) land in tr's engine counters.
+// tr may be nil; the algorithm is unchanged.
+func PEPSTraced(prefs []hypre.ScoredPred, pt *PairTable, ev *Evaluator, k int, variant Variant, tr *obs.Trace) (TopKResult, error) {
+	sp := tr.StartSpan(obs.StagePEPS)
+	res, err := PEPS(prefs, pt, ev, k, variant)
+	tr.EndSpan(sp)
+	if err == nil {
+		tr.AddPEPS(int64(res.AnchorsUsed), int64(res.CombosExpanded))
+		tr.AddPairs(int64(res.CombosExpanded))
+	}
+	return res, err
+}
+
+// BuildPairTableTraced is BuildPairTable under a StagePairBuild span, with
+// the pair count (one intersection cardinality each) recorded.
+func BuildPairTableTraced(prefs []hypre.ScoredPred, ev *Evaluator, tr *obs.Trace) (*PairTable, error) {
+	sp := tr.StartSpan(obs.StagePairBuild)
+	pt, err := BuildPairTable(prefs, ev)
+	tr.EndSpan(sp)
+	if err == nil {
+		tr.AddPairs(int64(len(pt.Pairs)))
+	}
+	return pt, err
+}

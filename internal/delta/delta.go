@@ -29,10 +29,12 @@ package delta
 
 import (
 	"fmt"
+	"time"
 
 	"hypre/internal/bitset"
 	"hypre/internal/combine"
 	"hypre/internal/hypre"
+	"hypre/internal/obs"
 	"hypre/internal/predicate"
 	"hypre/internal/relstore"
 )
@@ -62,6 +64,25 @@ type Maintainer struct {
 	rightEpoch   uint64
 
 	cache CacheSyncer
+
+	// Observability, attached before serving like the cache syncer. All
+	// three stay nil when unattached; Sync then never reads the clock.
+	syncHist    *obs.Histogram // delta_sync: wall time per Sync
+	touchedHist *obs.Histogram // delta_touched_rows: re-evaluated rows per Sync
+	rebuilds    *obs.Counter   // delta_full_rebuilds: loud-fallback count
+}
+
+// AttachObs registers the maintainer's maintenance metrics with a registry:
+// a per-Sync wall-time histogram ("delta_sync"), a touched-rows histogram
+// ("delta_touched_rows"), and a full-rebuild counter ("delta_full_rebuilds").
+// Call before serving traffic, alongside AttachCache.
+func (m *Maintainer) AttachObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m.syncHist = reg.Histogram("delta_sync")
+	m.touchedHist = reg.Histogram("delta_touched_rows")
+	m.rebuilds = reg.Counter("delta_full_rebuilds")
 }
 
 // CacheSyncer is the hook a serving-tier cache registers to ride the
@@ -161,10 +182,41 @@ func (m *Maintainer) TopK(k int, v combine.Variant) (combine.TopKResult, error) 
 	return combine.PEPS(m.prefs, m.pt, m.ev, k, v)
 }
 
+// TopKTraced is TopK with the PEPS DFS span and expansion counters
+// recorded into tr (nil = disabled).
+func (m *Maintainer) TopKTraced(k int, v combine.Variant, tr *obs.Trace) (combine.TopKResult, error) {
+	return combine.PEPSTraced(m.prefs, m.pt, m.ev, k, v, tr)
+}
+
 // Sync drains the tables' change logs and repairs the evaluator's bitmap
 // cache and the pair table incrementally; see the package comment for the
 // pipeline. It is cheap when nothing changed (two epoch reads).
-func (m *Maintainer) Sync() (SyncStats, error) {
+func (m *Maintainer) Sync() (SyncStats, error) { return m.SyncTraced(nil) }
+
+// SyncTraced is Sync under observability: the whole pass runs inside a
+// delta_sync span, the touched-row footprint lands in tr's engine counters,
+// and — when AttachObs has run — the attached histograms and the rebuild
+// counter observe the pass whether or not it is traced.
+func (m *Maintainer) SyncTraced(tr *obs.Trace) (SyncStats, error) {
+	var started time.Time
+	if m.syncHist != nil {
+		started = time.Now()
+	}
+	sp := tr.StartSpan(obs.StageDeltaSync)
+	st, err := m.sync()
+	tr.EndSpan(sp)
+	tr.AddTouchedRows(int64(st.TouchedRows))
+	if m.syncHist != nil {
+		m.syncHist.RecordDuration(time.Since(started))
+		m.touchedHist.Record(int64(st.TouchedRows))
+		if st.FullRebuild {
+			m.rebuilds.Add(1)
+		}
+	}
+	return st, err
+}
+
+func (m *Maintainer) sync() (SyncStats, error) {
 	lEpoch := m.left.Epoch()
 	var rEpoch uint64
 	if m.right != nil {

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +12,7 @@ import (
 	"hypre/internal/delta"
 	"hypre/internal/hypre"
 	"hypre/internal/metrics"
+	"hypre/internal/obs"
 	"hypre/internal/topk"
 	"hypre/internal/workload"
 )
@@ -93,6 +93,30 @@ type CacheServeResult struct {
 	// uncached evaluation of the same canonical profile.
 	Matched bool
 	Reps    int
+
+	// ServedRate is the share of lookups the cache answered without an
+	// evaluation (result hits + plan hits + shared waits).
+	ServedRate float64
+	// Routes is the per-route-class latency profile of the cache-on phase,
+	// read from the server's obs histograms (hit / miss / shared / bypass).
+	Routes []RouteStat
+	// Trace verification: every query of a serial traced replay must have
+	// its top-level stage spans sum to within 10% of the trace's own
+	// end-to-end total. TraceCoverageMin is the worst ratio observed.
+	TraceQueries     int
+	TraceCoverageMin float64
+	TraceCoverageOK  bool
+	// SlowLogged is how many requests the slow log retained (threshold: the
+	// cache-off p99, so it catches the cache-on tail).
+	SlowLogged int
+}
+
+// RouteStat is one route class's serving-latency summary.
+type RouteStat struct {
+	Route string
+	Count int64
+	P50   time.Duration
+	P99   time.Duration
 }
 
 // replay drives the sequence through serve with cfg.Workers concurrent
@@ -127,17 +151,11 @@ func replay(cfg CacheServeConfig, seq []int64, profiles map[int64][]hypre.Scored
 	return lats, nil
 }
 
-// pctile returns the p-quantile (0 ≤ p ≤ 1) of the latencies by
-// nearest-rank on a sorted copy.
+// pctile is obs.Percentile — the single exact-quantile helper every
+// experiment shares (same nearest-rank semantics the inline sort used to
+// have; internal/obs pins the agreement in its tests).
 func pctile(lats []time.Duration, p float64) time.Duration {
-	if len(lats) == 0 {
-		return 0
-	}
-	s := make([]time.Duration, len(lats))
-	copy(s, lats)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	i := int(p * float64(len(s)-1))
-	return s[i]
+	return obs.Percentile(lats, p)
 }
 
 // RunCacheServe measures the serving tier end to end on a private clone of
@@ -215,9 +233,13 @@ func runCacheServeOnce(l *Lab, cfg CacheServeConfig) (*CacheServeResult, error) 
 	}
 	res.OffP50, res.OffP99 = pctile(offLats, 0.50), pctile(offLats, 0.99)
 
-	// Phase 2 — cache on: same sequence through the server.
+	// Phase 2 — cache on: same sequence through the server, with the obs
+	// tier attached — per-route histograms feed the Routes summary, and the
+	// slow log retains anything at or above the cache-off p99.
 	evOn := combine.NewEvaluator(net.DB, workload.BaseQuery, "dblp.pid")
-	srv := cache.NewServer(evOn, cache.Config{MaxBytes: cfg.CacheBytes})
+	reg := obs.NewRegistry()
+	slow := obs.NewSlowLog(res.OffP99, 64)
+	srv := cache.NewServer(evOn, cache.Config{MaxBytes: cfg.CacheBytes, Registry: reg, SlowLog: slow})
 	onLats, err := replay(cfg, mix.Seq, profiles, func(prefs []hypre.ScoredPred) error {
 		_, _, err := srv.TopK(prefs, cfg.K)
 		return err
@@ -267,6 +289,7 @@ func runCacheServeOnce(l *Lab, cfg CacheServeConfig) (*CacheServeResult, error) 
 		return nil, err
 	}
 	m.AttachCache(srv)
+	m.AttachObs(reg)
 	stream, err := workload.NewUpdateStream(net, workload.DefaultStreamConfig())
 	if err != nil {
 		return nil, err
@@ -294,8 +317,51 @@ func runCacheServeOnce(l *Lab, cfg CacheServeConfig) (*CacheServeResult, error) 
 		}
 	}
 
+	// Phase 5 — traced replay: a serial pass over the head of the sequence
+	// with a fresh trace per query. Acceptance: every served query's
+	// top-level stage spans must sum to within 10% of the trace's own
+	// end-to-end total, across all route classes the pass hits.
+	traceSeq := mix.Seq
+	if len(traceSeq) > 32 {
+		traceSeq = traceSeq[:32]
+	}
+	res.TraceCoverageMin = 1
+	res.TraceCoverageOK = true
+	for _, uid := range traceSeq {
+		tr := obs.NewTrace()
+		if _, _, err := srv.TopKTraced(profiles[uid], cfg.K, tr); err != nil {
+			return nil, err
+		}
+		if tr.Total <= 0 {
+			res.TraceCoverageOK = false
+			continue
+		}
+		cover := float64(tr.TopLevelSum()) / float64(tr.Total)
+		if cover < res.TraceCoverageMin {
+			res.TraceCoverageMin = cover
+		}
+		if cover < 0.9 || cover > 1.1 {
+			res.TraceCoverageOK = false
+		}
+	}
+	res.TraceQueries = len(traceSeq)
+
 	res.Snapshot = srv.Counters().Snapshot()
 	res.HitRate = res.Snapshot.HitRate()
+	res.ServedRate = res.Snapshot.ServedRate()
+	for _, rc := range []string{"serve_hit", "serve_miss", "serve_shared", "serve_bypass"} {
+		snap := reg.Histogram(rc).Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		res.Routes = append(res.Routes, RouteStat{
+			Route: rc,
+			Count: snap.Count,
+			P50:   snap.QuantileDuration(0.50),
+			P99:   snap.QuantileDuration(0.99),
+		})
+	}
+	res.SlowLogged = slow.Len()
 	return res, nil
 }
 
@@ -339,11 +405,20 @@ func (r *CacheServeResult) Render(w io.Writer) {
 	if !r.Matched {
 		status = "MISMATCH"
 	}
-	fprintf(w, "Cache serve (zipf s=%.2f over %d users, %d queries x %d workers, k=%d, top-4 share %.0f%%): p50 %v -> %v (%.1fx), p99 %v -> %v; hit rate %.0f%% (%d hits/%d misses/%d shared, %d plan hits); dedup %d reqs -> %d evals (%.1fx); churn %dx%d ops invalidated %d, bypassed %d; answers %s; best of %d reps\n",
+	trace := "OK"
+	if !r.TraceCoverageOK {
+		trace = "LOW"
+	}
+	fprintf(w, "Cache serve (zipf s=%.2f over %d users, %d queries x %d workers, k=%d, top-4 share %.0f%%): p50 %v -> %v (%.1fx), p99 %v -> %v; hit rate %.0f%% / served %.0f%% (%d hits/%d misses/%d shared, %d plan hits, %d evals); dedup %d reqs -> %d evals (%.1fx); churn %dx%d ops invalidated %d, bypassed %d; answers %s; best of %d reps\n",
 		r.ZipfS, r.Distinct, r.Queries, r.Workers, r.K, 100*r.TopShare,
 		r.OffP50, r.OnP50, r.MedianSpeedup, r.OffP99, r.OnP99,
-		100*r.HitRate, r.Snapshot.Hits, r.Snapshot.Misses, r.Snapshot.SharedWaits, r.Snapshot.PlanHits,
+		100*r.HitRate, 100*r.ServedRate, r.Snapshot.Hits, r.Snapshot.Misses, r.Snapshot.SharedWaits, r.Snapshot.PlanHits, r.Snapshot.Evaluations,
 		r.DedupRequests, r.DedupLeaders, r.DedupFactor,
 		r.ChurnBatches, r.ChurnOps, r.Snapshot.Invalidated, r.Snapshot.StaleBypasses,
 		status, r.Reps)
+	for _, rs := range r.Routes {
+		fprintf(w, "  route %-13s %5d reqs  p50 %-10v p99 %v\n", rs.Route, rs.Count, rs.P50, rs.P99)
+	}
+	fprintf(w, "  traces: %d queries, span coverage min %.2f (%s); slow log retained %d >= off-p99\n",
+		r.TraceQueries, r.TraceCoverageMin, trace, r.SlowLogged)
 }

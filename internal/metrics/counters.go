@@ -9,11 +9,18 @@ import "sync/atomic"
 type CacheCounters struct {
 	// Hits counts result-cache hits (answer returned without evaluation).
 	Hits atomic.Int64
-	// Misses counts evaluations actually run (single-flight leaders).
+	// Misses counts requests that found no result entry and led their
+	// single-flight group. A miss is served either by a cached compiled
+	// plan (PlanHits) or by an evaluation against the store (Evaluations);
+	// for leaders Misses == PlanHits + Evaluations.
 	Misses atomic.Int64
 	// PlanHits counts misses answered from a cached compiled plan (built
 	// TA lists re-ranked for a new k) instead of a store evaluation.
 	PlanHits atomic.Int64
+	// Evaluations counts store evaluations actually run on behalf of
+	// misses (scans/streams/list builds; the work PlanHits avoids).
+	// Stale-bypass evaluations are tracked by StaleBypasses, not here.
+	Evaluations atomic.Int64
 	// SharedWaits counts requests that piggybacked on another session's
 	// in-flight evaluation of the same fingerprint (single-flight dedup).
 	SharedWaits atomic.Int64
@@ -36,6 +43,7 @@ type CacheSnapshot struct {
 	Hits           int64 `json:"hits"`
 	Misses         int64 `json:"misses"`
 	PlanHits       int64 `json:"plan_hits"`
+	Evaluations    int64 `json:"evaluations"`
 	SharedWaits    int64 `json:"shared_waits"`
 	Evictions      int64 `json:"evictions"`
 	Invalidated    int64 `json:"invalidated"`
@@ -51,6 +59,7 @@ func (c *CacheCounters) Snapshot() CacheSnapshot {
 		Hits:           c.Hits.Load(),
 		Misses:         c.Misses.Load(),
 		PlanHits:       c.PlanHits.Load(),
+		Evaluations:    c.Evaluations.Load(),
 		SharedWaits:    c.SharedWaits.Load(),
 		Evictions:      c.Evictions.Load(),
 		Invalidated:    c.Invalidated.Load(),
@@ -59,12 +68,26 @@ func (c *CacheCounters) Snapshot() CacheSnapshot {
 	}
 }
 
-// HitRate is hits over served lookups (hits + misses + shared waits); 0
-// when nothing has been served.
+// HitRate is result-cache hits over served lookups (hits + misses + shared
+// waits); 0 when nothing has been served. Plan hits count as misses here —
+// they re-rank cached lists but did not find a ready answer.
 func (s CacheSnapshot) HitRate() float64 {
 	total := s.Hits + s.Misses + s.SharedWaits
 	if total == 0 {
 		return 0
 	}
 	return float64(s.Hits) / float64(total)
+}
+
+// ServedRate is the share of served lookups the cache answered without a
+// store evaluation: result hits, plan hits, and shared waits all avoid the
+// scan; only Evaluations (the leaders that actually ran) pay it. This is
+// the cache-effectiveness figure HitRate understates when plan hits are
+// common.
+func (s CacheSnapshot) ServedRate() float64 {
+	total := s.Hits + s.Misses + s.SharedWaits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.PlanHits+s.SharedWaits) / float64(total)
 }

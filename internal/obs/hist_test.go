@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Buckets must tile the value range: every value lands in exactly one
+// bucket whose [low, nextLow) range contains it, and bucket lows are
+// strictly increasing.
+func TestHistBucketsTile(t *testing.T) {
+	for i := 1; i < histBuckets; i++ {
+		if bucketLow(i) <= bucketLow(i-1) {
+			t.Fatalf("bucketLow not increasing at %d: %d <= %d", i, bucketLow(i), bucketLow(i-1))
+		}
+	}
+	vals := []int64{0, 1, 15, 16, 17, 31, 32, 33, 1000, 123456, 1 << 30, 1 << 41, 1<<41 + 12345, 1 << 50}
+	for i := 0; i < 4096; i++ {
+		vals = append(vals, rand.Int63n(1<<42))
+	}
+	for _, v := range vals {
+		b := bucketOf(v)
+		if b < 0 || b >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, b)
+		}
+		if v >= 1<<42 {
+			continue // clamped into the last bucket by design
+		}
+		lo := bucketLow(b)
+		hi := bucketLow(b + 1)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d landed in bucket %d [%d, %d)", v, b, lo, hi)
+		}
+	}
+}
+
+// The histogram quantile must agree with the exact nearest-rank percentile
+// within the log-linear bucket width (1/16 of an octave — use 10% slack to
+// cover the midpoint convention).
+func TestHistQuantileVsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	lats := make([]time.Duration, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		// Log-uniform latencies from ~100ns to ~100ms, the serving range.
+		d := time.Duration(100 * math.Pow(10, rng.Float64()*6))
+		lats = append(lats, d)
+		h.RecordDuration(d)
+	}
+	s := h.Snapshot()
+	if s.Count != int64(len(lats)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(lats))
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		exact := Percentile(lats, p)
+		approx := s.QuantileDuration(p)
+		lo := float64(exact) * 0.90
+		hi := float64(exact) * 1.10
+		if float64(approx) < lo || float64(approx) > hi {
+			t.Fatalf("p%.0f: hist %v vs exact %v beyond bucket tolerance", p*100, approx, exact)
+		}
+	}
+}
+
+// Percentile must preserve the exact semantics of the experiments' old
+// hand-rolled sort (nearest rank at index p*(n-1)) — the satellite's
+// old-vs-new agreement pin.
+func TestPercentileMatchesLegacySort(t *testing.T) {
+	legacy := func(lats []time.Duration, p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		s := make([]time.Duration, len(lats))
+		copy(s, lats)
+		for i := 1; i < len(s); i++ { // insertion sort: independent oracle
+			for j := i; j > 0 && s[j] < s[j-1]; j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+		return s[int(p*float64(len(s)-1))]
+	}
+	rng := rand.New(rand.NewSource(42))
+	fixed := []time.Duration{5, 1, 9, 3, 3, 7, 2, 8, 6, 4}
+	samples := [][]time.Duration{nil, {17}, fixed}
+	for i := 0; i < 20; i++ {
+		n := 1 + rng.Intn(200)
+		s := make([]time.Duration, n)
+		for j := range s {
+			s[j] = time.Duration(rng.Int63n(1 << 30))
+		}
+		samples = append(samples, s)
+	}
+	for _, s := range samples {
+		for _, p := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			if got, want := Percentile(s, p), legacy(s, p); got != want {
+				t.Fatalf("Percentile(%d samples, %.2f) = %v, want %v", len(s), p, got, want)
+			}
+		}
+	}
+	// Percentile must not mutate its input.
+	in := append([]time.Duration(nil), fixed...)
+	Percentile(in, 0.5)
+	for i := range in {
+		if in[i] != fixed[i] {
+			t.Fatal("Percentile mutated its input slice")
+		}
+	}
+}
+
+// 16 goroutines recording while others snapshot: no lost counts at the end,
+// no races (run under -race by CI).
+func TestHistConcurrentRecordSnapshot(t *testing.T) {
+	var h Histogram
+	const (
+		workers = 16
+		perW    = 5000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ { // concurrent snapshotters
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = h.Snapshot()
+				}
+			}
+		}()
+	}
+	var rec sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		rec.Add(1)
+		go func(w int) {
+			defer rec.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perW; i++ {
+				h.Record(rng.Int63n(1 << 32))
+			}
+		}(w)
+	}
+	rec.Wait()
+	close(stop)
+	wg.Wait()
+	s := h.Snapshot()
+	if want := int64(workers * perW); s.Count != want {
+		t.Fatalf("lost samples: count = %d, want %d", s.Count, want)
+	}
+	var sum int64
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, s.Count)
+	}
+}
+
+func TestHistSnapshotMerge(t *testing.T) {
+	var a, b Histogram
+	for i := int64(0); i < 100; i++ {
+		a.Record(i)
+		b.Record(i * 1000)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 200 {
+		t.Fatalf("merged count = %d, want 200", sa.Count)
+	}
+	if want := sb.Sum + 99*100/2; sa.Sum != want {
+		t.Fatalf("merged sum = %d, want %d", sa.Sum, want)
+	}
+}

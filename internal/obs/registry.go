@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a named monotonic counter registered in a Registry.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load reads the counter.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Registry is a process-wide (or per-server) namespace of histograms,
+// counters, and externally-owned counter groups (the cache's CacheCounters
+// register as a group snapshot function, keeping obs dependency-free).
+// Get-or-create methods are cheap enough to call once at wiring time; hot
+// paths hold the returned *Histogram / *Counter directly.
+type Registry struct {
+	mu     sync.RWMutex
+	hists  map[string]*Histogram
+	ctrs   map[string]*Counter
+	groups map[string]func() map[string]int64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		hists:  make(map[string]*Histogram),
+		ctrs:   make(map[string]*Counter),
+		groups: make(map[string]func() map[string]int64),
+	}
+}
+
+// Histogram returns the named histogram, creating it on first use. Nil
+// registries return nil (and a nil *Histogram must not be recorded into;
+// callers gate on the registry being attached).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.ctrs[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.ctrs[name]; c == nil {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// RegisterGroup registers an externally-owned counter set under a name; fn
+// is called at export time and must be safe for concurrent use (an atomic
+// snapshot). Re-registering a name replaces the previous group.
+func (r *Registry) RegisterGroup(name string, fn func() map[string]int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.groups[name] = fn
+	r.mu.Unlock()
+}
+
+// WriteText renders every registered metric in a flat text exposition
+// (prometheus-flavoured: one `metric{labels} value` per line, sorted for
+// stable diffs). Histograms export count, sum, and the p50/p90/p99
+// midpoints.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	ctrs := make(map[string]*Counter, len(r.ctrs))
+	for k, v := range r.ctrs {
+		ctrs[k] = v
+	}
+	groups := make(map[string]func() map[string]int64, len(r.groups))
+	for k, v := range r.groups {
+		groups[k] = v
+	}
+	r.mu.RUnlock()
+
+	for _, name := range sortedKeys(hists) {
+		s := hists[name].Snapshot()
+		if _, err := fmt.Fprintf(w, "hypre_hist_count{name=%q} %d\n", name, s.Count); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "hypre_hist_sum_ns{name=%q} %d\n", name, s.Sum)
+		fmt.Fprintf(w, "hypre_hist_p50_ns{name=%q} %d\n", name, s.Quantile(0.50))
+		fmt.Fprintf(w, "hypre_hist_p90_ns{name=%q} %d\n", name, s.Quantile(0.90))
+		fmt.Fprintf(w, "hypre_hist_p99_ns{name=%q} %d\n", name, s.Quantile(0.99))
+	}
+	for _, name := range sortedKeys(ctrs) {
+		fmt.Fprintf(w, "hypre_counter{name=%q} %d\n", name, ctrs[name].Load())
+	}
+	for _, name := range sortedKeys(groups) {
+		snap := groups[name]()
+		for _, field := range sortedKeys(snap) {
+			fmt.Fprintf(w, "hypre_group{name=%q,field=%q} %d\n", name, field, snap[field])
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -294,6 +294,23 @@ func (it *AttrRowIter) planCandidates(rids []int, rf idFilter) (*AttrRowIter, er
 // NumBlocks returns the number of blocks covering the scanned table.
 func (it *AttrRowIter) NumBlocks() int { return it.nBlocks }
 
+// ZoneSkipped returns how many blocks the zone-map prepass ruled out at
+// plan time — blocks NextBlock will never evaluate. Candidate mode reports
+// 0: its work is proportional to the answer, not to surviving blocks, so
+// "skipped" has no block-count meaning there.
+func (it *AttrRowIter) ZoneSkipped() int {
+	if it.possible == nil {
+		return 0
+	}
+	n := 0
+	for _, ok := range it.possible {
+		if !ok {
+			n++
+		}
+	}
+	return n
+}
+
 // MaxBlock returns the last block index that can still yield a row (-1 when
 // the scan is provably empty) — the bound that lets a consumer retire this
 // predicate from its stopping rule.

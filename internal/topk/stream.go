@@ -7,6 +7,7 @@ import (
 	"hypre/internal/bitset"
 	"hypre/internal/combine"
 	"hypre/internal/hypre"
+	"hypre/internal/obs"
 	"hypre/internal/relstore"
 )
 
@@ -34,6 +35,7 @@ type StreamStats struct {
 	Streamed      bool // false when the cached/materialized path answered
 	BlocksTotal   int  // base-table blocks the scans could have touched
 	BlocksScanned int  // merge steps actually taken before the threshold fired
+	BlocksSkipped int  // blocks the zone-map prepass ruled out, summed per iterator
 	RowsSeen      int  // (pref, row) match pairs streamed into the grade maps
 	EarlyExit     bool // the threshold rule stopped the scan before exhaustion
 }
@@ -63,6 +65,28 @@ type streamPending struct {
 // Unsupported query shapes surface relstore.ErrStreamUnsupported; the
 // caller (EvaluateOneShot) falls back to the materialized path.
 func EvaluateStreaming(ev *combine.Evaluator, prefs []hypre.ScoredPred, k int) ([]combine.ScoredTuple, *StreamStats, error) {
+	return EvaluateStreamingTraced(ev, prefs, k, nil)
+}
+
+// EvaluateStreamingTraced is EvaluateStreaming with per-query observability:
+// the whole block-lockstep loop runs under one trace span (scanning and the
+// threshold rule are fused per block, inseparable by design), and the scan
+// footprint — blocks evaluated, blocks zone-map-skipped, rows streamed, the
+// early-exit depth — lands in tr's engine counters. tr may be nil.
+func EvaluateStreamingTraced(ev *combine.Evaluator, prefs []hypre.ScoredPred, k int, tr *obs.Trace) ([]combine.ScoredTuple, *StreamStats, error) {
+	sp := tr.StartSpan(obs.StageStream)
+	out, st, err := evaluateStreaming(ev, prefs, k)
+	tr.EndSpan(sp)
+	if st != nil {
+		tr.AddBlocks(int64(st.BlocksScanned), int64(st.BlocksSkipped), int64(st.RowsSeen))
+		// The streaming loop's TA depth is its block count; record the
+		// early-exit verdict with it.
+		tr.AddTA(int64(st.BlocksScanned), st.EarlyExit)
+	}
+	return out, st, err
+}
+
+func evaluateStreaming(ev *combine.Evaluator, prefs []hypre.ScoredPred, k int) ([]combine.ScoredTuple, *StreamStats, error) {
 	st := &StreamStats{Streamed: true}
 	// Group by attribute exactly like BuildLists: first-seen order over the
 	// non-negative preferences, "" folding into "(multi)".
@@ -115,6 +139,7 @@ func EvaluateStreaming(ev *combine.Evaluator, prefs []hypre.ScoredPred, k int) (
 		if nb := it.NumBlocks(); nb > st.BlocksTotal {
 			st.BlocksTotal = nb
 		}
+		st.BlocksSkipped += it.ZoneSkipped()
 		bi, lids, vals, ok := it.NextBlock()
 		pend[i] = streamPending{bi: bi, lids: lids, vals: vals, done: !ok}
 	}
@@ -225,6 +250,12 @@ func streamThreshold(sp []streamPref, pend []streamPending, nAttrs int, attrScra
 // streaming planner refuses fall back to the materialized path, so the
 // answer is always the same; only the work differs.
 func EvaluateOneShot(ev *combine.Evaluator, prefs []hypre.ScoredPred, k int) ([]combine.ScoredTuple, *StreamStats, error) {
+	return EvaluateOneShotTraced(ev, prefs, k, nil)
+}
+
+// EvaluateOneShotTraced is EvaluateOneShot with the router decision and the
+// chosen path's stage spans recorded into tr (nil = disabled).
+func EvaluateOneShotTraced(ev *combine.Evaluator, prefs []hypre.ScoredPred, k int, tr *obs.Trace) ([]combine.ScoredTuple, *StreamStats, error) {
 	eligible := 0
 	cached := 0
 	for _, p := range prefs {
@@ -242,19 +273,27 @@ func EvaluateOneShot(ev *combine.Evaluator, prefs []hypre.ScoredPred, k int) ([]
 		cached = ev.CachedCount(all)
 	}
 	if eligible > 0 && cached == eligible {
-		return evalMaterialized(ev, prefs, k)
+		tr.SetExec("materialized")
+		return evalMaterialized(ev, prefs, k, tr)
 	}
-	out, st, err := EvaluateStreaming(ev, prefs, k)
+	out, st, err := EvaluateStreamingTraced(ev, prefs, k, tr)
 	if errors.Is(err, relstore.ErrStreamUnsupported) {
-		return evalMaterialized(ev, prefs, k)
+		tr.SetExec("materialized_fallback")
+		return evalMaterialized(ev, prefs, k, tr)
 	}
+	tr.SetExec("streaming")
 	return out, st, err
 }
 
-func evalMaterialized(ev *combine.Evaluator, prefs []hypre.ScoredPred, k int) ([]combine.ScoredTuple, *StreamStats, error) {
+func evalMaterialized(ev *combine.Evaluator, prefs []hypre.ScoredPred, k int, tr *obs.Trace) ([]combine.ScoredTuple, *StreamStats, error) {
+	sp := tr.StartSpan(obs.StageBuildLists)
 	lists, err := BuildLists(ev, prefs)
+	tr.EndSpan(sp)
 	if err != nil {
 		return nil, nil, err
 	}
-	return lists.TA(k), &StreamStats{}, nil
+	sp = tr.StartSpan(obs.StageTA)
+	out := lists.TATraced(k, tr)
+	tr.EndSpan(sp)
+	return out, &StreamStats{}, nil
 }

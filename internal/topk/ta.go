@@ -9,6 +9,7 @@ import (
 
 	"hypre/internal/combine"
 	"hypre/internal/hypre"
+	"hypre/internal/obs"
 )
 
 // ListEntry is one (object, grade) pair of an attribute list.
@@ -161,7 +162,13 @@ func (h *taHeap) push(s taScored, k int) {
 //     the grade-desc/pid-asc ranking it would displace a kept object with
 //     an equal grade but larger pid — the streaming path's equivalence
 //     suite caught the >= variant doing exactly that.)
-func (l *Lists) TA(k int) []combine.ScoredTuple {
+func (l *Lists) TA(k int) []combine.ScoredTuple { return l.TATraced(k, nil) }
+
+// TATraced is TA with per-query observability: the sorted-access depth the
+// loop reached (TA rounds) and whether the threshold rule halted it before
+// list exhaustion land in tr's engine counters. tr may be nil (TA calls it
+// that way); the algorithm is unchanged.
+func (l *Lists) TATraced(k int, tr *obs.Trace) []combine.ScoredTuple {
 	if k <= 0 || len(l.sorted) == 0 {
 		return nil
 	}
@@ -182,6 +189,7 @@ func (l *Lists) TA(k int) []combine.ScoredTuple {
 			maxDepth = len(s)
 		}
 	}
+	rounds, earlyExit := 0, false
 	for depth := 0; depth < maxDepth; depth++ {
 		lastGrades := make([]float64, 0, len(l.sorted))
 		exhausted := true
@@ -198,12 +206,15 @@ func (l *Lists) TA(k int) []combine.ScoredTuple {
 		if exhausted {
 			break
 		}
+		rounds++
 		tau := hypre.FAndAll(lastGrades...)
 		// top[0] is the k-th (worst kept) grade, the halting bound.
 		if len(top) >= k && top[0].grade > tau {
+			earlyExit = true
 			break
 		}
 	}
+	tr.AddTA(int64(rounds), earlyExit)
 
 	sort.Slice(top, func(i, j int) bool { return top[i].better(top[j]) })
 	out := make([]combine.ScoredTuple, len(top))
