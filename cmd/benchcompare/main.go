@@ -12,6 +12,14 @@
 //	cacheserve_off_p50_ns       serving median without the result cache
 //	cacheserve_on_p50_ns        serving median through the result/plan cache
 //	cacheserve_on_p99_ns        serving tail through the cache (misses + churn)
+//	stream_ops_sec              group-commit writer throughput (higher is better)
+//	stream_p99_staleness_ns     open-loop commit-to-sync staleness tail
+//	stream_sync_median_ns       per-sync maintenance median at base scale
+//	stream_sync_median_4x_ns    per-sync maintenance median at 4x papers
+//
+// Most metrics are medians where lower is better; stream_ops_sec is
+// higher-is-better, and the gate inverts its threshold (current must stay
+// above baseline ÷ limit).
 //
 // Thresholds are per metric: sub-millisecond medians (incremental
 // maintenance, quant-only PEPS) jitter more between CI runs than the
@@ -57,6 +65,19 @@ var defaultThresholds = map[string]float64{
 	"cacheserve_on_p50_ns":  1.60,
 	"cacheserve_on_p99_ns":  1.75,
 	"cacheserve_off_p50_ns": 1.35,
+	// Sustained-stream write path: throughput is higher-is-better (current
+	// must stay above baseline ÷ limit); the staleness tail mixes scheduler
+	// jitter with sync cost and gets the widest budget.
+	"stream_ops_sec":           1.35,
+	"stream_p99_staleness_ns":  2.00,
+	"stream_sync_median_ns":    1.40,
+	"stream_sync_median_4x_ns": 1.40,
+}
+
+// higherIsBetter flips a metric's regression direction: current/baseline
+// below 1/limit fails, above is an improvement.
+var higherIsBetter = map[string]bool{
+	"stream_ops_sec": true,
 }
 
 // benchRecord mirrors the subset of benchrunner's -benchjson schema the
@@ -90,6 +111,12 @@ type benchRecord struct {
 		OnP50Ns  int64 `json:"cacheserve_on_p50_ns"`
 		OnP99Ns  int64 `json:"cacheserve_on_p99_ns"`
 	} `json:"cacheserve"`
+	Stream []struct {
+		GroupOpsSec    float64 `json:"stream_ops_sec"`
+		P99StalenessNs int64   `json:"stream_p99_staleness_ns"`
+		SyncMedianNs   int64   `json:"stream_sync_median_ns"`
+		SyncMedian4xNs int64   `json:"stream_sync_median_4x_ns"`
+	} `json:"stream"`
 }
 
 func load(path string) (*benchRecord, error) {
@@ -143,6 +170,17 @@ func metrics(r *benchRecord) map[string]float64 {
 	put(out, "cacheserve_off_p50_ns", csOffP50)
 	put(out, "cacheserve_on_p50_ns", csOnP50)
 	put(out, "cacheserve_on_p99_ns", csOnP99)
+	var stOps, stP99, stSync, stSync4 []float64
+	for _, s := range r.Stream {
+		stOps = append(stOps, s.GroupOpsSec)
+		stP99 = append(stP99, float64(s.P99StalenessNs))
+		stSync = append(stSync, float64(s.SyncMedianNs))
+		stSync4 = append(stSync4, float64(s.SyncMedian4xNs))
+	}
+	put(out, "stream_ops_sec", stOps)
+	put(out, "stream_p99_staleness_ns", stP99)
+	put(out, "stream_sync_median_ns", stSync)
+	put(out, "stream_sync_median_4x_ns", stSync4)
 	return out
 }
 
@@ -242,6 +280,17 @@ func main() {
 		ratio := c / b
 		limit := limits[k]
 		verdict := "ok"
+		if higherIsBetter[k] {
+			// Throughput-style metric: failing means falling below the
+			// baseline by more than the budget.
+			if ratio < 1/limit {
+				verdict = "REGRESSION"
+				failed++
+			}
+			fmt.Printf("  %-28s baseline %14.0f  current %14.0f  %5.2fx  (floor %.2fx)  %s\n",
+				k, b, c, ratio, 1/limit, verdict)
+			continue
+		}
 		if ratio > limit {
 			verdict = "REGRESSION"
 			failed++

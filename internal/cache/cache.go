@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"hypre/internal/combine"
+	"hypre/internal/hypre"
 	"hypre/internal/metrics"
 	"hypre/internal/obs"
 	"hypre/internal/topk"
@@ -38,9 +39,11 @@ type entryKey struct {
 }
 
 // entry is one cached value plus its LRU links and invalidation footprint.
-// Entries are immutable after insertion; readers may use tuples/lists
-// without holding the shard lock (ScoredTuple slices are copied out to
-// callers, Lists is read-only by contract).
+// Entries are structurally immutable after insertion; readers may use
+// tuples/lists without holding the shard lock (ScoredTuple slices are
+// copied out to callers, and Lists carries its own RWMutex — maintenance
+// syncs patch a plan entry's lists in place via topk.Lists.ApplyDelta while
+// concurrent TA rankings read a consistent version).
 type entry struct {
 	key entryKey
 
@@ -49,6 +52,10 @@ type entry struct {
 	// lists is a plan entry's built TA lists (nil for a streaming-decision
 	// marker: the router chose the scan path, there is nothing to compile).
 	lists *topk.Lists
+	// canon is the canonical profile a lists-bearing plan entry was built
+	// for — the repair input topk.DeltaGrades needs when a maintenance sync
+	// patches the lists instead of evicting the plan.
+	canon []hypre.ScoredPred
 	// streamed records the router decision a plan entry memoizes.
 	streamed bool
 
@@ -182,6 +189,42 @@ func (c *Cache) removeWhere(match func(*entry) bool) int {
 		sh.mu.Unlock()
 	}
 	return dropped
+}
+
+// planLists snapshots the lists-bearing plan entries, for repair work that
+// must run outside the shard locks (evaluator reads nest store locks, which
+// never mix with shard locks).
+func (c *Cache) planLists() []*entry {
+	var out []*entry
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			if e.key.kind == kindPlan && e.lists != nil {
+				out = append(out, e)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// recharge re-accounts an entry whose resident size changed in place (a
+// repaired plan's lists grew or shrank), evicting from the cold end if the
+// shard went over budget. A no-op when the entry was concurrently dropped.
+func (c *Cache) recharge(e *entry, size int64) {
+	sh := c.shardOf(e.key.fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.entries[e.key] != e {
+		return
+	}
+	sh.bytes += size - e.size
+	e.size = size
+	for sh.bytes > c.perShard && sh.tail != nil {
+		sh.drop(sh.tail)
+		c.counters.Evictions.Add(1)
+	}
 }
 
 // purge empties the cache (full invalidation).

@@ -46,11 +46,15 @@ type Server struct {
 	// mu guards the predicate-footprint registry and the freshness state.
 	// Lock order: mu before store locks (footprint scans, ApplyDelta
 	// re-matches) and before shard locks (the invalidation sweep); shard
-	// locks never nest inside store locks or vice versa.
+	// locks never nest inside store locks or vice versa. Lists' internal
+	// lock (plan repair) is innermost of all.
 	mu         sync.Mutex
 	preds      map[string]*predFoot
 	validStamp uint64
 	gen        uint64
+	// remapDirty carries predicates whose footprints lost rows in an
+	// ApplyRemap into the following ApplyDelta's dirty set.
+	remapDirty map[string]bool
 }
 
 // predFoot is one registered predicate's invalidation state: its full query
@@ -133,6 +137,7 @@ func NewServer(ev *combine.Evaluator, cfg Config) *Server {
 				"shared_waits":    snap.SharedWaits,
 				"evictions":       snap.Evictions,
 				"invalidated":     snap.Invalidated,
+				"plan_repairs":    snap.PlanRepairs,
 				"stale_bypasses":  snap.StaleBypasses,
 				"footprint_scans": snap.FootprintScans,
 			}
@@ -284,6 +289,10 @@ func (s *Server) evaluate(canon []hypre.ScoredPred, fp combine.Fingerprint, k in
 		pe := &entry{key: entryKey{fp: fp, kind: kindPlan}, lists: lists, streamed: streamed, predKeys: keys}
 		pe.size = 64 + predKeyBytes(keys)
 		if lists != nil {
+			// The canonical profile rides along as the repair input: a
+			// maintenance sync re-grades the touched pids through
+			// topk.DeltaGrades and patches these lists in place.
+			pe.canon = canon
 			pe.size += lists.SizeBytes()
 		}
 		s.c.put(pe)
@@ -440,24 +449,39 @@ func (s *Server) footprint(q relstore.Query) (*bitset.Set, error) {
 }
 
 // ApplyDelta is the delta.CacheSyncer hook: after a mutation batch, the
-// maintainer hands over the touched base-row mask and the epochs it synced
-// to. Each registered predicate re-matches only the touched rows
-// (relstore.MatchLeftRowSet — kernels restricted to the touched rows'
-// blocks); predicates whose membership over those rows did not move keep
-// their entries, everything else is swept. Cost scales with touched rows ×
-// registered predicates, never with the number of cached entries surviving.
-func (s *Server) ApplyDelta(touched *bitset.Set, leftEpoch, rightEpoch uint64) {
+// maintainer hands over the touched base-row mask, the pids of
+// compaction-dropped rows, and the epochs it synced to. Each registered
+// predicate re-matches only the touched rows (relstore.MatchLeftRowSet —
+// kernels restricted to the touched rows' blocks); predicates whose
+// membership over those rows did not move keep their entries. For the rest,
+// result entries are swept, but a compiled plan's TA lists are repaired in
+// place when possible: the touched pids are re-graded against the
+// evaluator's (already refreshed) bitmaps and spliced into the lists'
+// overlay (topk.Lists.ApplyDelta), so the plan keeps answering new-k
+// queries across a sustained stream instead of being rebuilt every Sync.
+// Cost scales with touched rows × registered predicates, never with the
+// number of cached entries surviving.
+func (s *Server) ApplyDelta(touched *bitset.Set, droppedPids []int64, leftEpoch, rightEpoch uint64) {
 	stamp := leftEpoch + rightEpoch
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if touched == nil || touched.IsEmpty() {
+	if (touched == nil || touched.IsEmpty()) && len(droppedPids) == 0 && len(s.remapDirty) == 0 {
 		s.validStamp = stamp
 		return
+	}
+	if touched == nil {
+		touched = bitset.New()
 	}
 	// Any in-flight evaluation raced this batch; its publish gate checks
 	// gen, so bump it before sweeping.
 	s.gen++
 	dirty := make(map[string]bool)
+	for key, on := range s.remapDirty {
+		if on {
+			dirty[key] = true
+		}
+	}
+	s.remapDirty = nil
 	for key, pf := range s.preds {
 		if pf.rows == nil {
 			dirty[key] = true
@@ -476,16 +500,83 @@ func (s *Server) ApplyDelta(touched *bitset.Set, leftEpoch, rightEpoch uint64) {
 		}
 	}
 	s.validStamp = stamp
-	if len(dirty) > 0 {
-		n := s.c.removeWhere(func(e *entry) bool {
-			for _, k := range e.predKeys {
-				if dirty[k] {
-					return true
-				}
+	if len(dirty) == 0 {
+		return
+	}
+
+	// Plan repair pass, outside the shard locks: the pids whose grades may
+	// have moved are the touched rows' keys plus the compaction-dropped
+	// ones. A pid appearing in both is processed twice by ApplyDelta; the
+	// second pass sees an unchanged grade and skips.
+	rows := make([]int, 0, touched.Len())
+	touched.ForEach(func(r int) bool { rows = append(rows, r); return true })
+	pids := append(s.ev.RowPids(rows), droppedPids...)
+	repaired := make(map[*entry]bool)
+	for _, e := range s.c.planLists() {
+		hit := false
+		for _, k := range e.predKeys {
+			if dirty[k] {
+				hit = true
+				break
 			}
+		}
+		if !hit || e.canon == nil {
+			continue
+		}
+		names, grades, err := topk.DeltaGrades(s.ev, e.canon, pids)
+		if err == nil && e.lists.ApplyDelta(pids, names, grades) {
+			repaired[e] = true
+			s.counters.PlanRepairs.Add(1)
+			s.c.recharge(e, 64+predKeyBytes(e.predKeys)+e.lists.SizeBytes())
+		}
+	}
+
+	n := s.c.removeWhere(func(e *entry) bool {
+		if repaired[e] {
 			return false
+		}
+		for _, k := range e.predKeys {
+			if dirty[k] {
+				return true
+			}
+		}
+		return false
+	})
+	s.counters.Invalidated.Add(int64(n))
+}
+
+// ApplyRemap is the delta.CacheSyncer compaction hook, arriving before the
+// Sync's ApplyDelta: the store renumbered its base rows, so every
+// registered footprint is reindexed through the composed old→new map.
+// Footprints that lost rows (dropped by the compaction, or outside the
+// remap's domain) are queued into the next ApplyDelta's dirty set — the
+// membership they lost cannot be detected by the touched-row re-match,
+// because the rows no longer exist to re-evaluate.
+func (s *Server) ApplyRemap(remap []int32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gen++
+	for key, pf := range s.preds {
+		if pf.rows == nil {
+			continue
+		}
+		nr := bitset.New()
+		lost := false
+		pf.rows.ForEach(func(old int) bool {
+			if old < len(remap) && remap[old] >= 0 {
+				nr.Add(int(remap[old]))
+			} else {
+				lost = true
+			}
+			return true
 		})
-		s.counters.Invalidated.Add(int64(n))
+		pf.rows = nr
+		if lost {
+			if s.remapDirty == nil {
+				s.remapDirty = make(map[string]bool)
+			}
+			s.remapDirty[key] = true
+		}
 	}
 }
 

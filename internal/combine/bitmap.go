@@ -47,6 +47,13 @@ func (d *PidDict) Add(pid int64) int {
 // PID returns the pid stored at dense index i.
 func (d *PidDict) PID(i int) int64 { return d.pids[i] }
 
+// Find returns the dense index assigned to pid, ok=false when the pid has
+// never been registered (it then appears in no cached bitmap either).
+func (d *PidDict) Find(pid int64) (int, bool) {
+	i, ok := d.idx[pid]
+	return i, ok
+}
+
 // Size returns the number of distinct pids registered.
 func (d *PidDict) Size() int { return len(d.pids) }
 

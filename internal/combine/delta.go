@@ -47,29 +47,29 @@ func (ev *Evaluator) RefreshRows(lids []int) (changed []string, ok bool, err err
 // RefreshRowSet is RefreshRows with the touched rows already in compressed
 // mask form — the delta maintainer accumulates them that way directly.
 func (ev *Evaluator) RefreshRowSet(touched *bitset.Set) (changed []string, ok bool, err error) {
-	changed, _, _, ok, err = ev.RefreshRowSetDelta(touched)
+	changed, _, _, _, ok, err = ev.RefreshRowSetDelta(touched)
 	return changed, ok, err
 }
 
 // RefreshRowSetDelta is RefreshRowSet additionally reporting the delta a
-// span-restricted pair-table recount needs: prev maps every changed
-// predicate to its pre-patch bitmap (the cache holds the patched clone;
-// callers handed out the previous one keep reading it consistently), and
-// spans lists, sorted ascending, the dense-id partitions where at least one
-// bit actually moved — by construction the only partitions where any
-// changed predicate's old and new bitmaps differ.
-func (ev *Evaluator) RefreshRowSetDelta(touched *bitset.Set) (changed []string, prev map[string]*Bitmap, spans []bitset.Span, ok bool, err error) {
+// restricted pair-table recount needs: prev maps every changed predicate to
+// its pre-patch bitmap (the cache holds the patched clone; callers handed
+// the previous one keep reading it consistently), ids lists, sorted
+// ascending and deduplicated, the dense ids where at least one bit actually
+// moved, and spans lists their 64k partitions — by construction the only
+// places where any changed predicate's old and new bitmaps differ.
+func (ev *Evaluator) RefreshRowSetDelta(touched *bitset.Set) (changed []string, prev map[string]*Bitmap, spans []bitset.Span, ids []int32, ok bool, err error) {
 	ev.mu.Lock()
 	defer ev.mu.Unlock()
 	if len(ev.bits) == 0 {
-		return nil, nil, nil, true, nil // nothing cached, nothing stale
+		return nil, nil, nil, nil, true, nil // nothing cached, nothing stale
 	}
 	if !ev.seeded || ev.rowDense == nil {
-		return nil, nil, nil, false, nil
+		return nil, nil, nil, nil, false, nil
 	}
 	tbl := ev.db.Table(ev.seedFrom)
 	if tbl == nil {
-		return nil, nil, nil, false, nil
+		return nil, nil, nil, nil, false, nil
 	}
 	// Extend the row plumbing over rows inserted since the seed (or the
 	// last refresh): dense ids stay unassigned until a predicate matches.
@@ -86,7 +86,7 @@ func (ev *Evaluator) RefreshRowSetDelta(touched *bitset.Set) (changed []string, 
 	}
 	nTouched := touched.Len()
 	if nTouched == 0 {
-		return nil, nil, nil, true, nil
+		return nil, nil, nil, nil, true, nil
 	}
 
 	// Share the join-existence test across predicates: one probe pass
@@ -101,7 +101,7 @@ func (ev *Evaluator) RefreshRowSetDelta(touched *bitset.Set) (changed []string, 
 		var err error
 		partnered, err = ev.db.MatchLeftRowSet(baseQ, touched)
 		if err != nil {
-			return nil, nil, nil, false, err
+			return nil, nil, nil, nil, false, err
 		}
 	}
 	joinless := relstore.Query{From: baseQ.From}
@@ -112,7 +112,7 @@ func (ev *Evaluator) RefreshRowSetDelta(touched *bitset.Set) (changed []string, 
 	predKeys := make([]string, 0, len(ev.bits))
 	for pred := range ev.bits {
 		if _, okp := ev.preds[pred]; !okp {
-			return nil, nil, nil, false, nil
+			return nil, nil, nil, nil, false, nil
 		}
 		predKeys = append(predKeys, pred)
 	}
@@ -157,15 +157,16 @@ func (ev *Evaluator) RefreshRowSetDelta(touched *bitset.Set) (changed []string, 
 	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, nil, nil, false, err
+			return nil, nil, nil, nil, false, err
 		}
 	}
 
 	// Serial patch phase: compare each predicate's re-evaluated rows with
 	// its cached bitmap, cloning on first difference. Every flipped dense id
-	// marks its span touched — the partition list the pair-table recount is
-	// allowed to restrict itself to.
+	// is recorded (with its 64k span) — the exact places the pair-table
+	// recount is allowed to restrict itself to.
 	spanSeen := map[bitset.Span]bool{}
+	idSeen := map[int32]struct{}{}
 	for i, pred := range predKeys {
 		bm := ev.bits[pred]
 		sel := sels[i]
@@ -209,6 +210,7 @@ func (ev *Evaluator) RefreshRowSetDelta(touched *bitset.Set) (changed []string, 
 				patched.Clear(int(di))
 			}
 			spanSeen[bitset.SpanOf(int(di))] = true
+			idSeen[di] = struct{}{}
 		}
 		if patched != nil {
 			if prev == nil {
@@ -225,7 +227,12 @@ func (ev *Evaluator) RefreshRowSetDelta(touched *bitset.Set) (changed []string, 
 		spans = append(spans, sp)
 	}
 	slices.Sort(spans)
-	return changed, prev, spans, true, nil
+	ids = make([]int32, 0, len(idSeen))
+	for di := range idSeen {
+		ids = append(ids, di)
+	}
+	slices.Sort(ids)
+	return changed, prev, spans, ids, true, nil
 }
 
 // Invalidate drops every cached predicate set and the scan plumbing, so the

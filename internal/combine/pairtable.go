@@ -1,6 +1,7 @@
 package combine
 
 import (
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -235,6 +236,70 @@ func (pt *PairTable) RefreshSpans(ev *Evaluator, prev map[string]*Bitmap, spans 
 		return e.Count -
 			old[i].AndCardSpans(old[j], spans) +
 			curr[i].AndCardSpans(curr[j], spans)
+	}), nil
+}
+
+// RefreshIDs is Refresh restricted to the exact dense ids a mutation batch
+// flipped: ids lists, sorted and deduplicated, every dense id where some
+// changed predicate's old and new bitmaps differ (the union of the ids
+// reported by RefreshRowSetDelta and DropPids), and prev maps each changed
+// predicate to its pre-patch bitmap. Outside those ids every bitmap — old
+// or new, changed or not — is untouched, so each pair with a changed
+// endpoint reprices exactly as
+//
+//	old count + |new_i ∩ new_j|_ids − |old_i ∩ old_j|_ids
+//
+// The membership of every preference at the flipped ids is probed once and
+// packed into one machine word per 64 ids, so the per-pair adjustment is a
+// handful of AND+popcount word ops. Total cost is O(prefs × ids) probes
+// plus O(changed pairs × ids/64) word ops — independent of table and
+// dictionary size, which is what keeps per-sync maintenance flat as the
+// store grows: span-restricted recounts bottom out at one 64k-id container,
+// still O(dictionary) per pair, while a sustained stream flips only a
+// batch's worth of ids. Output stays byte-identical to Refresh.
+func (pt *PairTable) RefreshIDs(ev *Evaluator, prev map[string]*Bitmap, ids []int32) (*PairTable, error) {
+	if len(prev) == 0 || len(ids) == 0 {
+		return pt, nil
+	}
+	n := len(pt.Prefs)
+	changed := make([]bool, n)
+	words := (len(ids) + 63) / 64
+	currW := make([][]uint64, n)
+	oldW := make([][]uint64, n)
+	pack := func(s *bitset.Set) []uint64 {
+		w := make([]uint64, words)
+		for k, di := range ids {
+			if s.Contains(int(di)) {
+				w[k>>6] |= 1 << (k & 63)
+			}
+		}
+		return w
+	}
+	any := false
+	for i, p := range pt.Prefs {
+		b, err := ev.PredBitmap(p) // cache hit: the row refresh already ran
+		if err != nil {
+			return nil, err
+		}
+		currW[i] = pack(b.s)
+		oldW[i] = currW[i]
+		if pb, ok := prev[p.Pred]; ok {
+			oldW[i] = pack(pb.s)
+			changed[i] = true
+			any = true
+		}
+	}
+	if !any {
+		return pt, nil
+	}
+	return pt.recountPairs(ev, changed, func(i, j int, e PairEntry) int {
+		// e.Count is zero when the pair was previously inapplicable.
+		d := 0
+		ci, cj, oi, oj := currW[i], currW[j], oldW[i], oldW[j]
+		for w := range ci {
+			d += bits.OnesCount64(ci[w]&cj[w]) - bits.OnesCount64(oi[w]&oj[w])
+		}
+		return e.Count + d
 	}), nil
 }
 

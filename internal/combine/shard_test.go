@@ -264,9 +264,10 @@ func TestShardedEvalRandomProfiles(t *testing.T) {
 }
 
 // TestRefreshSpansMatchesRefresh mutates a multi-span store and proves the
-// span-restricted pair recount (RefreshSpans over the partitions the patch
-// touched) is byte-identical both to the whole-set Refresh and to a
-// from-scratch pair table over the mutated store.
+// restricted pair recounts — RefreshSpans over the partitions the patch
+// touched and RefreshIDs over the exact flipped dense ids — are
+// byte-identical both to the whole-set Refresh and to a from-scratch pair
+// table over the mutated store.
 func TestRefreshSpansMatchesRefresh(t *testing.T) {
 	db := bigShardDB(t, bigShardRows, 9)
 	profile := bigShardProfile(t)
@@ -280,12 +281,12 @@ func TestRefreshSpansMatchesRefresh(t *testing.T) {
 	tbl := db.Table("dblp")
 	touched := relstoreTouched(t, tbl, rng, 300)
 
-	changed, prev, spans, ok, err := ev.RefreshRowSetDelta(touched)
+	changed, prev, spans, ids, ok, err := ev.RefreshRowSetDelta(touched)
 	if err != nil || !ok {
 		t.Fatalf("refresh: ok=%v err=%v", ok, err)
 	}
-	if len(changed) == 0 || len(spans) == 0 {
-		t.Fatalf("mutations changed nothing: %d preds, %d spans", len(changed), len(spans))
+	if len(changed) == 0 || len(spans) == 0 || len(ids) == 0 {
+		t.Fatalf("mutations changed nothing: %d preds, %d spans, %d ids", len(changed), len(spans), len(ids))
 	}
 	whole, err := pt.Refresh(ev, changed)
 	if err != nil {
@@ -296,6 +297,11 @@ func TestRefreshSpansMatchesRefresh(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertSamePairs(t, "RefreshSpans vs Refresh", whole, spanwise)
+	idwise, err := pt.RefreshIDs(ev, prev, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePairs(t, "RefreshIDs vs Refresh", whole, idwise)
 
 	fresh := bigShardEvaluator(t, db, 1)
 	freshPT, err := BuildPairTable(profile, fresh)

@@ -17,9 +17,21 @@
 //  4. Recount only the pair-table entries with a changed endpoint
 //     (PairTable.Refresh).
 //
+// Tombstone compaction slots in as a step 2½: a compaction renumbers the
+// base table's row ids, so Sync composes the published remaps
+// (relstore.SnapshotSince delivers them atomically with the change drain),
+// reindexes the evaluator's row plumbing (Evaluator.RemapRows), and clears
+// the pids of dropped rows by dictionary id (Evaluator.DropPids) before the
+// row-driven refresh — dropped rows arrive as Row = -1 change entries whose
+// pre-images carry the pid. Join-table compactions need none of this:
+// nothing the maintainer derives is keyed by join-table row ids.
+//
 // When a change log has been trimmed past the maintainer's last-synced
-// epoch (or the evaluator cannot refresh in place), Sync falls back loudly
-// to a full rebuild: Evaluator.Invalidate + BuildPairTable.
+// epoch, the compaction history has been evicted, or the evaluator cannot
+// refresh in place, Sync falls back loudly to a full rebuild:
+// Evaluator.Invalidate + BuildPairTable. The fallback reports its cause
+// (SyncStats.RebuildCause, per-cause obs counters), so an operator can tell
+// an undersized change log from a key-column rewrite.
 //
 // Requirements: the evaluator's key attribute must be a unique non-NULL
 // key of the base table (dblp.pid) — each base row then owns its dense
@@ -29,6 +41,7 @@ package delta
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"hypre/internal/bitset"
@@ -66,20 +79,25 @@ type Maintainer struct {
 	cache CacheSyncer
 
 	// Observability, attached before serving like the cache syncer. All
-	// three stay nil when unattached; Sync then never reads the clock.
+	// stay nil when unattached; Sync then never reads the clock.
 	syncHist    *obs.Histogram // delta_sync: wall time per Sync
 	touchedHist *obs.Histogram // delta_touched_rows: re-evaluated rows per Sync
 	rebuilds    *obs.Counter   // delta_full_rebuilds: loud-fallback count
+	reg         *obs.Registry  // per-cause rebuild counters, created on demand
 }
 
 // AttachObs registers the maintainer's maintenance metrics with a registry:
 // a per-Sync wall-time histogram ("delta_sync"), a touched-rows histogram
-// ("delta_touched_rows"), and a full-rebuild counter ("delta_full_rebuilds").
-// Call before serving traffic, alongside AttachCache.
+// ("delta_touched_rows"), a full-rebuild counter ("delta_full_rebuilds"),
+// and — on demand, as fallbacks occur — one counter per rebuild cause
+// ("delta_rebuilds_log_overflow", "delta_rebuilds_key_rewrite",
+// "delta_rebuilds_compaction_lost", "delta_rebuilds_evaluator"). Call
+// before serving traffic, alongside AttachCache.
 func (m *Maintainer) AttachObs(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
+	m.reg = reg
 	m.syncHist = reg.Histogram("delta_sync")
 	m.touchedHist = reg.Histogram("delta_touched_rows")
 	m.rebuilds = reg.Counter("delta_full_rebuilds")
@@ -87,13 +105,17 @@ func (m *Maintainer) AttachObs(reg *obs.Registry) {
 
 // CacheSyncer is the hook a serving-tier cache registers to ride the
 // maintainer's delta pipeline: after each successful Sync it receives the
-// touched base-row mask and the epochs the maintainer synced to, so it can
-// invalidate exactly the entries whose predicate membership moved and
-// re-open itself for the new store snapshot. A full rebuild (log trimmed,
-// key-column rewrite) instead drops everything via InvalidateAll.
+// touched base-row mask, the pids of compaction-dropped rows, and the
+// epochs the maintainer synced to, so it can repair exactly the entries
+// whose predicate membership moved and re-open itself for the new store
+// snapshot. ApplyRemap arrives first on the Syncs that absorbed a
+// compaction, carrying the composed old→new row-id map for whatever the
+// cache keys by base row id. A full rebuild (log trimmed, key-column
+// rewrite) instead drops everything via InvalidateAll.
 // internal/cache.Server implements it.
 type CacheSyncer interface {
-	ApplyDelta(touched *bitset.Set, leftEpoch, rightEpoch uint64)
+	ApplyDelta(touched *bitset.Set, droppedPids []int64, leftEpoch, rightEpoch uint64)
+	ApplyRemap(remap []int32)
 	InvalidateAll(leftEpoch, rightEpoch uint64)
 }
 
@@ -102,8 +124,25 @@ type CacheSyncer interface {
 // immediately synchronized to the maintainer's current epochs.
 func (m *Maintainer) AttachCache(cs CacheSyncer) {
 	m.cache = cs
-	cs.ApplyDelta(nil, m.leftEpoch, m.rightEpoch)
+	cs.ApplyDelta(nil, nil, m.leftEpoch, m.rightEpoch)
 }
+
+// Rebuild causes, reported in SyncStats.RebuildCause and as obs counter
+// suffixes ("delta_rebuilds_" + cause).
+const (
+	// CauseLogOverflow: a change log was trimmed past the last-synced epoch
+	// (undersized relstore.WithChangeLogCap for the sync cadence).
+	CauseLogOverflow = "log_overflow"
+	// CauseKeyRewrite: a base-row key-column update re-keyed a dense bitmap
+	// slot, which the incremental patch cannot express.
+	CauseKeyRewrite = "key_rewrite"
+	// CauseCompactionLost: the base table compacted more times than its
+	// bounded remap history retains since the last sync.
+	CauseCompactionLost = "compaction_lost"
+	// CauseEvaluator: the evaluator had no incremental plumbing to patch
+	// (never seeded, or running in a fallback mode).
+	CauseEvaluator = "evaluator"
+)
 
 // SyncStats reports what one Sync cost.
 type SyncStats struct {
@@ -113,10 +152,16 @@ type SyncStats struct {
 	ChangedPreds int
 	// RecheckedChanges is the number of raw change-log entries drained.
 	RecheckedChanges int
-	// FullRebuild reports that the incremental path was unavailable (log
-	// trimmed, key-column update, or evaluator fallback mode) and the
-	// caches were rebuilt from scratch.
-	FullRebuild bool
+	// Compactions is the number of base-table compaction remaps absorbed.
+	Compactions int
+	// DroppedPids is the number of distinct pids cleared because compaction
+	// dropped their rows before this Sync could re-evaluate them.
+	DroppedPids int
+	// FullRebuild reports that the incremental path was unavailable and the
+	// caches were rebuilt from scratch; RebuildCause says why (one of the
+	// Cause* constants).
+	FullRebuild  bool
+	RebuildCause string
 }
 
 // NewMaintainer materializes the profile, builds the pair table, and
@@ -211,34 +256,40 @@ func (m *Maintainer) SyncTraced(tr *obs.Trace) (SyncStats, error) {
 		m.touchedHist.Record(int64(st.TouchedRows))
 		if st.FullRebuild {
 			m.rebuilds.Add(1)
+			m.reg.Counter("delta_rebuilds_" + st.RebuildCause).Add(1)
 		}
 	}
 	return st, err
 }
 
 func (m *Maintainer) sync() (SyncStats, error) {
-	lEpoch := m.left.Epoch()
-	var rEpoch uint64
+	// One atomic drain per table: epoch, changes, and compaction remaps
+	// captured under a single lock acquisition, so the drained changes are
+	// remapped through exactly the compactions the snapshot reports.
+	ls := m.left.SnapshotSince(m.leftEpoch)
+	rs := relstore.SyncSnapshot{LogOK: true, CompOK: true}
 	if m.right != nil {
-		rEpoch = m.right.Epoch()
+		rs = m.right.SnapshotSince(m.rightEpoch)
 	}
-	lch, ok := m.left.ChangedSince(m.leftEpoch)
-	if !ok {
-		return m.rebuild(lEpoch, rEpoch)
+	lEpoch, rEpoch := ls.Epoch, rs.Epoch
+	if !ls.LogOK || !rs.LogOK {
+		return m.rebuild(lEpoch, rEpoch, CauseLogOverflow)
 	}
-	var rch []relstore.RowChange
-	if m.right != nil {
-		rch, ok = m.right.ChangedSince(m.rightEpoch)
-		if !ok {
-			return m.rebuild(lEpoch, rEpoch)
-		}
+	// Join-table compactions (rs.Compactions) are deliberately ignored:
+	// nothing the maintainer derives is keyed by join-table row ids — the
+	// drained entries' Row fields were remapped in place, and Value lookups
+	// below use the current ids. Only losing the BASE table's remap history
+	// strands row-keyed state.
+	if !ls.CompOK {
+		return m.rebuild(lEpoch, rEpoch, CauseCompactionLost)
 	}
-	if len(lch) == 0 && len(rch) == 0 {
+	lch, rch := ls.Changes, rs.Changes
+	if len(lch) == 0 && len(rch) == 0 && len(ls.Compactions) == 0 {
 		m.leftEpoch, m.rightEpoch = lEpoch, rEpoch
 		if m.cache != nil {
 			// Nothing touched, but the stamp may have advanced (empty
 			// commits); let the cache re-open for the new epochs.
-			m.cache.ApplyDelta(nil, lEpoch, rEpoch)
+			m.cache.ApplyDelta(nil, nil, lEpoch, rEpoch)
 		}
 		return SyncStats{}, nil
 	}
@@ -248,12 +299,27 @@ func (m *Maintainer) sync() (SyncStats, error) {
 	// handful of array/bitmap containers regardless of how wide the table
 	// is.
 	touched := bitset.New()
+	var droppedPids []int64
+	dropSeen := map[int64]struct{}{}
 	for _, c := range lch {
+		if c.Row < 0 {
+			// Pre-image of a row compaction dropped: there is no row left to
+			// re-evaluate, so its pid leaves the bitmaps by dictionary id
+			// (DropPids below). Every key a dropped row ever held appears in
+			// some -1 entry's pre-image — intermediate keys in the follow-up
+			// update's Old, the final key in the delete's.
+			pid := c.Old[m.keyPos].AsInt()
+			if _, dup := dropSeen[pid]; !dup {
+				dropSeen[pid] = struct{}{}
+				droppedPids = append(droppedPids, pid)
+			}
+			continue
+		}
 		// A key-column update would re-key the row's dense bitmap slot;
 		// the incremental patch cannot express that, so rebuild loudly.
 		if c.Kind == relstore.ChangeUpdate &&
 			indexKeyChanged(c.Old[m.keyPos], m.left.Value(c.Row, m.keyCol)) {
-			return m.rebuild(lEpoch, rEpoch)
+			return m.rebuild(lEpoch, rEpoch, CauseKeyRewrite)
 		}
 		touched.Add(c.Row)
 	}
@@ -261,8 +327,13 @@ func (m *Maintainer) sync() (SyncStats, error) {
 		// Affected base rows are the join partners of the change's key —
 		// the current key for inserts, the pre-image key for deletes, and
 		// both for updates (old partners lost it, new partners gained it).
+		// A compaction-dropped join row (Row = -1) has only its pre-image
+		// key; the keys it held later all surface in its successor entries.
 		switch c.Kind {
 		case relstore.ChangeInsert:
+			if c.Row < 0 {
+				continue // dropped inserts are pruned from the log; be safe
+			}
 			if err := m.addPartners(touched, m.right.Value(c.Row, m.rightJoinCol)); err != nil {
 				return SyncStats{}, err
 			}
@@ -274,29 +345,75 @@ func (m *Maintainer) sync() (SyncStats, error) {
 			if err := m.addPartners(touched, c.Old[m.rightJoinPos]); err != nil {
 				return SyncStats{}, err
 			}
+			if c.Row < 0 {
+				continue
+			}
 			if err := m.addPartners(touched, m.right.Value(c.Row, m.rightJoinCol)); err != nil {
 				return SyncStats{}, err
 			}
 		}
 	}
-	changed, prev, spans, ok, err := m.ev.RefreshRowSetDelta(touched)
+
+	// Compaction absorption, before the row-driven refresh: reindex the
+	// evaluator's row plumbing through the composed remap, then clear the
+	// dropped pids' bits — a pid re-inserted under a surviving row is
+	// restored by the refresh, which evaluates current store state.
+	var remap []int32
+	if len(ls.Compactions) > 0 {
+		remap = composeRemaps(ls.Compactions)
+		if !m.ev.RemapRows(remap) {
+			return m.rebuild(lEpoch, rEpoch, CauseEvaluator)
+		}
+	}
+	var dChanged []string
+	var dPrev map[string]*combine.Bitmap
+	var dSpans []bitset.Span
+	var dIDs []int32
+	if len(droppedPids) > 0 {
+		var ok bool
+		dChanged, dPrev, dSpans, dIDs, ok = m.ev.DropPids(droppedPids)
+		if !ok {
+			return m.rebuild(lEpoch, rEpoch, CauseEvaluator)
+		}
+	}
+	changed, prev, spans, ids, ok, err := m.ev.RefreshRowSetDelta(touched)
 	if err != nil {
 		return SyncStats{}, err
 	}
 	if !ok {
-		return m.rebuild(lEpoch, rEpoch)
+		return m.rebuild(lEpoch, rEpoch, CauseEvaluator)
 	}
+	// Merge the two patch passes into one pair-table recount. For a
+	// predicate both passes changed, the true pre-sync bitmap is DropPids'
+	// pre-image (it patched first).
+	changed = mergeChanged(dChanged, changed)
+	if len(dPrev) > 0 {
+		if prev == nil {
+			prev = dPrev
+		} else {
+			for p, b := range dPrev {
+				prev[p] = b
+			}
+		}
+	}
+	spans = mergeSpans(dSpans, spans)
+	ids = mergeIDs(dIDs, ids)
 	if len(changed) > 0 {
-		// Recount only the partitions the patch actually touched when they
-		// are a minority of the dense-id domain (each repriced pair then
-		// pays two span-restricted counts, so the span path must cover
-		// under half the spans to win); small domains — a single 64k span —
-		// keep the whole-set recount.
+		// Reprice changed pairs from the exact flipped ids when the flip set
+		// is batch-sized — O(prefs × ids) work, independent of how large the
+		// store has grown, which is what keeps per-sync cost flat under a
+		// sustained stream. Past idRecountMax the per-id probing overtakes
+		// container popcounts and the recount falls back to the partition
+		// paths: span-restricted when the touched spans are a minority of
+		// the dense-id domain, whole-set otherwise.
 		totalSpans := bitset.SpanCount(m.ev.Dict().Size())
 		var pt *combine.PairTable
-		if 2*len(spans) < totalSpans {
+		switch {
+		case len(ids) > 0 && len(ids) <= idRecountMax:
+			pt, err = m.pt.RefreshIDs(m.ev, prev, ids)
+		case 2*len(spans) < totalSpans:
 			pt, err = m.pt.RefreshSpans(m.ev, prev, spans)
-		} else {
+		default:
 			pt, err = m.pt.Refresh(m.ev, changed)
 		}
 		if err != nil {
@@ -306,13 +423,91 @@ func (m *Maintainer) sync() (SyncStats, error) {
 	}
 	m.leftEpoch, m.rightEpoch = lEpoch, rEpoch
 	if m.cache != nil {
-		m.cache.ApplyDelta(touched, lEpoch, rEpoch)
+		if remap != nil {
+			m.cache.ApplyRemap(remap)
+		}
+		m.cache.ApplyDelta(touched, droppedPids, lEpoch, rEpoch)
 	}
 	return SyncStats{
 		TouchedRows:      touched.Len(),
 		ChangedPreds:     len(changed),
 		RecheckedChanges: len(lch) + len(rch),
+		Compactions:      len(ls.Compactions),
+		DroppedPids:      len(droppedPids),
 	}, nil
+}
+
+// composeRemaps folds an ordered run of compaction remaps into one old→new
+// map over the first record's domain. Compaction preserves relative row
+// order, so rows inserted between two compactions land strictly after every
+// composed survivor in the new id space — a plumbing rebuilt over just the
+// composed domain stays a valid prefix that the row-driven refresh extends.
+func composeRemaps(comps []relstore.Compaction) []int32 {
+	remap := comps[0].Remap
+	for _, c := range comps[1:] {
+		next := make([]int32, len(remap))
+		for i, mid := range remap {
+			if mid < 0 || int(mid) >= len(c.Remap) {
+				next[i] = -1
+			} else {
+				next[i] = c.Remap[mid]
+			}
+		}
+		remap = next
+	}
+	return remap
+}
+
+// mergeChanged unions two changed-predicate lists, preserving first-seen
+// order.
+func mergeChanged(a, b []string) []string {
+	if len(a) == 0 {
+		return b
+	}
+	seen := make(map[string]struct{}, len(a)+len(b))
+	out := make([]string, 0, len(a)+len(b))
+	for _, s := range a {
+		if _, dup := seen[s]; !dup {
+			seen[s] = struct{}{}
+			out = append(out, s)
+		}
+	}
+	for _, s := range b {
+		if _, dup := seen[s]; !dup {
+			seen[s] = struct{}{}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// mergeSpans unions two sorted span lists into one sorted, deduplicated
+// list.
+func mergeSpans(a, b []bitset.Span) []bitset.Span {
+	if len(a) == 0 {
+		return b
+	}
+	out := append(append(make([]bitset.Span, 0, len(a)+len(b)), a...), b...)
+	slices.Sort(out)
+	return slices.Compact(out)
+}
+
+// idRecountMax caps the flip set the per-id pair repricing accepts: each
+// flipped id costs one membership probe per preference, so past a thousand
+// or so ids the probing overtakes the container popcounts of the partition
+// recounts. Sustained-stream syncs flip a batch's worth of ids — far under
+// the cap; bulk rewrites fall through to the span/whole-set paths.
+const idRecountMax = 1024
+
+// mergeIDs unions two sorted flipped-dense-id lists into one sorted,
+// deduplicated list.
+func mergeIDs(a, b []int32) []int32 {
+	if len(a) == 0 {
+		return b
+	}
+	out := append(append(make([]int32, 0, len(a)+len(b)), a...), b...)
+	slices.Sort(out)
+	return slices.Compact(out)
 }
 
 // addPartners folds the base rows joining with key into touched.
@@ -328,8 +523,8 @@ func (m *Maintainer) addPartners(touched *bitset.Set, key predicate.Value) error
 }
 
 // rebuild is the loud fallback: drop every derived cache and rebuild from
-// the store's current state.
-func (m *Maintainer) rebuild(lEpoch, rEpoch uint64) (SyncStats, error) {
+// the store's current state, reporting why the incremental path bailed.
+func (m *Maintainer) rebuild(lEpoch, rEpoch uint64, cause string) (SyncStats, error) {
 	m.ev.Invalidate()
 	pt, err := combine.BuildPairTable(m.prefs, m.ev)
 	if err != nil {
@@ -340,7 +535,7 @@ func (m *Maintainer) rebuild(lEpoch, rEpoch uint64) (SyncStats, error) {
 	if m.cache != nil {
 		m.cache.InvalidateAll(lEpoch, rEpoch)
 	}
-	return SyncStats{FullRebuild: true}, nil
+	return SyncStats{FullRebuild: true, RebuildCause: cause}, nil
 }
 
 // indexKeyChanged reports whether a value change re-keys an equality

@@ -1,0 +1,429 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hypre/internal/combine"
+	"hypre/internal/delta"
+	"hypre/internal/hypre"
+	"hypre/internal/predicate"
+	"hypre/internal/relstore"
+	"hypre/internal/workload"
+)
+
+// StreamResult is the sustained-stream write-path experiment in three
+// phases, all over stores with group commit, tombstone compaction, and a
+// bounded change log enabled:
+//
+//  1. Throughput: the same pid-disjoint op partitions are executed by
+//     `writers` concurrent goroutines — with streamReaders concurrent scan
+//     goroutines as background read load — against a group-commit store and
+//     a serial twin (identical options minus group commit), and the final
+//     logical states are required to be identical — group commit must be a
+//     pure scheduling change.
+//  2. Staleness: an open-loop paced arrival stream (exponential
+//     interarrivals at OfferedOpsPerSec) runs against a concurrent delta
+//     maintainer; staleness is the age of the oldest unsynced commit when
+//     its sync completes, reported at p50/p99.
+//  3. Flatness: the per-Sync maintenance median at the base table size and
+//     at 4x the papers, same per-sync op batch — the delta path's cost must
+//     track the batch, not the table.
+type StreamResult struct {
+	UID         int64
+	ProfileSize int
+	Writers     int
+	PerWriter   int
+	K           int
+
+	// Phase 1: closed-loop throughput under concurrent reader load, group
+	// commit vs serial twin.
+	Readers         int   // concurrent scan goroutines during the stream
+	GroupScans      int64 // full-table counts the readers completed
+	SerialScans     int64
+	GroupWall       time.Duration
+	SerialWall      time.Duration
+	GroupOpsPerSec  float64
+	SerialOpsPerSec float64
+	Speedup         float64
+	Matched         bool // final logical state + ranking equivalence
+
+	// Phase 2: open-loop staleness under paced load.
+	OfferedOpsPerSec float64
+	StreamOps        int
+	Syncs            int
+	P50Staleness     time.Duration
+	P99Staleness     time.Duration
+
+	// Phase 3: per-Sync maintenance medians, base vs 4x papers.
+	SyncBatches    int
+	OpsPerSync     int
+	SyncMedianBase time.Duration
+	SyncMedian4x   time.Duration
+	FlatnessRatio  float64
+}
+
+// streamStoreOpts is the write-path configuration under test: group commit
+// on or off is the only axis phase 1 varies; compaction and the bounded
+// change log are on for both twins so the comparison isolates the commit
+// strategy.
+func streamStoreOpts(group bool) []relstore.DBOption {
+	return []relstore.DBOption{
+		relstore.WithGroupCommit(group),
+		relstore.WithCompaction(0.25),
+		relstore.WithChangeLogCap(1 << 16),
+	}
+}
+
+// streamReaders is the concurrent scan load phase 1 runs against both
+// twins while the writers stream.
+const streamReaders = 2
+
+// RunStream runs all three phases. uid's positive profile (capped at cap)
+// drives the equivalence ranking and the maintenance syncs.
+func RunStream(l *Lab, uid int64, writers, perWriter int, opsPerSec float64, streamOps, k, cap int) (*StreamResult, error) {
+	prefs := l.ProfileFor(uid, cap)
+	res := &StreamResult{
+		UID: uid, ProfileSize: len(prefs),
+		Writers: writers, PerWriter: perWriter, K: k,
+		OfferedOpsPerSec: opsPerSec, StreamOps: streamOps,
+	}
+
+	// ---- Phase 1: group-commit vs serial twin throughput. ----
+	groupNet, err := workload.GenerateWith(l.Cfg, streamStoreOpts(true)...)
+	if err != nil {
+		return nil, err
+	}
+	serialNet, err := workload.GenerateWith(l.Cfg, streamStoreOpts(false)...)
+	if err != nil {
+		return nil, err
+	}
+	stream, err := workload.NewUpdateStream(groupNet, workload.DefaultStreamConfig())
+	if err != nil {
+		return nil, err
+	}
+	// One plan set serves both stores: ops are pid-keyed (compaction-proof)
+	// and pid-disjoint across writers (interleaving-proof), so any
+	// execution order reaches the same logical state.
+	plans := stream.PlanPartitions(writers, perWriter)
+
+	res.Readers = streamReaders
+	if res.GroupWall, res.GroupScans, err = runPartitions(groupNet.DB, plans, streamReaders); err != nil {
+		return nil, err
+	}
+	if res.SerialWall, res.SerialScans, err = runPartitions(serialNet.DB, plans, streamReaders); err != nil {
+		return nil, err
+	}
+	totalOps := float64(writers * perWriter)
+	res.GroupOpsPerSec = totalOps / res.GroupWall.Seconds()
+	res.SerialOpsPerSec = totalOps / res.SerialWall.Seconds()
+	res.Speedup = res.GroupOpsPerSec / res.SerialOpsPerSec
+
+	// Equivalence: identical logical state (per-pid attributes and link
+	// multiset — physical row order legitimately differs between the twins),
+	// and identical top-k rankings modulo the trailing tie group the heap's
+	// cut can resolve either way across row orders.
+	res.Matched = sameLogicalState(groupNet.DB, serialNet.DB)
+	if res.Matched {
+		gRank, err := rankOver(groupNet.DB, prefs, k)
+		if err != nil {
+			return nil, err
+		}
+		sRank, err := rankOver(serialNet.DB, prefs, k)
+		if err != nil {
+			return nil, err
+		}
+		res.Matched = sameRanking(trimTailTies(gRank), trimTailTies(sRank))
+	}
+
+	// ---- Phase 2: open-loop staleness under a paced arrival stream. ----
+	if err := runPacedStream(l.Cfg, prefs, opsPerSec, streamOps, res); err != nil {
+		return nil, err
+	}
+
+	// ---- Phase 3: sync-cost flatness at 4x the papers. ----
+	// 17 batches: the median of a small sample set on a busy single-CPU
+	// machine is itself noisy; a wider set keeps one GC pause or scheduler
+	// hiccup from moving the 50th percentile.
+	const syncBatches, opsPerSync = 17, 60
+	res.SyncBatches, res.OpsPerSync = syncBatches, opsPerSync
+	if res.SyncMedianBase, err = syncMedian(l.Cfg, prefs, syncBatches, opsPerSync); err != nil {
+		return nil, err
+	}
+	cfg4 := l.Cfg
+	cfg4.NumPapers *= 4
+	if res.SyncMedian4x, err = syncMedian(cfg4, prefs, syncBatches, opsPerSync); err != nil {
+		return nil, err
+	}
+	res.FlatnessRatio = float64(res.SyncMedian4x) / float64(max64(1, int64(res.SyncMedianBase)))
+	return res, nil
+}
+
+// runPartitions executes each writer's partition in its own goroutine,
+// with `readers` concurrent scan goroutines looping a full-table count for
+// the duration of the stream, and returns the wall time for all writers to
+// finish plus the number of scans the readers completed. The reader load is
+// not decoration: it is the serving-while-writing regime the write path is
+// for, and it is where the commit strategies diverge most — every reader
+// admission gap is re-fought per mutation on the serial path but once per
+// hold under group commit.
+func runPartitions(db *relstore.DB, plans [][]workload.Op, readers int) (time.Duration, int64, error) {
+	errs := make([]error, len(plans))
+	var stop atomic.Bool
+	var scans atomic.Int64
+	var rwg sync.WaitGroup
+	scanQ := relstore.Query{From: "dblp", Where: predicate.True{}}
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for !stop.Load() {
+				if _, err := db.Count(scanQ); err != nil {
+					return
+				}
+				scans.Add(1)
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := range plans {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, op := range plans[w] {
+				if err := op.Do(db); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	stop.Store(true)
+	rwg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return wall, scans.Load(), err
+		}
+	}
+	return wall, scans.Load(), nil
+}
+
+// rankOver answers the top-k query over a store from scratch.
+func rankOver(db *relstore.DB, prefs []hypre.ScoredPred, k int) ([]combine.ScoredTuple, error) {
+	ev := combine.NewEvaluator(db, workload.BaseQuery, "dblp.pid")
+	pt, err := combine.BuildPairTable(prefs, ev)
+	if err != nil {
+		return nil, err
+	}
+	r, err := combine.PEPS(prefs, pt, ev, k, combine.Complete)
+	if err != nil {
+		return nil, err
+	}
+	return r.Tuples, nil
+}
+
+// sameLogicalState compares two stores' dblp and dblp_author contents as
+// logical multisets keyed by pid — the row-order-independent equivalence the
+// pid-disjoint partitions guarantee.
+func sameLogicalState(a, b *relstore.DB) bool {
+	ap, al := logicalState(a)
+	bp, bl := logicalState(b)
+	if len(ap) != len(bp) || len(al) != len(bl) {
+		return false
+	}
+	for pid, sig := range ap {
+		if bp[pid] != sig {
+			return false
+		}
+	}
+	for link, n := range al {
+		if bl[link] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// logicalState fingerprints a store: papers as pid -> "venue|year", links
+// as "pid|aid" -> multiplicity.
+func logicalState(db *relstore.DB) (papers map[int64]string, links map[string]int) {
+	papers = map[int64]string{}
+	links = map[string]int{}
+	dblp := db.Table("dblp")
+	for id := 0; id < dblp.Len(); id++ {
+		if !dblp.Alive(id) {
+			continue
+		}
+		pid := dblp.Value(id, "pid").AsInt()
+		papers[pid] = dblp.Value(id, "venue").AsString() + "|" + dblp.Value(id, "year").String()
+	}
+	la := db.Table("dblp_author")
+	for id := 0; id < la.Len(); id++ {
+		if !la.Alive(id) {
+			continue
+		}
+		links[fmt.Sprintf("%d|%d", la.Value(id, "pid").AsInt(), la.Value(id, "aid").AsInt())]++
+	}
+	return papers, links
+}
+
+// trimTailTies drops the trailing equal-intensity group: when the k-th and
+// (k+1)-th candidates tie, which of them makes the heap's cut depends on
+// physical row order, which legitimately differs between the twins. The
+// strictly-ranked prefix must still match exactly.
+func trimTailTies(ts []combine.ScoredTuple) []combine.ScoredTuple {
+	if len(ts) == 0 {
+		return ts
+	}
+	last := ts[len(ts)-1].Intensity
+	i := len(ts)
+	for i > 0 && ts[i-1].Intensity == last {
+		i--
+	}
+	return ts[:i]
+}
+
+// runPacedStream drives phase 2: a single paced writer (open-loop arrivals)
+// against a concurrent maintainer sync loop, measuring commit-to-sync
+// staleness.
+func runPacedStream(cfg workload.Config, prefs []hypre.ScoredPred, opsPerSec float64, streamOps int, res *StreamResult) error {
+	net, err := workload.GenerateWith(cfg, streamStoreOpts(true)...)
+	if err != nil {
+		return err
+	}
+	stream, err := workload.NewUpdateStream(net, workload.DefaultStreamConfig())
+	if err != nil {
+		return err
+	}
+	plan := stream.PlanPartitions(1, streamOps)[0]
+	ev := combine.NewEvaluator(net.DB, workload.BaseQuery, "dblp.pid")
+	m, err := delta.NewMaintainer(ev, prefs)
+	if err != nil {
+		return err
+	}
+
+	// oldestPending is the commit time of the earliest op no sync has
+	// absorbed yet (0 = none). The writer stamps it after each op; the sync
+	// loop claims it before syncing and records age once the sync lands —
+	// a conservative overestimate of true staleness, which is the safe side
+	// for an acceptance metric.
+	var oldestPending atomic.Int64
+	var done atomic.Bool
+	var samples []time.Duration
+	var syncErr error
+	syncs := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			stopping := done.Load()
+			t0 := oldestPending.Swap(0)
+			if t0 != 0 {
+				if _, err := m.Sync(); err != nil {
+					syncErr = err
+					return
+				}
+				syncs++
+				samples = append(samples, time.Duration(time.Now().UnixNano()-t0))
+			}
+			if stopping && oldestPending.Load() == 0 {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	pacer := workload.NewPacer(cfg.Seed+99, opsPerSec)
+	start := time.Now()
+	for _, op := range plan {
+		if at := pacer.Next(); at > time.Since(start) {
+			time.Sleep(at - time.Since(start))
+		}
+		if err := op.Do(net.DB); err != nil {
+			done.Store(true)
+			wg.Wait()
+			return err
+		}
+		oldestPending.CompareAndSwap(0, time.Now().UnixNano())
+	}
+	done.Store(true)
+	wg.Wait()
+	if syncErr != nil {
+		return syncErr
+	}
+	res.Syncs = syncs
+	res.P50Staleness = percentileDur(samples, 0.50)
+	res.P99Staleness = percentileDur(samples, 0.99)
+	return nil
+}
+
+// syncMedian measures the per-Sync maintenance median over batches of
+// opsPerSync ops at the given table scale.
+func syncMedian(cfg workload.Config, prefs []hypre.ScoredPred, batches, opsPerSync int) (time.Duration, error) {
+	net, err := workload.GenerateWith(cfg, streamStoreOpts(true)...)
+	if err != nil {
+		return 0, err
+	}
+	stream, err := workload.NewUpdateStream(net, workload.DefaultStreamConfig())
+	if err != nil {
+		return 0, err
+	}
+	ev := combine.NewEvaluator(net.DB, workload.BaseQuery, "dblp.pid")
+	m, err := delta.NewMaintainer(ev, prefs)
+	if err != nil {
+		return 0, err
+	}
+	samples := make([]time.Duration, 0, batches)
+	for b := 0; b < batches; b++ {
+		if _, err := stream.Apply(opsPerSync); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if _, err := m.Sync(); err != nil {
+			return 0, err
+		}
+		samples = append(samples, time.Since(start))
+	}
+	return percentileDur(samples, 0.50), nil
+}
+
+// percentileDur is the nearest-rank percentile of a duration sample set.
+func percentileDur(s []time.Duration, p float64) time.Duration {
+	if len(s) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), s...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Render prints all three phases.
+func (r *StreamResult) Render(w io.Writer) {
+	status := "IDENTICAL"
+	if !r.Matched {
+		status = "MISMATCH"
+	}
+	fprintf(w, "Sustained stream (uid=%d, %d prefs, k=%d):\n", r.UID, r.ProfileSize, r.K)
+	fprintf(w, "  group commit: %d writers x %d ops + %d readers in %v (%.0f ops/s, %d scans) vs serial %v (%.0f ops/s, %d scans) — %.2fx; final states %s\n",
+		r.Writers, r.PerWriter, r.Readers, r.GroupWall, r.GroupOpsPerSec, r.GroupScans,
+		r.SerialWall, r.SerialOpsPerSec, r.SerialScans, r.Speedup, status)
+	fprintf(w, "  open loop: %d ops offered at %.0f ops/s, %d syncs, staleness p50 %v p99 %v\n",
+		r.StreamOps, r.OfferedOpsPerSec, r.Syncs, r.P50Staleness, r.P99Staleness)
+	fprintf(w, "  flatness: per-sync median %v at base vs %v at 4x papers (%.2fx, %d batches x %d ops)\n",
+		r.SyncMedianBase, r.SyncMedian4x, r.FlatnessRatio, r.SyncBatches, r.OpsPerSync)
+}

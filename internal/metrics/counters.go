@@ -29,6 +29,10 @@ type CacheCounters struct {
 	// Invalidated counts entries dropped because a mutation batch moved
 	// the membership of a predicate they depend on.
 	Invalidated atomic.Int64
+	// PlanRepairs counts compiled-plan entries whose TA lists were patched
+	// in place by a maintenance sync (topk.Lists.ApplyDelta) instead of
+	// being invalidated.
+	PlanRepairs atomic.Int64
 	// StaleBypasses counts requests served uncached because the store's
 	// epoch stamp had advanced past the cache's last synced state.
 	StaleBypasses atomic.Int64
@@ -47,6 +51,7 @@ type CacheSnapshot struct {
 	SharedWaits    int64 `json:"shared_waits"`
 	Evictions      int64 `json:"evictions"`
 	Invalidated    int64 `json:"invalidated"`
+	PlanRepairs    int64 `json:"plan_repairs"`
 	StaleBypasses  int64 `json:"stale_bypasses"`
 	FootprintScans int64 `json:"footprint_scans"`
 }
@@ -63,6 +68,7 @@ func (c *CacheCounters) Snapshot() CacheSnapshot {
 		SharedWaits:    c.SharedWaits.Load(),
 		Evictions:      c.Evictions.Load(),
 		Invalidated:    c.Invalidated.Load(),
+		PlanRepairs:    c.PlanRepairs.Load(),
 		StaleBypasses:  c.StaleBypasses.Load(),
 		FootprintScans: c.FootprintScans.Load(),
 	}

@@ -1,0 +1,13 @@
+package metrics
+
+import "hypre/internal/relstore"
+
+// StoreCounters aliases the relstore write-path counters (group-commit
+// batching, change-log overflows, compactions, join repair vs rebuild) into
+// the metrics package, next to the serving tier's CacheCounters — the
+// implementation lives in relstore to keep the store free of upward
+// imports. Attach with relstore.WithStoreCounters.
+type StoreCounters = relstore.StoreCounters
+
+// StoreSnapshot is the plain-value copy StoreCounters.Snapshot returns.
+type StoreSnapshot = relstore.StoreSnapshot

@@ -186,6 +186,15 @@ func (z *zone) fold(k predicate.Kind, v predicate.Value) {
 // block's zone entry exactly — updates must be able to *shrink* a zone, or
 // repeated updates would degrade every block to "anything goes".
 func (c *column) set(row int, v predicate.Value) {
+	c.rebuildZone(c.setRaw(row, v))
+}
+
+// setRaw overwrites the row's payload without touching zone state and
+// returns the block it dirtied. Group-commit batches use it to defer the
+// zone rebuild to one pass per batch (endBatchLocked); until that pass runs
+// the block's zone is stale, which is safe only because the exclusive state
+// lock keeps every reader out for the batch's whole critical section.
+func (c *column) setRaw(row int, v predicate.Value) (blk int) {
 	switch c.kinds[row] {
 	case predicate.KindString:
 		c.nStr--
@@ -214,14 +223,21 @@ func (c *column) set(row int, v predicate.Value) {
 	default:
 		c.nNoInt++
 	}
-	c.rebuildZone(row / blockSize)
+	return row / blockSize
 }
 
 // rebuildZone recomputes one block's zone entry from its rows and refreshes
-// the column-level NaN shortcut. Tombstoned rows still participate — their
-// values remain in the vectors, so including them keeps the zone a sound
-// over-approximation and the typed bulk loops valid for every physical row.
+// the column-level NaN shortcut.
 func (c *column) rebuildZone(bi int) {
+	c.rebuildZoneOnly(bi)
+	c.refreshNaN()
+}
+
+// rebuildZoneOnly recomputes one block's zone entry exactly from its rows.
+// Tombstoned rows still participate — their values remain in the vectors,
+// so including them keeps the zone a sound over-approximation and the typed
+// bulk loops valid for every physical row.
+func (c *column) rebuildZoneOnly(bi int) {
 	lo := bi * blockSize
 	hi := lo + blockSize
 	if hi > len(c.kinds) {
@@ -232,6 +248,10 @@ func (c *column) rebuildZone(bi int) {
 		z.fold(c.kinds[r], c.value(r))
 	}
 	c.zones[bi] = z
+}
+
+// refreshNaN recomputes the column-level anyNaN shortcut from the zones.
+func (c *column) refreshNaN() {
 	nan := false
 	for i := range c.zones {
 		if c.zones[i].hasNaN {

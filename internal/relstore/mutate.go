@@ -49,10 +49,19 @@ type RowChange struct {
 	Old   []predicate.Value
 }
 
-// maxChangeLog bounds the per-table change log. On overflow the oldest half
-// is trimmed and ChangedSince reports ok=false for epochs older than the
-// trim point, telling delta consumers to fall back to a full rebuild.
+// maxChangeLog is the default per-table change-log bound (override with
+// WithChangeLogCap). On overflow the oldest half is trimmed and ChangedSince
+// reports ok=false for epochs older than the trim point, telling delta
+// consumers to fall back to a full rebuild.
 const maxChangeLog = 1 << 15
+
+// logCapacity is the table's configured change-log bound.
+func (t *Table) logCapacity() int {
+	if t.cfg.logCap > 0 {
+		return t.cfg.logCap
+	}
+	return maxChangeLog
+}
 
 // Epoch returns the table's current mutation epoch: 0 for a fresh table,
 // bumped by every committed Insert/Update/Delete.
@@ -91,25 +100,166 @@ func (t *Table) isDead(id int) bool {
 	return t.nDead > 0 && t.dead.Contains(id)
 }
 
+// commitEpochLocked assigns the epoch of one committing mutation: inside a
+// group-commit hold every op shares the hold's epoch, bumped lazily on the
+// table's first mutation so untouched tables keep theirs; outside one, the
+// op bumps the table generation itself. fn, when non-nil, runs under t.mu
+// (the eager index-repair hook). Callers hold the state lock exclusively.
+func (t *Table) commitEpochLocked(fn func()) uint64 {
+	t.mu.Lock()
+	var epoch uint64
+	if t.batch != nil {
+		if t.batch.epoch == 0 {
+			t.gen++
+			t.batch.epoch = t.gen
+		}
+		epoch = t.batch.epoch
+	} else {
+		t.gen++
+		epoch = t.gen
+	}
+	if fn != nil {
+		fn()
+	}
+	t.mu.Unlock()
+	return epoch
+}
+
 // Delete tombstones row id. It returns false when the id is out of range or
 // the row is already dead. The row's values stay in the column vectors
 // (zone maps remain sound over-approximations); every read path filters the
 // tombstone bitmap.
 func (t *Table) Delete(id int) bool {
+	if t.cfg.groupCommit {
+		var ok bool
+		t.commit(func() { ok = t.deleteLocked(id) })
+		return ok
+	}
 	t.state.Lock()
 	defer t.state.Unlock()
+	ok := t.deleteLocked(id)
+	t.maybeCompactLocked()
+	return ok
+}
+
+func (t *Table) deleteLocked(id int) bool {
 	if id < 0 || id >= t.n || t.isDead(id) {
 		return false
 	}
 	old := t.rowVals(id)
 	t.dead.Add(id)
 	t.nDead++
-	t.mu.Lock()
-	t.gen++
-	epoch := t.gen
-	t.mu.Unlock()
+	epoch := t.commitEpochLocked(nil)
 	t.logChange(RowChange{Epoch: epoch, Row: id, Kind: ChangeDelete, Old: old})
 	return true
+}
+
+// DeleteByKey tombstones every live row whose col equals key, returning how
+// many died. The index probe and the deletes run inside one committed
+// critical section: a key-addressed writer pays one commit instead of a
+// shared-lock lookup followed by a separate commit — under sustained
+// concurrent scans the separate read round-trip costs a reader-gap wait per
+// op, and it lets the group-commit queue actually coalesce (a writer whose
+// op is a pure enqueue can pile up behind a leader; one stuck in a read
+// phase cannot). Key-addressed ops are also compaction-proof by
+// construction: they never hold a row id across commits.
+func (t *Table) DeleteByKey(col string, key predicate.Value) (int, error) {
+	pos, ok := t.colIdx[col]
+	if !ok {
+		return 0, fmt.Errorf("relstore: %s has no column %q", t.schema.Name, col)
+	}
+	var n int
+	if t.cfg.groupCommit {
+		t.commit(func() { n = t.deleteByKeyLocked(pos, key, -1) })
+		return n, nil
+	}
+	t.state.Lock()
+	defer t.state.Unlock()
+	n = t.deleteByKeyLocked(pos, key, -1)
+	t.maybeCompactLocked()
+	return n, nil
+}
+
+// DeleteOneByKey tombstones at most one live row whose col equals key.
+func (t *Table) DeleteOneByKey(col string, key predicate.Value) (int, error) {
+	pos, ok := t.colIdx[col]
+	if !ok {
+		return 0, fmt.Errorf("relstore: %s has no column %q", t.schema.Name, col)
+	}
+	var n int
+	if t.cfg.groupCommit {
+		t.commit(func() { n = t.deleteByKeyLocked(pos, key, 1) })
+		return n, nil
+	}
+	t.state.Lock()
+	defer t.state.Unlock()
+	n = t.deleteByKeyLocked(pos, key, 1)
+	t.maybeCompactLocked()
+	return n, nil
+}
+
+// UpdateColByKey overwrites col of every live row whose keyCol equals key,
+// returning how many rows changed. Zero matches is not an error — a
+// key-addressed update whose target died is the benign tail of a racing
+// delete.
+func (t *Table) UpdateColByKey(keyCol string, key predicate.Value, col string, v predicate.Value) (int, error) {
+	kpos, ok := t.colIdx[keyCol]
+	if !ok {
+		return 0, fmt.Errorf("relstore: %s has no column %q", t.schema.Name, keyCol)
+	}
+	pos, ok := t.colIdx[col]
+	if !ok {
+		return 0, fmt.Errorf("relstore: %s has no column %q", t.schema.Name, col)
+	}
+	var n int
+	var err error
+	apply := func() {
+		for _, id := range t.matchLiveLocked(kpos, key) {
+			if e := t.updateColLocked(id, pos, v); e != nil {
+				err = e
+				return
+			}
+			n++
+		}
+	}
+	if t.cfg.groupCommit {
+		t.commit(apply)
+		return n, err
+	}
+	t.state.Lock()
+	defer t.state.Unlock()
+	apply()
+	return n, err
+}
+
+// deleteByKeyLocked tombstones up to limit (-1 = all) live rows matching
+// (pos, key). Callers hold the state lock exclusively.
+func (t *Table) deleteByKeyLocked(pos int, key predicate.Value, limit int) int {
+	n := 0
+	for _, id := range t.matchLiveLocked(pos, key) {
+		if limit >= 0 && n >= limit {
+			break
+		}
+		if t.deleteLocked(id) {
+			n++
+		}
+	}
+	return n
+}
+
+// matchLiveLocked probes the hash index on pos (building it if missing) and
+// returns a copy of the live matching row ids — a copy because the caller
+// is about to mutate, and eager index repair may rewrite the bucket being
+// iterated. Callers hold the state lock exclusively.
+func (t *Table) matchLiveLocked(pos int, key predicate.Value) []int {
+	idx := t.ensureIndex(pos)
+	var out []int
+	for _, id := range idx[indexKey(key)] {
+		if !t.isDead(id) {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // Update overwrites row id with a full replacement row. Changed columns that
@@ -119,6 +269,11 @@ func (t *Table) Update(id int, vals ...predicate.Value) error {
 	if len(vals) != len(t.schema.Columns) {
 		return fmt.Errorf("relstore: %s expects %d values, got %d",
 			t.schema.Name, len(t.schema.Columns), len(vals))
+	}
+	if t.cfg.groupCommit {
+		var err error
+		t.commit(func() { err = t.updateLocked(id, vals) })
+		return err
 	}
 	t.state.Lock()
 	defer t.state.Unlock()
@@ -132,8 +287,17 @@ func (t *Table) UpdateCol(id int, col string, v predicate.Value) error {
 	if !ok {
 		return fmt.Errorf("relstore: %s has no column %q", t.schema.Name, col)
 	}
+	if t.cfg.groupCommit {
+		var err error
+		t.commit(func() { err = t.updateColLocked(id, pos, v) })
+		return err
+	}
 	t.state.Lock()
 	defer t.state.Unlock()
+	return t.updateColLocked(id, pos, v)
+}
+
+func (t *Table) updateColLocked(id, pos int, v predicate.Value) error {
 	if id < 0 || id >= t.n {
 		return fmt.Errorf("relstore: %s has no row %d", t.schema.Name, id)
 	}
@@ -160,20 +324,24 @@ func (t *Table) updateLocked(id int, vals []predicate.Value) error {
 		if old[i] == v {
 			continue
 		}
-		t.cols[i].set(id, v)
-	}
-	t.mu.Lock()
-	t.gen++
-	epoch := t.gen
-	for col, idx := range t.indexes {
-		oldK, newK := indexKey(old[col]), indexKey(vals[col])
-		if oldK == newK {
-			continue
+		if b := t.batch; b != nil {
+			// Defer the zone rebuild to the batch's single repair pass.
+			blk := t.cols[i].setRaw(id, v)
+			b.touched = append(b.touched, zoneTouch{c: t.cols[i], blk: blk})
+		} else {
+			t.cols[i].set(id, v)
 		}
-		idx[oldK] = removeID(idx[oldK], id)
-		idx[newK] = append(idx[newK], id)
 	}
-	t.mu.Unlock()
+	epoch := t.commitEpochLocked(func() {
+		for col, idx := range t.indexes {
+			oldK, newK := indexKey(old[col]), indexKey(vals[col])
+			if oldK == newK {
+				continue
+			}
+			idx[oldK] = removeID(idx[oldK], id)
+			idx[newK] = append(idx[newK], id)
+		}
+	})
 	t.logChange(RowChange{Epoch: epoch, Row: id, Kind: ChangeUpdate, Old: old})
 	return nil
 }
@@ -199,12 +367,19 @@ func (t *Table) rowVals(id int) []predicate.Value {
 }
 
 // logChange appends one committed mutation, trimming the oldest half when
-// the log exceeds maxChangeLog. Callers hold the state lock exclusively.
+// the log exceeds its capacity (logCapacity / WithChangeLogCap). Callers
+// hold the state lock exclusively.
 func (t *Table) logChange(ch RowChange) {
-	if len(t.chLog) >= maxChangeLog {
+	if len(t.chLog) >= t.logCapacity() {
 		half := len(t.chLog) / 2
+		if half == 0 {
+			half = 1
+		}
 		t.logFloor = t.chLog[half-1].Epoch
 		t.chLog = append(t.chLog[:0:0], t.chLog[half:]...)
+		if sc := t.cfg.counters; sc != nil {
+			sc.LogOverflows.Add(1)
+		}
 	}
 	t.chLog = append(t.chLog, ch)
 }
@@ -216,6 +391,14 @@ func (t *Table) logChange(ch RowChange) {
 func (t *Table) ChangedSince(since uint64) (changes []RowChange, ok bool) {
 	t.state.RLock()
 	defer t.state.RUnlock()
+	return t.changedSinceLocked(since)
+}
+
+// changedSinceLocked is ChangedSince for callers already holding the state
+// lock (at least shared) — the join-repair path runs inside a scan's lock
+// scope, where re-acquiring the shared lock could deadlock behind a queued
+// writer.
+func (t *Table) changedSinceLocked(since uint64) (changes []RowChange, ok bool) {
 	if since < t.logFloor {
 		return nil, false
 	}
@@ -233,6 +416,37 @@ func (t *Table) ChangedSince(since uint64) (changes []RowChange, ok bool) {
 		return nil, true
 	}
 	return append([]RowChange(nil), t.chLog[lo:]...), true
+}
+
+// SyncSnapshot is one atomic drain of a table's maintenance feeds: the
+// current epoch, the committed changes since the consumer's epoch, and the
+// compaction remaps it must compose first — all captured under a single
+// shared acquisition, so a compaction cannot slip between the reads and
+// leave the consumer with changes remapped through a compaction record it
+// never saw (double-applying the remap on the next drain).
+type SyncSnapshot struct {
+	Epoch       uint64
+	Changes     []RowChange
+	Compactions []Compaction
+	// LogOK=false: the change log was trimmed past since (rebuild).
+	LogOK bool
+	// CompOK=false: compaction history was evicted past since (rebuild).
+	CompOK bool
+}
+
+// SnapshotSince captures a SyncSnapshot for a consumer synced to epoch
+// since. The returned slices are copies/immutable and safe to use after the
+// lock is released.
+func (t *Table) SnapshotSince(since uint64) SyncSnapshot {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	var s SyncSnapshot
+	t.mu.RLock()
+	s.Epoch = t.gen
+	t.mu.RUnlock()
+	s.Changes, s.LogOK = t.changedSinceLocked(since)
+	s.Compactions, s.CompOK = t.compactionsSinceLocked(since)
+	return s
 }
 
 // lockShared acquires the data locks of up to two tables shared, in

@@ -291,8 +291,22 @@ func attrRowSetTail(left *Table, pos int, lsel *bitset.Set, splitAt int, spill f
 func (db *DB) matchLeftVec(left, right *Table, leftPos, rightPos int,
 	where predicate.Predicate, touched *bitset.Set) (*bitset.Set, bool) {
 	var blks []int32
+	var rows []int32
 	if touched != nil {
 		blks = blocksOf(touched, left.n)
+		rows = rowsOf(touched, left.n)
+	}
+	// evalL evaluates a left-side predicate over the touched restriction:
+	// at the touched rows themselves when they are sparse in their blocks
+	// (the per-sync delta regime — cost tracks the batch, not the table),
+	// through the block kernels otherwise.
+	evalL := func(p predicate.Predicate, resolve func(string) int) (*bitset.Set, bool) {
+		if rows != nil && len(rows) < rowEvalMaxPerBlock*len(blks) {
+			if sel, ok := left.evalRows(p, resolve, rows); ok {
+				return sel, true
+			}
+		}
+		return left.evalVec(p, resolve, blks)
 	}
 	resolveL := func(a string) int {
 		if side, p := bindAttr(a, left, right); side == sideLeft {
@@ -301,7 +315,7 @@ func (db *DB) matchLeftVec(left, right *Table, leftPos, rightPos int,
 		return -1
 	}
 	if right == nil {
-		sel, ok := left.evalVec(where, resolveL, blks)
+		sel, ok := evalL(where, resolveL)
 		if !ok {
 			return nil, false
 		}
@@ -329,7 +343,7 @@ func (db *DB) matchLeftVec(left, right *Table, leftPos, rightPos int,
 	var lsel *bitset.Set
 	if len(leftParts) > 0 {
 		var ok bool
-		lsel, ok = left.evalVec(predicate.NewAnd(leftParts...), resolveL, blks)
+		lsel, ok = evalL(predicate.NewAnd(leftParts...), resolveL)
 		if !ok {
 			return nil, false
 		}
@@ -396,7 +410,7 @@ func (db *DB) matchLeftVec(left, right *Table, leftPos, rightPos int,
 		hit := bitset.New()
 		je := left.joinEntry(right, leftPos, rightPos)
 		stitch := func(rid int) {
-			for _, lid := range je.lids[je.off[rid]:je.off[rid+1]] {
+			for _, lid := range je.partners(rid) {
 				hit.Add(int(lid))
 			}
 		}

@@ -76,6 +76,14 @@ type Table struct {
 	chLog    []RowChange // committed mutations, ascending epoch (mutate.go)
 	logFloor uint64      // epochs <= logFloor have been trimmed from chLog
 
+	cfg   dbConfig     // write-path knobs, fixed at creation (NewDB options)
+	batch *applyBatch  // non-nil while a commit hold is applying (state held)
+	comps []Compaction // recent row-id remaps, ascending epoch (compact.go)
+	// compactFloor is the newest evicted compaction epoch: consumers whose
+	// sync point is <= compactFloor can no longer learn which remaps they
+	// missed and must rebuild.
+	compactFloor uint64
+
 	mu      sync.RWMutex
 	gen     uint64            // epoch: bumped on every mutation; invalidates caches
 	indexes map[int]hashIndex // column position -> value-key -> row ids
@@ -98,15 +106,40 @@ type existsKey struct {
 // run-encoded since most rows have partners) and the right-row → left-rows
 // mapping in CSR form, so scans stitch right selections back to left rows
 // with two array reads instead of a hash probe per row. Generations of both
-// tables at build time detect staleness after inserts. The selection is
-// immutable once published (rebuilds swap in a fresh entry), so results may
-// alias its containers copy-on-write.
+// tables at build time detect staleness. Entries are immutable once
+// published (repairs and rebuilds swap in a fresh entry), so results may
+// alias the selection's containers copy-on-write.
+//
+// Staleness is healed incrementally when the change logs still cover the
+// gap: a repair clones the selection COW, recomputes only the touched rows,
+// and overlays replacement partner lists in patched, leaving the base CSR
+// arrays shared with the previous entry. partners() is the one read path.
+// Partner lists may retain tombstoned lids (consumers filter liveness
+// downstream), and lists of dead rids are never consulted — which is what
+// keeps the repair's touched set proportional to the change log, not n.
 type existsEntry struct {
-	sel  *bitset.Set
-	off  []int32 // len right.n+1; lids[off[rid]:off[rid+1]] = left partners
-	lids []int32
-	lgen uint64
-	rgen uint64
+	sel     *bitset.Set
+	off     []int32 // len right.n+1 at build; lids[off[rid]:off[rid+1]] = left partners
+	lids    []int32
+	patched map[int32][]int32 // rid -> replacement partner list (nil = no partners)
+	lgen    uint64
+	rgen    uint64
+}
+
+// partners returns the left partner rows of right row rid: the patched
+// overlay when the row was touched since the base CSR was built, the CSR
+// slice otherwise. Rows appended after the base build have no CSR slot and
+// live only in the overlay.
+func (e *existsEntry) partners(rid int) []int32 {
+	if e.patched != nil {
+		if p, ok := e.patched[int32(rid)]; ok {
+			return p
+		}
+	}
+	if rid >= 0 && rid+1 < len(e.off) {
+		return e.lids[e.off[rid]:e.off[rid+1]]
+	}
+	return nil
 }
 
 // indexKey canonicalizes a value for hash-index and DISTINCT keying:
@@ -127,7 +160,7 @@ func indexKey(v predicate.Value) predicate.Value {
 // tableSeq hands out creation tickets for the canonical lock order.
 var tableSeq atomic.Uint64
 
-func newTable(s *Schema) *Table {
+func newTable(s *Schema, cfg dbConfig) *Table {
 	ci := make(map[string]int, len(s.Columns))
 	cols := make([]*column, len(s.Columns))
 	for i, c := range s.Columns {
@@ -135,7 +168,7 @@ func newTable(s *Schema) *Table {
 		cols[i] = &column{}
 	}
 	return &Table{schema: s, colIdx: ci, cols: cols, dead: bitset.New(),
-		seq: tableSeq.Add(1), indexes: make(map[int]hashIndex)}
+		seq: tableSeq.Add(1), indexes: make(map[int]hashIndex), cfg: cfg}
 }
 
 // Schema returns the table's schema.
@@ -172,24 +205,31 @@ func (t *Table) Insert(vals ...predicate.Value) (int, error) {
 		return 0, fmt.Errorf("relstore: %s expects %d values, got %d",
 			t.schema.Name, len(t.schema.Columns), len(vals))
 	}
+	if t.cfg.groupCommit {
+		var id int
+		t.commit(func() { id = t.insertLocked(vals) })
+		return id, nil
+	}
 	t.state.Lock()
 	defer t.state.Unlock()
+	return t.insertLocked(vals), nil
+}
+
+func (t *Table) insertLocked(vals []predicate.Value) int {
 	id := t.n
 	for i, v := range vals {
 		t.cols[i].append(v)
 	}
 	t.n++
 	t.nPublic.Store(int64(t.n))
-	t.mu.Lock()
-	t.gen++
-	epoch := t.gen
-	for col, idx := range t.indexes {
-		k := indexKey(t.cols[col].value(id))
-		idx[k] = append(idx[k], id)
-	}
-	t.mu.Unlock()
+	epoch := t.commitEpochLocked(func() {
+		for col, idx := range t.indexes {
+			k := indexKey(t.cols[col].value(id))
+			idx[k] = append(idx[k], id)
+		}
+	})
 	t.logChange(RowChange{Epoch: epoch, Row: id, Kind: ChangeInsert})
-	return id, nil
+	return id
 }
 
 // BuildIndex creates (or rebuilds) a hash index on the named column.
@@ -264,9 +304,12 @@ func (t *Table) existsVec(right *Table, leftPos, rightPos int) *bitset.Set {
 }
 
 // joinEntry returns the cached join plumbing (existence vector + right→left
-// CSR), rebuilding it when either table's epoch moved (the lazy CSR repair
-// after a mutation batch). Tombstoned rows on either side are excluded.
-// Callers hold the state locks of both tables at least shared.
+// CSR), healing it when either table's epoch moved: an incremental repair
+// from the change logs when they still cover the gap (joinrepair.go), a
+// full O(n) rebuild as the loud fallback (log overflow, compaction, or an
+// oversized patch set). Tombstoned rows on either side are excluded from
+// fresh builds. Callers hold the state locks of both tables at least
+// shared.
 func (t *Table) joinEntry(right *Table, leftPos, rightPos int) *existsEntry {
 	key := existsKey{right: right, leftPos: leftPos, rightPos: rightPos}
 	t.mu.RLock()
@@ -278,6 +321,23 @@ func (t *Table) joinEntry(right *Table, leftPos, rightPos int) *existsEntry {
 	right.mu.RUnlock()
 	if ok && e.lgen == lgen && e.rgen == rgen {
 		return e
+	}
+	if ok {
+		if ne := t.repairJoinEntry(e, right, leftPos, rightPos, lgen, rgen); ne != nil {
+			t.mu.Lock()
+			if t.exists == nil {
+				t.exists = make(map[existsKey]*existsEntry)
+			}
+			t.exists[key] = ne
+			t.mu.Unlock()
+			if sc := t.cfg.counters; sc != nil {
+				sc.JoinRepairs.Add(1)
+			}
+			return ne
+		}
+	}
+	if sc := t.cfg.counters; sc != nil {
+		sc.JoinRebuilds.Add(1)
 	}
 
 	// Build outside t.mu using only read paths, then publish.
@@ -394,11 +454,69 @@ type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 	order  []string
+	cfg    dbConfig
+}
+
+// dbConfig holds the write-path knobs shared by every table of a DB, fixed
+// at NewDB time.
+type dbConfig struct {
+	logCap      int     // change-log capacity; 0 means maxChangeLog
+	groupCommit bool    // route mutations through the commit queue
+	compactFrac float64 // dead-row fraction triggering compaction; 0 disables
+	counters    *StoreCounters
+	cq          *commitQueue // store-wide group-commit queue (groupcommit.go)
+}
+
+// DBOption configures the write path of a new DB.
+type DBOption func(*dbConfig)
+
+// WithChangeLogCap sets the per-table change-log capacity (entries). Streams
+// should size this to cover at least one maintenance interval of mutations,
+// or delta consumers hit the trim point and pay full rebuilds. n <= 0 keeps
+// the default.
+func WithChangeLogCap(n int) DBOption {
+	return func(c *dbConfig) {
+		if n > 0 {
+			c.logCap = n
+		}
+	}
+}
+
+// WithGroupCommit routes Insert/Delete/Update/UpdateCol (and Batch.Commit)
+// through a store-wide commit queue that coalesces concurrently submitted
+// mutations into one exclusive-lock acquisition per hold, one epoch bump
+// per touched table, and one zone-repair pass — with leadership rotating
+// among the writers (see groupcommit.go). Semantics are identical to serial
+// application in the order the queue admitted the ops; a writer with no
+// concurrent peers leads a hold of one (lock, apply, a free yield, unlock).
+func WithGroupCommit(on bool) DBOption {
+	return func(c *dbConfig) { c.groupCommit = on }
+}
+
+// WithCompaction enables threshold-triggered tombstone compaction: when a
+// commit leaves a table's dead-row fraction at or above frac (and the table
+// has at least a block of rows), the columnar vectors are compacted and a
+// row-id remap is published through the epoch gate (CompactionsSince) for
+// derived caches to apply. frac <= 0 disables (the default: row ids are
+// then stable forever, the pre-PR9 contract).
+func WithCompaction(frac float64) DBOption {
+	return func(c *dbConfig) { c.compactFrac = frac }
+}
+
+// WithStoreCounters attaches write-path counters (group-commit batching,
+// log overflows, compactions, join repairs) to every table of the DB.
+func WithStoreCounters(sc *StoreCounters) DBOption {
+	return func(c *dbConfig) { c.counters = sc }
 }
 
 // NewDB returns an empty database.
-func NewDB() *DB {
-	return &DB{tables: make(map[string]*Table)}
+func NewDB(opts ...DBOption) *DB {
+	db := &DB{tables: make(map[string]*Table)}
+	for _, o := range opts {
+		o(&db.cfg)
+	}
+	db.cfg.cq = &commitQueue{}
+	return db
 }
 
 // CreateTable registers a new relation and returns it.
@@ -418,7 +536,8 @@ func (db *DB) CreateTable(name string, cols ...Column) (*Table, error) {
 		}
 		seen[c.Name] = true
 	}
-	t := newTable(&Schema{Name: name, Columns: cols})
+	t := newTable(&Schema{Name: name, Columns: cols}, db.cfg)
+	db.cfg.cq.register(t)
 	db.tables[name] = t
 	db.order = append(db.order, name)
 	return t, nil

@@ -1,0 +1,242 @@
+package relstore
+
+import (
+	"hypre/internal/bitset"
+	"hypre/internal/predicate"
+)
+
+// This file is the row-restricted counterpart of vecscan.go, for delta
+// maintenance. The block kernels re-evaluate whole 1024-row blocks; after a
+// small mutation batch over a large table that is almost all waste — 60
+// scattered updates dirty up to 60 distinct blocks, so the per-sync cost of
+// the block path grows with the table (more blocks to scatter over) even
+// though the batch is constant. evalRows instead tests the predicate at
+// exactly the listed rows: O(|touched| x tree size), independent of table
+// size, which is what keeps delta maintenance flat as the store grows.
+//
+// Semantics match evalVec leaf-for-leaf (same literal analysis, same
+// three-valued collapse: an unbound attribute or NULL literal matches
+// nothing). NOT complements within the listed-row universe rather than the
+// full domain; callers of the restricted path mask the result with their
+// touched-row selection anyway, and complement-then-mask equals
+// complement-within-universe, distributing through AND/OR.
+
+// rowEvalMaxPerBlock gates the scalar path: one interpreted row test costs
+// on the order of a few dozen vectorized block-kernel rows, so the row path
+// wins while the touched rows average fewer than this many per touched
+// 1024-row block.
+const rowEvalMaxPerBlock = 32
+
+// rowsOf lists the set bits of sel below n, ascending — the row universe
+// for evalRows.
+func rowsOf(sel *bitset.Set, n int) []int32 {
+	out := make([]int32, 0, sel.Len())
+	sel.ForEach(func(i int) bool {
+		if i < n {
+			out = append(out, int32(i))
+		}
+		return true
+	})
+	return out
+}
+
+// evalRows evaluates a predicate at the listed rows only, as a selection
+// over those rows. ok=false mirrors evalVec: the tree holds a node this
+// path does not know, and the caller falls back.
+func (t *Table) evalRows(p predicate.Predicate, resolve func(string) int, rows []int32) (*bitset.Set, bool) {
+	switch node := p.(type) {
+	case predicate.True:
+		s := bitset.New()
+		for _, r := range rows {
+			s.Add(int(r))
+		}
+		return s, true
+	case *predicate.Cmp:
+		s := bitset.New()
+		if pos := resolve(node.Attr); pos >= 0 {
+			t.rowsCmp(pos, node.Op, node.Val, s, rows)
+		}
+		return s, true
+	case *predicate.Between:
+		s := bitset.New()
+		if pos := resolve(node.Attr); pos >= 0 {
+			t.rowsBetween(pos, node.Lo, node.Hi, s, rows)
+		}
+		return s, true
+	case *predicate.In:
+		s := bitset.New()
+		if pos := resolve(node.Attr); pos >= 0 {
+			t.rowsIn(pos, node.Vals, s, rows)
+		}
+		return s, true
+	case *predicate.Not:
+		sel, ok := t.evalRows(node.Kid, resolve, rows)
+		if !ok {
+			return nil, false
+		}
+		out := bitset.New()
+		for _, r := range rows {
+			if !sel.Contains(int(r)) {
+				out.Add(int(r))
+			}
+		}
+		return out, true
+	case *predicate.And:
+		var acc *bitset.Set
+		for _, k := range node.Kids {
+			sel, ok := t.evalRows(k, resolve, rows)
+			if !ok {
+				return nil, false
+			}
+			if acc == nil {
+				acc = sel
+			} else {
+				acc.AndWith(sel)
+			}
+			if acc.IsEmpty() {
+				return acc, true
+			}
+		}
+		if acc == nil { // empty conjunction is TRUE
+			acc = bitset.New()
+			for _, r := range rows {
+				acc.Add(int(r))
+			}
+		}
+		return acc, true
+	case *predicate.Or:
+		acc := bitset.New()
+		for _, k := range node.Kids {
+			sel, ok := t.evalRows(k, resolve, rows)
+			if !ok {
+				return nil, false
+			}
+			acc.OrWith(sel)
+		}
+		return acc, true
+	default:
+		return nil, false
+	}
+}
+
+// rowsCmp is the scalar Attr Op Literal test at each listed row — the same
+// match logic as scanCmp's inner row loops, minus the zone machinery.
+func (t *Table) rowsCmp(pos int, op predicate.Op, val predicate.Value, sel *bitset.Set, rows []int32) {
+	c := t.cols[pos]
+	lit := analyzeLit(val)
+	switch {
+	case lit.isNum:
+		for _, r := range rows {
+			if v, ok := c.numAt(int(r)); ok && opMatch(cmp3f(v, lit.f), op) {
+				sel.Add(int(r))
+			}
+		}
+	case lit.isStr:
+		if op == predicate.OpEq && !c.rawMode {
+			code, ok := c.dict.code(lit.s)
+			if !ok {
+				return
+			}
+			for _, r := range rows {
+				if c.kinds[r] == predicate.KindString && c.codes[r] == code {
+					sel.Add(int(r))
+				}
+			}
+			return
+		}
+		if op == predicate.OpEq {
+			for _, r := range rows {
+				if c.kinds[r] == predicate.KindString && c.rawStrs[r] == lit.s {
+					sel.Add(int(r))
+				}
+			}
+			return
+		}
+		lv := litVal{isStr: true, s: lit.s}
+		for _, r := range rows {
+			if c3, ok := c.cmp3At(int(r), lv); ok && opMatch(c3, op) {
+				sel.Add(int(r))
+			}
+		}
+	}
+}
+
+// rowsBetween is the scalar BETWEEN test at each listed row.
+func (t *Table) rowsBetween(pos int, lov, hiv predicate.Value, sel *bitset.Set, rows []int32) {
+	c := t.cols[pos]
+	llo, lhi := analyzeLit(lov), analyzeLit(hiv)
+	switch {
+	case llo.isNum && lhi.isNum:
+		for _, r := range rows {
+			if v, ok := c.numAt(int(r)); ok && cmp3f(v, llo.f) >= 0 && cmp3f(v, lhi.f) <= 0 {
+				sel.Add(int(r))
+			}
+		}
+	case llo.isStr && lhi.isStr:
+		for _, r := range rows {
+			if c.kinds[r] != predicate.KindString {
+				continue
+			}
+			s := c.strAt(int(r))
+			if s >= llo.s && s <= lhi.s {
+				sel.Add(int(r))
+			}
+		}
+	}
+}
+
+// rowsIn is the scalar IN test at each listed row, with the member list
+// analyzed once exactly like scanIn.
+func (t *Table) rowsIn(pos int, vals []predicate.Value, sel *bitset.Set, rows []int32) {
+	c := t.cols[pos]
+	var nums []float64
+	var codes []uint32
+	var strs []string
+	for _, v := range vals {
+		lv := analyzeLit(v)
+		switch {
+		case lv.isNum:
+			nums = append(nums, lv.f)
+		case lv.isStr:
+			if c.rawMode {
+				strs = append(strs, lv.s)
+			} else if code, ok := c.dict.code(lv.s); ok {
+				codes = append(codes, code)
+			}
+		}
+	}
+	if len(nums) == 0 && len(codes) == 0 && len(strs) == 0 {
+		return
+	}
+	for _, ri := range rows {
+		r := int(ri)
+		switch c.kinds[r] {
+		case predicate.KindInt, predicate.KindFloat:
+			v, _ := c.numAt(r)
+			for _, f := range nums {
+				if cmp3f(v, f) == 0 {
+					sel.Add(r)
+					break
+				}
+			}
+		case predicate.KindString:
+			if c.rawMode {
+				s := c.rawStrs[r]
+				for _, m := range strs {
+					if s == m {
+						sel.Add(r)
+						break
+					}
+				}
+				continue
+			}
+			cd := c.codes[r]
+			for _, code := range codes {
+				if cd == code {
+					sel.Add(r)
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package topk
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// This file is the randomized property suite for delta-maintained TA lists:
+// any sequence of re-grades, removals, and additions applied through
+// ApplyDelta must leave lists that rank exactly like lists freshly built
+// over the same grade maps — across enough rounds that the overlay grows,
+// pids die and resurrect, and maybeCompactList folds overlays back into the
+// base.
+
+func cloneGrades(gs []map[int64]float64) []map[int64]float64 {
+	out := make([]map[int64]float64, len(gs))
+	for i, g := range gs {
+		out[i] = make(map[int64]float64, len(g))
+		for pid, v := range g {
+			out[i][pid] = v
+		}
+	}
+	return out
+}
+
+func assertSameTA(t *testing.T, tag string, got, want *Lists, k int) {
+	t.Helper()
+	g, w := got.TA(k), want.TA(k)
+	if len(g) != len(w) {
+		t.Fatalf("%s: %d tuples vs fresh %d", tag, len(g), len(w))
+	}
+	for i := range g {
+		if g[i].PID != w[i].PID || math.Abs(g[i].Intensity-w[i].Intensity) > 1e-12 {
+			t.Fatalf("%s: rank %d: (pid %d, %v) vs fresh (pid %d, %v)",
+				tag, i, g[i].PID, g[i].Intensity, w[i].PID, w[i].Intensity)
+		}
+	}
+}
+
+func TestApplyDeltaMatchesFreshBuild(t *testing.T) {
+	names := []string{"venue", "author", "year"}
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nLists := 1 + rng.Intn(len(names))
+		nPids := 30 + rng.Intn(120)
+		grades := make([]map[int64]float64, nLists)
+		for i := range grades {
+			grades[i] = map[int64]float64{}
+			for pid := int64(0); pid < int64(nPids); pid++ {
+				if rng.Float64() < 0.6 {
+					grades[i][pid] = float64(1+rng.Intn(1000)) / 1000
+				}
+			}
+		}
+		l := NewLists(names[:nLists], cloneGrades(grades))
+
+		for round := 0; round < 10; round++ {
+			// Mutate the reference grade maps at a handful of pids: drop,
+			// re-grade, or (re-)add per list independently — including pids
+			// the lists never held, the benign no-op case.
+			touched := map[int64]struct{}{}
+			for c := 3 + rng.Intn(15); c > 0; c-- {
+				touched[int64(rng.Intn(nPids+10))] = struct{}{}
+			}
+			pids := make([]int64, 0, len(touched))
+			for pid := range touched {
+				pids = append(pids, pid)
+			}
+			for _, pid := range pids {
+				for i := range grades {
+					switch rng.Intn(3) {
+					case 0:
+						delete(grades[i], pid)
+					case 1:
+						grades[i][pid] = float64(1+rng.Intn(1000)) / 1000
+					}
+				}
+			}
+			if !l.ApplyDelta(pids, names[:nLists], grades) {
+				t.Fatalf("seed %d round %d: ApplyDelta rejected matching layout", seed, round)
+			}
+			fresh := NewLists(names[:nLists], cloneGrades(grades))
+			tag := fmt.Sprintf("seed %d round %d", seed, round)
+			assertSameTA(t, tag, l, fresh, nPids+16) // k past every object: full ranking
+			assertSameTA(t, tag, l, fresh, 5)        // and the early-termination regime
+			if got, want := l.Size(), fresh.Size(); got != want {
+				t.Fatalf("seed %d round %d: Size %d vs fresh %d", seed, round, got, want)
+			}
+		}
+	}
+
+	// Layout mismatches must be rejected without touching the lists.
+	l := NewLists([]string{"a", "b"}, []map[int64]float64{{1: 0.5}, {2: 0.7}})
+	if l.ApplyDelta([]int64{1}, []string{"b", "a"}, []map[int64]float64{{}, {}}) {
+		t.Fatal("ApplyDelta accepted reordered attribute names")
+	}
+	if l.ApplyDelta([]int64{1}, []string{"a"}, []map[int64]float64{{}}) {
+		t.Fatal("ApplyDelta accepted a dropped attribute")
+	}
+}

@@ -1,0 +1,187 @@
+package topk
+
+import (
+	"sort"
+
+	"hypre/internal/combine"
+	"hypre/internal/hypre"
+)
+
+// Delta maintenance of TA's sorted lists. Rebuilding a profile's lists
+// costs O(n log n) in the list sizes, which under a sustained update stream
+// turns every maintenance Sync into a table-sized bill per cached plan. The
+// overlay design keeps the big base runs immutable and routes churn through
+// two touched-sized side structures per list: re-graded entries land in a
+// small sorted overlay, stale base entries are masked by a tombstone set,
+// and sorted access merges the three on the fly in the exact (grade desc,
+// pid asc) order a fresh sort would produce. When the side structures
+// outgrow a fraction of the base, the list is merge-compacted from its
+// grade map — amortized O(changed) per maintained update.
+
+// listCursor iterates one list's merged view in entryBefore order: the base
+// run (skipping masked pids) interleaved with the overlay.
+type listCursor struct {
+	main, over []ListEntry
+	dead       map[int64]struct{}
+	mi, oi     int
+}
+
+// next yields the merged sequence's next entry.
+func (c *listCursor) next() (ListEntry, bool) {
+	for c.mi < len(c.main) {
+		if _, masked := c.dead[c.main[c.mi].PID]; !masked {
+			break
+		}
+		c.mi++
+	}
+	hasM := c.mi < len(c.main)
+	hasO := c.oi < len(c.over)
+	switch {
+	case hasM && (!hasO || entryBefore(c.main[c.mi], c.over[c.oi])):
+		e := c.main[c.mi]
+		c.mi++
+		return e, true
+	case hasO:
+		e := c.over[c.oi]
+		c.oi++
+		return e, true
+	default:
+		return ListEntry{}, false
+	}
+}
+
+// ApplyDelta re-grades the touched pids in place: newGrades is shaped like
+// a fresh build's grade maps for the same profile (names must match the
+// lists' attributes — DeltaGrades produces exactly that), and a pid absent
+// from newGrades[i] leaves list i. Untouched entries are not visited. The
+// result is equivalent to rebuilding the lists from scratch over the new
+// grade maps; returns false (lists unchanged) when the attribute layout
+// does not line up and the caller should rebuild instead.
+func (l *Lists) ApplyDelta(pids []int64, names []string, newGrades []map[int64]float64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(names) != len(l.Names) || len(newGrades) != len(l.Names) {
+		return false
+	}
+	for i, n := range names {
+		if n != l.Names[i] {
+			return false
+		}
+	}
+	for i := range l.grades {
+		g := l.grades[i]
+		ng := newGrades[i]
+		dirty := false
+		for _, pid := range pids {
+			gOld, had := g[pid]
+			gNew, has := ng[pid]
+			if had == has && (!had || gOld == gNew) {
+				continue
+			}
+			dirty = true
+			if had {
+				// Retire the pid's current entry: lift it out of the overlay
+				// if it lives there, otherwise mask its base slot. A pid
+				// masked once stays masked — re-additions live in the
+				// overlay, so the base entry is stale forever.
+				if !l.removeOverlay(i, ListEntry{PID: pid, Grade: gOld}) {
+					if l.dead[i] == nil {
+						l.dead[i] = make(map[int64]struct{})
+					}
+					l.dead[i][pid] = struct{}{}
+				}
+			}
+			if has {
+				l.insertOverlay(i, ListEntry{PID: pid, Grade: gNew})
+				g[pid] = gNew
+			} else {
+				delete(g, pid)
+			}
+		}
+		if dirty {
+			l.maybeCompactList(i)
+		}
+	}
+	return true
+}
+
+// removeOverlay deletes the exact entry from list i's overlay, reporting
+// whether it was there. Callers hold l.mu exclusively.
+func (l *Lists) removeOverlay(i int, e ListEntry) bool {
+	ov := l.overlay[i]
+	j := sort.Search(len(ov), func(k int) bool { return !entryBefore(ov[k], e) })
+	if j < len(ov) && ov[j] == e {
+		l.overlay[i] = append(ov[:j], ov[j+1:]...)
+		return true
+	}
+	return false
+}
+
+// insertOverlay places e at its sorted position in list i's overlay.
+// Callers hold l.mu exclusively.
+func (l *Lists) insertOverlay(i int, e ListEntry) {
+	ov := append(l.overlay[i], ListEntry{})
+	j := sort.Search(len(ov)-1, func(k int) bool { return !entryBefore(ov[k], e) })
+	copy(ov[j+1:], ov[j:])
+	ov[j] = e
+	l.overlay[i] = ov
+}
+
+// maybeCompactList folds list i's overlay and tombstones back into one
+// sorted base run once they exceed a quarter of it (with a floor so small
+// lists don't thrash) — re-sorted from the grade map, which is the current
+// membership by construction. Callers hold l.mu exclusively.
+func (l *Lists) maybeCompactList(i int) {
+	side := len(l.overlay[i]) + len(l.dead[i])
+	if limit := max(64, len(l.sorted[i])/4); side <= limit {
+		return
+	}
+	list := make([]ListEntry, 0, len(l.grades[i]))
+	for pid, g := range l.grades[i] {
+		list = append(list, ListEntry{PID: pid, Grade: g})
+	}
+	sort.Slice(list, func(a, b int) bool { return entryBefore(list[a], list[b]) })
+	l.sorted[i] = list
+	l.overlay[i] = nil
+	l.dead[i] = nil
+}
+
+// DeltaGrades computes the current per-attribute grades of just the given
+// pids for a profile, against the evaluator's (already refreshed) predicate
+// bitmaps — the newGrades input ApplyDelta wants. Grouping, negative-
+// preference skipping, and f∧ accumulation mirror BuildLists exactly
+// (shared groupByAttr), so names aligns with the Lists a fresh build of the
+// same profile produced. Pids with no dense id match no bitmap and come
+// back absent, i.e. "leaves every list".
+func DeltaGrades(ev *combine.Evaluator, prefs []hypre.ScoredPred, pids []int64) (names []string, grades []map[int64]float64, err error) {
+	type target struct {
+		pid int64
+		di  int
+	}
+	targets := make([]target, 0, len(pids))
+	for _, pid := range pids {
+		if di, ok := ev.DenseID(pid); ok {
+			targets = append(targets, target{pid: pid, di: di})
+		}
+	}
+	groups := groupByAttr(prefs)
+	names = make([]string, 0, len(groups))
+	grades = make([]map[int64]float64, 0, len(groups))
+	for _, grp := range groups {
+		m := map[int64]float64{}
+		for _, p := range grp.prefs {
+			b, err := ev.PredBitmap(p)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, tg := range targets {
+				if b.Contains(tg.di) {
+					m[tg.pid] = hypre.FAnd(m[tg.pid], p.Intensity)
+				}
+			}
+		}
+		names = append(names, grp.name)
+		grades = append(grades, m)
+	}
+	return names, grades, nil
+}

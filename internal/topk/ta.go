@@ -6,6 +6,7 @@ package topk
 
 import (
 	"sort"
+	"sync"
 
 	"hypre/internal/combine"
 	"hypre/internal/hypre"
@@ -18,40 +19,65 @@ type ListEntry struct {
 	Grade float64
 }
 
+// entryBefore is the canonical list order: grade descending, ties by pid
+// ascending (the determinism rule of every TA output).
+func entryBefore(a, b ListEntry) bool {
+	if a.Grade != b.Grade {
+		return a.Grade > b.Grade
+	}
+	return a.PID < b.PID
+}
+
 // Lists is the TA input: m sorted lists, one per attribute, each ordered
 // descending by grade, with random access by pid (Definition 20's setup).
+//
+// Lists is delta-maintainable (delta.go): each list is a large sorted base
+// run plus a small sorted overlay of re-graded entries and a tombstone set
+// masking stale base entries, merged on the fly during sorted access —
+// ApplyDelta touches O(changed) entries instead of re-sorting n, which is
+// what lets a cached plan survive a maintenance Sync. Readers and the
+// maintainer synchronize on the embedded RWMutex: TA rankings run under the
+// read lock and see one consistent version.
 type Lists struct {
-	Names  []string
-	sorted [][]ListEntry
-	grades []map[int64]float64
+	Names   []string
+	mu      sync.RWMutex
+	sorted  [][]ListEntry
+	overlay [][]ListEntry        // sorted; pids disjoint from unmasked base entries
+	dead    []map[int64]struct{} // pids masked out of the base run
+	grades  []map[int64]float64  // current grade per live pid (random access)
 }
 
 // NewLists builds the structure from per-attribute grade maps; each list is
 // sorted descending by grade (ties by pid for determinism).
 func NewLists(names []string, gradeMaps []map[int64]float64) *Lists {
-	l := &Lists{Names: names, grades: gradeMaps}
+	l := &Lists{Names: names, grades: gradeMaps,
+		overlay: make([][]ListEntry, len(gradeMaps)),
+		dead:    make([]map[int64]struct{}, len(gradeMaps))}
 	for _, m := range gradeMaps {
 		list := make([]ListEntry, 0, len(m))
 		for pid, g := range m {
 			list = append(list, ListEntry{PID: pid, Grade: g})
 		}
-		sort.Slice(list, func(i, j int) bool {
-			if list[i].Grade != list[j].Grade {
-				return list[i].Grade > list[j].Grade
-			}
-			return list[i].PID < list[j].PID
-		})
+		sort.Slice(list, func(i, j int) bool { return entryBefore(list[i], list[j]) })
 		l.sorted = append(l.sorted, list)
 	}
 	return l
 }
 
-// Size returns the total number of stored (pid, grade) entries — the
-// storage cost §7.6.1 calls out as TA's scalability problem.
+// liveLen is list i's merged length: base minus masked plus overlay.
+// Callers hold l.mu.
+func (l *Lists) liveLen(i int) int {
+	return len(l.sorted[i]) - len(l.dead[i]) + len(l.overlay[i])
+}
+
+// Size returns the total number of live (pid, grade) entries — the storage
+// cost §7.6.1 calls out as TA's scalability problem.
 func (l *Lists) Size() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	n := 0
-	for _, s := range l.sorted {
-		n += len(s)
+	for i := range l.sorted {
+		n += l.liveLen(i)
 	}
 	return n
 }
@@ -60,11 +86,13 @@ func (l *Lists) Size() int {
 // accounting: each entry is stored twice (a 16-byte sorted pair plus a
 // grade-map slot, costed at 16 bytes of payload), plus the attribute names.
 // TA and aggregate only read the structure, so a cached Lists may serve
-// concurrent rankings.
+// concurrent rankings (delta maintenance takes the write lock).
 func (l *Lists) SizeBytes() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	var n int64
-	for _, s := range l.sorted {
-		n += int64(len(s)) * 16
+	for i, s := range l.sorted {
+		n += int64(len(s)+len(l.overlay[i])) * 16
 	}
 	for _, m := range l.grades {
 		n += int64(len(m)) * 16
@@ -78,7 +106,7 @@ func (l *Lists) SizeBytes() int64 {
 // aggregate computes the overall grade t(R) = f∧ over the grades of R in
 // every list where it appears (absent lists contribute 0, the identity of
 // f∧), matching §7.6.1's final combination step which "also added all the
-// tuples that are in only one list".
+// tuples that are in only one list". Callers hold l.mu at least shared.
 func (l *Lists) aggregate(pid int64) float64 {
 	vals := make([]float64, 0, len(l.grades))
 	for _, m := range l.grades {
@@ -169,6 +197,8 @@ func (l *Lists) TA(k int) []combine.ScoredTuple { return l.TATraced(k, nil) }
 // list exhaustion land in tr's engine counters. tr may be nil (TA calls it
 // that way); the algorithm is unchanged.
 func (l *Lists) TATraced(k int, tr *obs.Trace) []combine.ScoredTuple {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	if k <= 0 || len(l.sorted) == 0 {
 		return nil
 	}
@@ -183,22 +213,28 @@ func (l *Lists) TATraced(k int, tr *obs.Trace) []combine.ScoredTuple {
 		top.push(taScored{pid: pid, grade: l.aggregate(pid)}, k)
 	}
 
+	// Sorted access walks each list's merged view — base run minus masked
+	// entries, interleaved with the overlay — which yields exactly the
+	// sequence a fresh sort of the grade maps would (entryBefore order, pids
+	// unique across the merge).
+	cursors := make([]listCursor, len(l.sorted))
 	maxDepth := 0
-	for _, s := range l.sorted {
-		if len(s) > maxDepth {
-			maxDepth = len(s)
+	for i := range l.sorted {
+		cursors[i] = listCursor{main: l.sorted[i], over: l.overlay[i], dead: l.dead[i]}
+		if n := l.liveLen(i); n > maxDepth {
+			maxDepth = n
 		}
 	}
 	rounds, earlyExit := 0, false
 	for depth := 0; depth < maxDepth; depth++ {
 		lastGrades := make([]float64, 0, len(l.sorted))
 		exhausted := true
-		for _, s := range l.sorted {
-			if depth < len(s) {
-				insert(s[depth].PID)
-				lastGrades = append(lastGrades, s[depth].Grade)
+		for i := range cursors {
+			if e, ok := cursors[i].next(); ok {
+				insert(e.PID)
+				lastGrades = append(lastGrades, e.Grade)
 				exhausted = false
-			} else if len(s) > 0 {
+			} else if l.liveLen(i) > 0 {
 				// An exhausted list contributes its floor grade of 0.
 				lastGrades = append(lastGrades, 0)
 			}
@@ -231,12 +267,46 @@ func (l *Lists) TATraced(k int, tr *obs.Trace) []combine.ScoredTuple {
 // grade used for multi-author papers). Only non-negative preferences
 // participate (TA grades live in [0, 1]).
 func BuildLists(ev *combine.Evaluator, prefs []hypre.ScoredPred) (*Lists, error) {
-	type attrAcc struct {
-		name   string
-		grades map[int64]float64
+	groups := groupByAttr(prefs)
+	names := make([]string, 0, len(groups))
+	maps := make([]map[int64]float64, 0, len(groups))
+	for _, g := range groups {
+		grades := map[int64]float64{}
+		for _, p := range g.prefs {
+			// Iterate the cached dense bitmap directly: the TA baseline
+			// shares the evaluator's bitmap cache instead of materializing
+			// IntSet slices of its own. Per-pid accumulation is
+			// order-insensitive, so dense-index iteration matches the
+			// sorted-slice walk exactly.
+			b, err := ev.PredBitmap(p)
+			if err != nil {
+				return nil, err
+			}
+			intensity := p.Intensity
+			b.ForEachPid(ev.Dict(), func(pid int64) {
+				grades[pid] = hypre.FAnd(grades[pid], intensity)
+			})
+		}
+		names = append(names, g.name)
+		maps = append(maps, grades)
 	}
-	var order []string
-	accs := map[string]*attrAcc{}
+	return NewLists(names, maps), nil
+}
+
+// attrGroup is one attribute's slice of a profile: the list name and the
+// non-negative preferences grading into it, in first-seen order.
+type attrGroup struct {
+	name  string
+	prefs []hypre.ScoredPred
+}
+
+// groupByAttr groups a profile's preferences by attribute exactly as
+// BuildLists always has (first-seen order, negatives skipped, unnamed
+// attributes pooled under "(multi)") — shared with the delta path so
+// ApplyDelta grades land in the same lists a fresh build would produce.
+func groupByAttr(prefs []hypre.ScoredPred) []attrGroup {
+	byAttr := map[string]int{}
+	var groups []attrGroup
 	for _, p := range prefs {
 		if p.Intensity < 0 {
 			continue
@@ -245,30 +315,13 @@ func BuildLists(ev *combine.Evaluator, prefs []hypre.ScoredPred) (*Lists, error)
 		if attr == "" {
 			attr = "(multi)"
 		}
-		acc, ok := accs[attr]
+		gi, ok := byAttr[attr]
 		if !ok {
-			acc = &attrAcc{name: attr, grades: map[int64]float64{}}
-			accs[attr] = acc
-			order = append(order, attr)
+			gi = len(groups)
+			byAttr[attr] = gi
+			groups = append(groups, attrGroup{name: attr})
 		}
-		// Iterate the cached dense bitmap directly: the TA baseline shares
-		// the evaluator's bitmap cache instead of materializing IntSet
-		// slices of its own. Per-pid accumulation is order-insensitive, so
-		// dense-index iteration matches the sorted-slice walk exactly.
-		b, err := ev.PredBitmap(p)
-		if err != nil {
-			return nil, err
-		}
-		intensity := p.Intensity
-		b.ForEachPid(ev.Dict(), func(pid int64) {
-			acc.grades[pid] = hypre.FAnd(acc.grades[pid], intensity)
-		})
+		groups[gi].prefs = append(groups[gi].prefs, p)
 	}
-	names := make([]string, 0, len(order))
-	maps := make([]map[int64]float64, 0, len(order))
-	for _, a := range order {
-		names = append(names, a)
-		maps = append(maps, accs[a].grades)
-	}
-	return NewLists(names, maps), nil
+	return groups
 }

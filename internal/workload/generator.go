@@ -106,6 +106,13 @@ var venueSeeds = []string{
 // with the four Chapter 6 tables (dblp, author, citation, dblp_author) and
 // indexes on the columns the preference predicates touch.
 func Generate(cfg Config) (*Network, error) {
+	return GenerateWith(cfg)
+}
+
+// GenerateWith is Generate over a store built with the given options — the
+// write-path experiments use it to spin up twin networks that differ only
+// in commit strategy (group commit, compaction, change-log capacity).
+func GenerateWith(cfg Config, opts ...relstore.DBOption) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -113,7 +120,7 @@ func Generate(cfg Config) (*Network, error) {
 
 	net := &Network{
 		Cfg:            cfg,
-		DB:             relstore.NewDB(),
+		DB:             relstore.NewDB(opts...),
 		Venues:         make([]string, cfg.NumVenues),
 		Authors:        make([]string, cfg.NumAuthors),
 		PapersByAuthor: make(map[int][]int),

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hypre/internal/predicate"
+	"hypre/internal/relstore"
+)
+
+// This file is the sustained-stream half of the update workload: the same
+// seeded op mix as UpdateStream, but pre-planned into pid-keyed Op values
+// that concurrent writers can execute against the store. Two properties
+// make the plans concurrency- and compaction-proof:
+//
+//   - Ops name rows by pid, never by row id; Do resolves the current row
+//     through the store's hash index at execution time, so a plan stays
+//     valid across tombstone compactions that renumber every row.
+//   - PlanPartitions hands each writer a pid-disjoint slice of the live
+//     set (and a private fresh-pid namespace), so any interleaving of the
+//     writers reaches the same final logical state — which is what lets
+//     the stream experiment compare a group-commit store against a serial
+//     twin by ranking equality rather than by trust.
+//
+// Pacer adds the open-loop arrival mode: seeded exponential interarrival
+// gaps for a target ops/sec, so the stream experiment can drive the store
+// at a fixed offered load instead of as-fast-as-possible (closed loop),
+// and measure maintenance staleness under that load.
+
+// OpKind tags one planned mutation.
+type OpKind uint8
+
+const (
+	// OpInsert adds a paper with its authorship links.
+	OpInsert OpKind = iota
+	// OpDelete removes a paper and its links.
+	OpDelete
+	// OpUpdateVenue rewrites the paper's venue in place.
+	OpUpdateVenue
+	// OpUpdateYear rewrites the paper's year in place.
+	OpUpdateYear
+	// OpLinkAdd inserts one authorship link.
+	OpLinkAdd
+	// OpLinkDel deletes one of the paper's authorship links.
+	OpLinkDel
+)
+
+// Op is one pre-planned mutation against the DBLP pair of tables, keyed by
+// pid. Fields beyond PID are populated per kind.
+type Op struct {
+	Kind    OpKind
+	PID     int64
+	Venue   string
+	Year    int64
+	Authors []int64 // OpInsert: initial links; OpLinkAdd: Authors[0]
+}
+
+// Do executes the op against the store as one key-addressed mutation batch
+// (relstore.Batch): the op's mutations — a paper insert with its links, a
+// paper delete with its link teardown — commit as a single atomic unit, and
+// each key resolves through the store's hash index inside the committed
+// critical section. An op is therefore a pure write-path call with no
+// shared-lock read preamble (which is what lets ops queue up behind a
+// group-commit leader instead of stalling in a lookup) and stays valid
+// across tombstone compactions that renumber every row. A target pid that
+// is no longer live degrades to a no-op (zero rows matched) rather than an
+// error.
+func (op Op) Do(db *relstore.DB) error {
+	b := db.NewBatch()
+	pid := predicate.Int(op.PID)
+	switch op.Kind {
+	case OpInsert:
+		title := fmt.Sprintf("Paper %d on %s topics", op.PID, op.Venue)
+		abstract := fmt.Sprintf("Abstract of paper %d.", op.PID)
+		b.Insert("dblp", pid, predicate.String(title),
+			predicate.String(op.Venue), predicate.Int(op.Year), predicate.String(abstract))
+		for _, aid := range op.Authors {
+			b.Insert("dblp_author", pid, predicate.Int(aid))
+		}
+	case OpDelete:
+		b.DeleteByKey("dblp", "pid", pid)
+		b.DeleteByKey("dblp_author", "pid", pid)
+	case OpUpdateVenue:
+		b.UpdateColByKey("dblp", "pid", pid, "venue", predicate.String(op.Venue))
+	case OpUpdateYear:
+		b.UpdateColByKey("dblp", "pid", pid, "year", predicate.Int(op.Year))
+	case OpLinkAdd:
+		b.Insert("dblp_author", pid, predicate.Int(op.Authors[0]))
+	case OpLinkDel:
+		b.DeleteOneByKey("dblp_author", "pid", pid)
+	}
+	return b.Commit()
+}
+
+// PlanPartitions pre-plans writers×perWriter ops with the stream's mix and
+// seed: the current live pid set is dealt round-robin across the writers,
+// each writer draws from a derived RNG and allocates fresh pids in a
+// stride-writers namespace, and every op targets only pids its own writer
+// owns. The plans are pure — nothing is mutated until Do — so the same
+// plan can be executed against twin stores (group-commit vs serial) and
+// compared for equivalence.
+func (s *UpdateStream) PlanPartitions(writers, perWriter int) [][]Op {
+	owned := make([][]int64, writers)
+	for i, pid := range s.pids {
+		w := i % writers
+		owned[w] = append(owned[w], pid)
+	}
+	plans := make([][]Op, writers)
+	for w := 0; w < writers; w++ {
+		plans[w] = s.planOne(w, writers, perWriter, owned[w])
+	}
+	return plans
+}
+
+// planOne generates one writer's op list over its owned pid set.
+func (s *UpdateStream) planOne(w, writers, n int, owned []int64) []Op {
+	rng := rand.New(rand.NewSource(s.cfg.Seed*1_000_003 + int64(w)))
+	next := s.next + int64(w) // fresh pids: next + w + k*writers
+	c := s.cfg
+	ops := make([]Op, 0, n)
+	newPaper := func() Op {
+		pid := next
+		next += int64(writers)
+		venue := s.net.Venues[rng.Intn(len(s.net.Venues))]
+		year := s.net.Cfg.MinYear + rng.Intn(s.net.Cfg.MaxYear-s.net.Cfg.MinYear+1)
+		nAuth := 1 + rng.Intn(3)
+		authors := make([]int64, 0, nAuth)
+		seen := map[int64]bool{}
+		for a := 0; a < nAuth; a++ {
+			aid := int64(rng.Intn(len(s.net.Authors)))
+			if !seen[aid] {
+				seen[aid] = true
+				authors = append(authors, aid)
+			}
+		}
+		owned = append(owned, pid)
+		return Op{Kind: OpInsert, PID: pid, Venue: venue, Year: int64(year), Authors: authors}
+	}
+	for i := 0; i < n; i++ {
+		r := rng.Float64()
+		switch {
+		case r < c.InsertFrac || len(owned) == 0:
+			ops = append(ops, newPaper())
+		case r < c.InsertFrac+c.DeleteFrac:
+			j := rng.Intn(len(owned))
+			pid := owned[j]
+			owned[j] = owned[len(owned)-1]
+			owned = owned[:len(owned)-1]
+			ops = append(ops, Op{Kind: OpDelete, PID: pid})
+		case r < c.InsertFrac+c.DeleteFrac+c.LinkFrac:
+			pid := owned[rng.Intn(len(owned))]
+			if rng.Float64() < 0.5 {
+				aid := int64(rng.Intn(len(s.net.Authors)))
+				ops = append(ops, Op{Kind: OpLinkAdd, PID: pid, Authors: []int64{aid}})
+			} else {
+				ops = append(ops, Op{Kind: OpLinkDel, PID: pid})
+			}
+		default:
+			pid := owned[rng.Intn(len(owned))]
+			if rng.Float64() < 0.5 {
+				venue := s.net.Venues[rng.Intn(len(s.net.Venues))]
+				ops = append(ops, Op{Kind: OpUpdateVenue, PID: pid, Venue: venue})
+			} else {
+				year := s.net.Cfg.MinYear + rng.Intn(s.net.Cfg.MaxYear-s.net.Cfg.MinYear+1)
+				ops = append(ops, Op{Kind: OpUpdateYear, PID: pid, Year: int64(year)})
+			}
+		}
+	}
+	return ops
+}
+
+// Pacer is the open-loop arrival process: exponential interarrival gaps
+// drawn from a seeded RNG for a target mean rate, independent of how fast
+// the store absorbs the ops (the defining property of open-loop load — a
+// slow server builds a backlog instead of slowing the offered rate).
+type Pacer struct {
+	rng  *rand.Rand
+	mean float64 // seconds between arrivals
+	next time.Duration
+}
+
+// NewPacer builds a pacer for opsPerSec mean arrivals per second.
+func NewPacer(seed int64, opsPerSec float64) *Pacer {
+	if opsPerSec <= 0 {
+		opsPerSec = 1
+	}
+	return &Pacer{rng: rand.New(rand.NewSource(seed)), mean: 1 / opsPerSec}
+}
+
+// Next returns the arrival time of the next op, as an offset from the
+// stream's start. Arrivals are strictly non-decreasing.
+func (p *Pacer) Next() time.Duration {
+	gap := p.rng.ExpFloat64() * p.mean
+	p.next += time.Duration(gap * float64(time.Second))
+	return p.next
+}

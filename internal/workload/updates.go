@@ -43,7 +43,9 @@ func DefaultStreamConfig() StreamConfig {
 
 // UpdateStream applies a deterministic, seeded mutation mix to a network's
 // store. It tracks the live paper set itself, so ops always target valid
-// rows.
+// rows; on a compaction-enabled store it reindexes that snapshot through
+// every published row-id remap before each op, so its row-addressed
+// deletes and updates stay valid while the store compacts under it.
 type UpdateStream struct {
 	net  *Network
 	cfg  StreamConfig
@@ -53,6 +55,10 @@ type UpdateStream struct {
 	// alive papers: parallel row-id / pid views of the live set.
 	rows []int
 	pids []int64
+
+	// compEpoch is the newest dblp compaction epoch already reflected in
+	// rows (remaps up to it are absorbed; newer ones pend).
+	compEpoch uint64
 
 	// Counters by op kind, for reporting.
 	Inserts, Deletes, Updates, LinkOps int
@@ -66,6 +72,10 @@ func NewUpdateStream(net *Network, cfg StreamConfig) (*UpdateStream, error) {
 		return nil, fmt.Errorf("workload: network store has no dblp table")
 	}
 	s := &UpdateStream{net: net, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	// The live-set snapshot below is in the store's current id space:
+	// remaps already published are baked in, so only ones committed after
+	// the current epoch apply.
+	s.compEpoch = dblp.Epoch()
 	for id := 0; id < dblp.Len(); id++ {
 		if !dblp.Alive(id) {
 			continue
@@ -88,6 +98,9 @@ func (s *UpdateStream) Live() int { return len(s.rows) }
 // in practice every op lands).
 func (s *UpdateStream) Apply(n int) (applied int, err error) {
 	for i := 0; i < n; i++ {
+		if err := s.absorbCompactions(); err != nil {
+			return applied, err
+		}
 		var did bool
 		r := s.rng.Float64()
 		c := s.cfg
@@ -109,6 +122,36 @@ func (s *UpdateStream) Apply(n int) (applied int, err error) {
 		}
 	}
 	return applied, nil
+}
+
+// absorbCompactions reindexes the live-row snapshot through every row-id
+// remap the store published since the last op. It runs before each op, so
+// at most one dblp compaction can pend (only a delete's commit can cross
+// the dead-row threshold, and an op deletes at most one paper) and every
+// tracked row is in the pre-remap id space. Rows the stream tracks are
+// live by construction, so a remap that drops one is a corruption worth
+// failing loudly over. dblp_author needs nothing: link rows are looked up
+// by key at use time.
+func (s *UpdateStream) absorbCompactions() error {
+	dblp := s.net.DB.Table("dblp")
+	comps, ok := dblp.CompactionsSince(s.compEpoch)
+	if !ok {
+		return fmt.Errorf("workload: dblp compaction history evicted under the stream")
+	}
+	for _, c := range comps {
+		for i, row := range s.rows {
+			if row >= len(c.Remap) {
+				return fmt.Errorf("workload: tracked row %d outside remap domain %d", row, len(c.Remap))
+			}
+			nw := c.Remap[row]
+			if nw < 0 {
+				return fmt.Errorf("workload: compaction dropped tracked live row %d (pid %d)", row, s.pids[i])
+			}
+			s.rows[i] = int(nw)
+		}
+		s.compEpoch = c.Epoch
+	}
+	return nil
 }
 
 func (s *UpdateStream) insertPaper() (bool, error) {
