@@ -16,10 +16,16 @@
 //	stream_p99_staleness_ns     open-loop commit-to-sync staleness tail
 //	stream_sync_median_ns       per-sync maintenance median at base scale
 //	stream_sync_median_4x_ns    per-sync maintenance median at 4x papers
+//	serve_ops_sec               end-to-end HTTP serving throughput (higher is better)
+//	serve_p50_ns                closed-loop HTTP query median
+//	serve_p99_ns                closed-loop HTTP query tail
+//	serve_shed_rate             burst-phase shed fraction (config-pinned ceiling)
+//	serve_goodput_ops_sec       admitted throughput under burst (higher is better)
+//	serve_burst_p99_ns          admitted end-to-end p99 under burst
 //
-// Most metrics are medians where lower is better; stream_ops_sec is
-// higher-is-better, and the gate inverts its threshold (current must stay
-// above baseline ÷ limit).
+// Most metrics are medians where lower is better; stream_ops_sec,
+// serve_ops_sec, and serve_goodput_ops_sec are higher-is-better, and the
+// gate inverts their thresholds (current must stay above baseline ÷ limit).
 //
 // Thresholds are per metric: sub-millisecond medians (incremental
 // maintenance, quant-only PEPS) jitter more between CI runs than the
@@ -72,12 +78,25 @@ var defaultThresholds = map[string]float64{
 	"stream_p99_staleness_ns":  2.00,
 	"stream_sync_median_ns":    1.40,
 	"stream_sync_median_4x_ns": 1.40,
+	// End-to-end HTTP serving: throughput and goodput are higher-is-better;
+	// the burst p99 rides OS scheduler + HTTP stack jitter and gets the
+	// widest budget. The shed rate is configuration-pinned (offered rate vs
+	// admitted rate), so its budget guards the admission arithmetic, not the
+	// machine.
+	"serve_ops_sec":         1.35,
+	"serve_p50_ns":          1.60,
+	"serve_p99_ns":          1.75,
+	"serve_shed_rate":       1.35,
+	"serve_goodput_ops_sec": 1.35,
+	"serve_burst_p99_ns":    2.00,
 }
 
 // higherIsBetter flips a metric's regression direction: current/baseline
 // below 1/limit fails, above is an improvement.
 var higherIsBetter = map[string]bool{
-	"stream_ops_sec": true,
+	"stream_ops_sec":        true,
+	"serve_ops_sec":         true,
+	"serve_goodput_ops_sec": true,
 }
 
 // benchRecord mirrors the subset of benchrunner's -benchjson schema the
@@ -117,6 +136,14 @@ type benchRecord struct {
 		SyncMedianNs   int64   `json:"stream_sync_median_ns"`
 		SyncMedian4xNs int64   `json:"stream_sync_median_4x_ns"`
 	} `json:"stream"`
+	Serve []struct {
+		OpsSec     float64 `json:"serve_ops_sec"`
+		P50Ns      int64   `json:"serve_p50_ns"`
+		P99Ns      int64   `json:"serve_p99_ns"`
+		ShedRate   float64 `json:"serve_shed_rate"`
+		GoodputPS  float64 `json:"serve_goodput_ops_sec"`
+		BurstP99Ns int64   `json:"serve_burst_p99_ns"`
+	} `json:"serve"`
 }
 
 func load(path string) (*benchRecord, error) {
@@ -181,6 +208,21 @@ func metrics(r *benchRecord) map[string]float64 {
 	put(out, "stream_p99_staleness_ns", stP99)
 	put(out, "stream_sync_median_ns", stSync)
 	put(out, "stream_sync_median_4x_ns", stSync4)
+	var svOps, svP50, svP99, svShed, svGood, svBurst []float64
+	for _, s := range r.Serve {
+		svOps = append(svOps, s.OpsSec)
+		svP50 = append(svP50, float64(s.P50Ns))
+		svP99 = append(svP99, float64(s.P99Ns))
+		svShed = append(svShed, s.ShedRate)
+		svGood = append(svGood, s.GoodputPS)
+		svBurst = append(svBurst, float64(s.BurstP99Ns))
+	}
+	put(out, "serve_ops_sec", svOps)
+	put(out, "serve_p50_ns", svP50)
+	put(out, "serve_p99_ns", svP99)
+	put(out, "serve_shed_rate", svShed)
+	put(out, "serve_goodput_ops_sec", svGood)
+	put(out, "serve_burst_p99_ns", svBurst)
 	return out
 }
 
@@ -273,7 +315,7 @@ func main() {
 		b := bm[k]
 		c, ok := cm[k]
 		if !ok {
-			fmt.Printf("  %-28s baseline %14.0f  current        —  SKIP (not in current run)\n", k, b)
+			fmt.Printf("  %-28s baseline %14s  current        —  SKIP (not in current run)\n", k, fmtVal(b))
 			continue
 		}
 		compared++
@@ -287,16 +329,16 @@ func main() {
 				verdict = "REGRESSION"
 				failed++
 			}
-			fmt.Printf("  %-28s baseline %14.0f  current %14.0f  %5.2fx  (floor %.2fx)  %s\n",
-				k, b, c, ratio, 1/limit, verdict)
+			fmt.Printf("  %-28s baseline %14s  current %14s  %5.2fx  (floor %.2fx)  %s\n",
+				k, fmtVal(b), fmtVal(c), ratio, 1/limit, verdict)
 			continue
 		}
 		if ratio > limit {
 			verdict = "REGRESSION"
 			failed++
 		}
-		fmt.Printf("  %-28s baseline %14.0f  current %14.0f  %5.2fx  (limit %.2fx)  %s\n",
-			k, b, c, ratio, limit, verdict)
+		fmt.Printf("  %-28s baseline %14s  current %14s  %5.2fx  (limit %.2fx)  %s\n",
+			k, fmtVal(b), fmtVal(c), ratio, limit, verdict)
 	}
 	for k := range cm {
 		if _, ok := bm[k]; !ok {
@@ -310,6 +352,15 @@ func main() {
 		fatal(fmt.Errorf("%d of %d tracked medians regressed beyond their limits", failed, compared))
 	}
 	fmt.Printf("all %d tracked medians within their per-metric limits\n", compared)
+}
+
+// fmtVal renders a metric value: fractional metrics (shed rate) keep their
+// precision, everything else prints as a whole count.
+func fmtVal(v float64) string {
+	if v != 0 && v < 10 {
+		return strconv.FormatFloat(v, 'f', 3, 64)
+	}
+	return strconv.FormatFloat(v, 'f', 0, 64)
 }
 
 func fatal(err error) {

@@ -47,6 +47,7 @@ type benchReport struct {
 	Shards      []shardsJSON           `json:"shards,omitempty"`
 	OneShot     []oneshotJSON          `json:"oneshot,omitempty"`
 	CacheServe  []cacheserveJSON       `json:"cacheserve,omitempty"`
+	Serve       []serveJSON            `json:"serve,omitempty"`
 	Extra       map[string]interface{} `json:"extra,omitempty"`
 }
 
@@ -115,6 +116,38 @@ type cacheserveJSON struct {
 	TraceCoverOK  bool                  `json:"trace_coverage_ok"`
 	Matched       bool                  `json:"matched"`
 	Reps          int                   `json:"reps"`
+}
+
+// serveJSON is the end-to-end HTTP serving record: the real internal/serve
+// App booted in-process and driven over actual HTTP — closed-loop throughput
+// with a mutation sidecar, then an open-loop burst against an admission gate.
+// The shed rate is configuration-pinned (offered vs admitted rate), so it is
+// machine-comparable even though the throughput numbers are not.
+type serveJSON struct {
+	machineJSON
+	Sessions  int     `json:"sessions"`
+	Queries   int     `json:"queries"`
+	Workers   int     `json:"workers"`
+	K         int     `json:"k"`
+	OpsSec    float64 `json:"serve_ops_sec"`
+	P50Ns     int64   `json:"serve_p50_ns"`
+	P99Ns     int64   `json:"serve_p99_ns"`
+	MutateOps int     `json:"mutate_ops"`
+	HitRate   float64 `json:"hit_rate"`
+
+	BurstOffered   int     `json:"burst_offered"`
+	BurstOfferedPS float64 `json:"burst_offered_ops_sec"`
+	AdmitRatePS    float64 `json:"admit_rate_ops_sec"`
+	ShedRate       float64 `json:"serve_shed_rate"`
+	GoodputPS      float64 `json:"serve_goodput_ops_sec"`
+	BurstP99Ns     int64   `json:"serve_burst_p99_ns"`
+	QueueP99Ns     int64   `json:"burst_queue_p99_ns"`
+	SLONs          int64   `json:"slo_ns"`
+	P99BudgetNs    int64   `json:"p99_budget_ns"`
+	SLOOK          bool    `json:"slo_ok"`
+	RetryAfterOK   bool    `json:"retry_after_ok"`
+	Matched        bool    `json:"matched"`
+	Reps           int     `json:"reps"`
 }
 
 // routeStatJSON is one route class's latency summary from the serving
@@ -268,7 +301,7 @@ type pepsVariantsJSON struct {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiment ids (table10,table11,table12,fig13,fig17,fig18,fig26,fig28,fig29,fig32,fig35,fig37,fig39,ablation,materialize,updates,stream,bitmapmem,shards,oneshot,cacheserve) or 'all'")
+		exp     = flag.String("exp", "all", "comma-separated experiment ids (table10,table11,table12,fig13,fig17,fig18,fig26,fig28,fig29,fig32,fig35,fig37,fig39,ablation,materialize,updates,stream,bitmapmem,shards,oneshot,cacheserve,serve) or 'all'")
 		papers  = flag.Int("papers", 4000, "number of papers in the synthetic network")
 		authors = flag.Int("authors", 1200, "number of authors")
 		venues  = flag.Int("venues", 40, "number of venues")
@@ -768,7 +801,52 @@ func main() {
 		fmt.Println()
 	}
 
-	if *bjson != "" && (len(report.Fig39) > 0 || len(report.PairCache) > 0 || len(report.PEPS) > 0 || len(report.Materialize) > 0 || len(report.Updates) > 0 || len(report.Stream) > 0 || len(report.BitmapMem) > 0 || len(report.Shards) > 0 || len(report.OneShot) > 0 || len(report.CacheServe) > 0) {
+	if run("serve") {
+		svCfg := experiments.DefaultServeConfig()
+		svCfg.K = min(*k, 50)
+		r, err := experiments.RunServe(lab, svCfg)
+		if err != nil {
+			fatal(err)
+		}
+		r.Render(out)
+		if !r.Matched {
+			fatal(fmt.Errorf("serve: served answers diverged from uncached evaluation"))
+		}
+		if !r.SLOOK {
+			fatal(fmt.Errorf("serve: admitted burst p99 %v blew the %v budget", r.BurstP99, r.P99Budget))
+		}
+		if !r.RetryAfterOK {
+			fatal(fmt.Errorf("serve: burst shed %d requests but Retry-After hints were missing", r.BurstShed))
+		}
+		report.Serve = append(report.Serve, serveJSON{
+			machineJSON:    machineStamp(),
+			Sessions:       r.Sessions,
+			Queries:        r.Queries,
+			Workers:        r.Workers,
+			K:              r.K,
+			OpsSec:         r.OpsSec,
+			P50Ns:          r.P50.Nanoseconds(),
+			P99Ns:          r.P99.Nanoseconds(),
+			MutateOps:      r.MutateOps,
+			HitRate:        r.HitRate,
+			BurstOffered:   r.BurstOffered,
+			BurstOfferedPS: r.BurstOfferedPS,
+			AdmitRatePS:    r.AdmitRate,
+			ShedRate:       r.ShedRate,
+			GoodputPS:      r.GoodputPS,
+			BurstP99Ns:     r.BurstP99.Nanoseconds(),
+			QueueP99Ns:     r.QueueP99.Nanoseconds(),
+			SLONs:          r.SLO.Nanoseconds(),
+			P99BudgetNs:    r.P99Budget.Nanoseconds(),
+			SLOOK:          r.SLOOK,
+			RetryAfterOK:   r.RetryAfterOK,
+			Matched:        r.Matched,
+			Reps:           r.Reps,
+		})
+		fmt.Println()
+	}
+
+	if *bjson != "" && (len(report.Fig39) > 0 || len(report.PairCache) > 0 || len(report.PEPS) > 0 || len(report.Materialize) > 0 || len(report.Updates) > 0 || len(report.Stream) > 0 || len(report.BitmapMem) > 0 || len(report.Shards) > 0 || len(report.OneShot) > 0 || len(report.CacheServe) > 0 || len(report.Serve) > 0) {
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fatal(err)

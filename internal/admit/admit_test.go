@@ -1,0 +1,240 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hypre/internal/obs"
+)
+
+// fixedClock drives a gate deterministically: tests advance it by hand, so
+// refill arithmetic is exact and no assertion races the wall clock.
+type fixedClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fixedClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fixedClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestGate(t *testing.T, cfg Config) (*Gate, *fixedClock) {
+	t.Helper()
+	g := New("test", cfg, obs.NewRegistry())
+	clk := &fixedClock{t: time.Unix(1000, 0)}
+	g.now = clk.now
+	return g, clk
+}
+
+func TestUnlimitedGateAdmitsImmediately(t *testing.T) {
+	g := New("open", Config{}, nil)
+	for i := 0; i < 100; i++ {
+		d, err := g.Admit(context.Background())
+		if err != nil || d.Queued {
+			t.Fatalf("unlimited gate: admit %d: decision %+v err %v", i, d, err)
+		}
+	}
+	if got := g.Counters().Snapshot().Admitted; got != 100 {
+		t.Fatalf("admitted = %d, want 100", got)
+	}
+	var nilGate *Gate
+	if _, err := nilGate.Admit(context.Background()); err != nil {
+		t.Fatalf("nil gate must admit: %v", err)
+	}
+}
+
+func TestBurstThenQueueThenShed(t *testing.T) {
+	// 10/s, burst 3, SLO 250ms: 3 instant admissions, then queued waits of
+	// 100ms/200ms (within SLO), then the next projection (300ms) sheds.
+	g, _ := newTestGate(t, Config{Rate: 10, Burst: 3, MaxQueue: 64, SLO: 250 * time.Millisecond})
+	for i := 0; i < 3; i++ {
+		d, err := g.Admit(context.Background())
+		if err != nil || d.Queued {
+			t.Fatalf("burst admit %d: decision %+v err %v", i, d, err)
+		}
+	}
+	for i, want := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond} {
+		d, err := g.Admit(context.Background())
+		if err != nil {
+			t.Fatalf("queued admit %d: %v", i, err)
+		}
+		if !d.Queued || d.QueueDelay != want {
+			t.Fatalf("queued admit %d: got %+v, want delay %v", i, d, want)
+		}
+	}
+	_, err := g.Admit(context.Background())
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("expected shed, got %v", err)
+	}
+	// Projected delay 300ms, SLO 250ms: retry after the 50ms overhang.
+	if shed.RetryAfter != 50*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want 50ms", shed.RetryAfter)
+	}
+	if shed.RetryAfterSeconds() != 1 {
+		t.Fatalf("RetryAfterSeconds = %d, want floor of 1", shed.RetryAfterSeconds())
+	}
+	snap := g.Counters().Snapshot()
+	if snap.Admitted != 3 || snap.Queued != 2 || snap.Shed != 1 {
+		t.Fatalf("counters = %+v", snap)
+	}
+}
+
+func TestRefillRestoresBurst(t *testing.T) {
+	g, clk := newTestGate(t, Config{Rate: 100, Burst: 4, SLO: time.Millisecond})
+	for i := 0; i < 4; i++ {
+		if _, err := g.Admit(context.Background()); err != nil {
+			t.Fatalf("drain %d: %v", i, err)
+		}
+	}
+	if _, err := g.Admit(context.Background()); err == nil {
+		t.Fatal("empty bucket with 1ms SLO must shed")
+	}
+	clk.advance(time.Second) // refills far past Burst; must cap at 4
+	for i := 0; i < 4; i++ {
+		d, err := g.Admit(context.Background())
+		if err != nil || d.Queued {
+			t.Fatalf("post-refill admit %d: %+v %v", i, d, err)
+		}
+	}
+	if _, err := g.Admit(context.Background()); err == nil {
+		t.Fatal("bucket must have capped at Burst")
+	}
+}
+
+func TestMaxQueueSheds(t *testing.T) {
+	// SLO generous, MaxQueue 1: the second queued arrival sheds on the
+	// queue bound, not the SLO. Rate 4 keeps the queued waiter's real
+	// timer at 250ms so the slot is reliably observable while held.
+	g, _ := newTestGate(t, Config{Rate: 4, Burst: 1, MaxQueue: 1, SLO: time.Hour})
+	if _, err := g.Admit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Admit(context.Background())
+		done <- err
+	}()
+	// Wait for the first waiter to hold the queue slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g.mu.Lock()
+		q := g.queued
+		g.mu.Unlock()
+		if q == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queued waiter never appeared in the queue")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	_, err := g.Admit(context.Background())
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("queue-full arrival: want shed, got %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+}
+
+func TestCancelReturnsReservation(t *testing.T) {
+	g, _ := newTestGate(t, Config{Rate: 2, Burst: 1, MaxQueue: 8, SLO: 10 * time.Second})
+	if _, err := g.Admit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Admit(ctx) // would wait 500ms
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g.mu.Lock()
+		q := g.queued
+		g.mu.Unlock()
+		if q == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queued waiter never appeared in the queue")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter: %v", err)
+	}
+	// The reservation came back: the next arrival projects the same 500ms
+	// wait the canceled one had, not 1s.
+	g.mu.Lock()
+	tokens, queued := g.tokens, g.queued
+	g.mu.Unlock()
+	if queued != 0 || tokens < -0.001 || tokens > 0.001 {
+		t.Fatalf("after cancel: tokens %.3f queued %d, want ~0 tokens and empty queue", tokens, queued)
+	}
+	if got := g.Counters().Snapshot().Canceled; got != 1 {
+		t.Fatalf("canceled counter = %d", got)
+	}
+}
+
+func TestConcurrentAccounting(t *testing.T) {
+	// Hammer a small gate from many goroutines (real clock): whatever the
+	// interleaving, every arrival lands in exactly one counter bucket.
+	g := New("hammer", Config{Rate: 500, Burst: 8, MaxQueue: 16, SLO: 20 * time.Millisecond}, obs.NewRegistry())
+	const n = 400
+	var wg sync.WaitGroup
+	var admitted, shed, canceled atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			if i%7 == 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(i%5)*time.Millisecond)
+				defer cancel()
+			}
+			_, err := g.Admit(ctx)
+			var sh *ShedError
+			switch {
+			case err == nil:
+				admitted.Add(1)
+			case errors.As(err, &sh):
+				shed.Add(1)
+			case errors.Is(err, context.DeadlineExceeded):
+				canceled.Add(1)
+			default:
+				t.Errorf("unexpected admit error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	snap := g.Counters().Snapshot()
+	if snap.Offered() != n {
+		t.Fatalf("offered = %d, want %d (%+v)", snap.Offered(), n, snap)
+	}
+	if snap.Admitted+snap.Queued != admitted.Load() || snap.Shed != shed.Load() || snap.Canceled != canceled.Load() {
+		t.Fatalf("counter mismatch: snap %+v vs observed admit %d shed %d cancel %d",
+			snap, admitted.Load(), shed.Load(), canceled.Load())
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.queued != 0 {
+		t.Fatalf("queue not drained: %d", g.queued)
+	}
+}

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -117,7 +118,7 @@ func TestFlightGroupDedup(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			val, leader, err := g.do(key, func() ([]combine.ScoredTuple, error) {
+			val, leader, err := g.do(context.Background(), key, func() ([]combine.ScoredTuple, error) {
 				calls.Add(1)
 				<-release
 				return []combine.ScoredTuple{{PID: 42, Intensity: 1}}, nil
@@ -147,7 +148,7 @@ func TestFlightGroupDedup(t *testing.T) {
 		t.Fatalf("%d leaders, want 1", l)
 	}
 	// The key is released after the flight: a later call runs fn again.
-	_, leader, _ := g.do(key, func() ([]combine.ScoredTuple, error) { return nil, nil })
+	_, leader, _ := g.do(context.Background(), key, func() ([]combine.ScoredTuple, error) { return nil, nil })
 	if !leader {
 		t.Fatalf("post-flight call should lead a fresh flight")
 	}

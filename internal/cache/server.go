@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -157,7 +158,7 @@ func (s *Server) Counters() *metrics.CacheCounters { return s.counters }
 // (combine.CanonicalProfile) against the last-synced store snapshot; the
 // returned slice is the caller's to keep.
 func (s *Server) TopK(prefs []hypre.ScoredPred, k int) ([]combine.ScoredTuple, Outcome, error) {
-	return s.TopKTraced(prefs, k, nil)
+	return s.TopKContext(context.Background(), prefs, k, nil)
 }
 
 // TopKTraced is TopK under per-query observability: the route decision,
@@ -166,6 +167,18 @@ func (s *Server) TopK(prefs []hypre.ScoredPred, k int) ([]combine.ScoredTuple, O
 // log observe every call when attached, traced or not; with neither
 // attached and tr nil the serve path never reads the clock.
 func (s *Server) TopKTraced(prefs []hypre.ScoredPred, k int, tr *obs.Trace) ([]combine.ScoredTuple, Outcome, error) {
+	return s.TopKContext(context.Background(), prefs, k, tr)
+}
+
+// TopKContext is TopKTraced with request-scoped cancellation: a ctx that
+// ends while this request is parked behind another session's in-flight
+// evaluation of the same fingerprint unblocks immediately with ctx.Err()
+// (outcome SharedMiss, nothing recorded as served). Cancellation stops
+// WAITING only — a single-flight leader's evaluation is shared work and
+// always runs to completion and publishes, so the canceled waiter's peers
+// (and the next request) still get their answer. The HTTP serving tier
+// passes each request's context here.
+func (s *Server) TopKContext(ctx context.Context, prefs []hypre.ScoredPred, k int, tr *obs.Trace) ([]combine.ScoredTuple, Outcome, error) {
 	// Span discipline: top-level spans tile the request — each stage hands
 	// off to the next through Transition (one shared clock reading, zero
 	// gap), and the final stage stays open for Finish to close at the same
@@ -213,10 +226,17 @@ func (s *Server) TopKTraced(prefs []hypre.ScoredPred, k int, tr *obs.Trace) ([]c
 	// waiter sees only the flight span (the leader's trace, if any, is the
 	// leader's own).
 	fsp := tr.Transition(sp, obs.StageFlight)
-	val, leader, err := s.flight.do(rk, func() ([]combine.ScoredTuple, error) {
+	val, leader, err := s.flight.do(ctx, rk, func() ([]combine.ScoredTuple, error) {
 		return s.evaluate(canon, fp, k, stamp, tr)
 	})
 	if err != nil {
+		// A waiter whose own context ended is a canceled wait, not an
+		// evaluation failure; report it under the shared route so the miss
+		// histogram keeps describing real evaluation latency.
+		if !leader && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			s.observe(tr, SharedMiss, started, fp, k, err)
+			return nil, SharedMiss, err
+		}
 		s.observe(tr, Miss, started, fp, k, err)
 		return nil, Miss, err
 	}

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"sync"
 
 	"hypre/internal/combine"
@@ -8,40 +9,50 @@ import (
 
 // flightGroup collapses concurrent evaluations of the same (fingerprint, k)
 // into one: the first arrival becomes the leader and runs the evaluation;
-// every later arrival for the same key blocks on the leader's WaitGroup and
-// shares the answer. N sessions asking the same cold profile at once cost
-// one store scan, not N — the dedup half of the caching tier.
+// every later arrival for the same key blocks on the leader's completion
+// and shares the answer. N sessions asking the same cold profile at once
+// cost one store scan, not N — the dedup half of the caching tier.
+//
+// Waiters are cancellable: a waiter whose context ends (an HTTP client
+// disconnecting mid-wait) unblocks immediately with ctx.Err(). The leader is
+// deliberately NOT cancellable — its work is shared, so it always completes
+// and publishes even when every waiter (or its own caller's context) has
+// given up; the next request for the fingerprint then hits the cache.
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[entryKey]*flightCall
 }
 
 type flightCall struct {
-	wg  sync.WaitGroup
-	val []combine.ScoredTuple
-	err error
+	done chan struct{} // closed when val/err are set
+	val  []combine.ScoredTuple
+	err  error
 }
 
 // do runs fn once per concurrent key: the leader (leader=true) executes fn,
-// waiters receive the leader's value and error. The shared value is the
-// cache-internal slice; callers copy before handing it out.
-func (g *flightGroup) do(key entryKey, fn func() ([]combine.ScoredTuple, error)) (val []combine.ScoredTuple, leader bool, err error) {
+// waiters receive the leader's value and error, or their own ctx.Err() if
+// they stop waiting first. The shared value is the cache-internal slice;
+// callers copy before handing it out.
+func (g *flightGroup) do(ctx context.Context, key entryKey, fn func() ([]combine.ScoredTuple, error)) (val []combine.ScoredTuple, leader bool, err error) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[entryKey]*flightCall)
 	}
 	if c, ok := g.m[key]; ok {
 		g.mu.Unlock()
-		c.wg.Wait()
-		return c.val, false, c.err
+		select {
+		case <-c.done:
+			return c.val, false, c.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
 	}
-	c := &flightCall{}
-	c.wg.Add(1)
+	c := &flightCall{done: make(chan struct{})}
 	g.m[key] = c
 	g.mu.Unlock()
 
 	c.val, c.err = fn()
-	c.wg.Done()
+	close(c.done)
 
 	g.mu.Lock()
 	delete(g.m, key)

@@ -1,0 +1,421 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"hypre/internal/admit"
+	"hypre/internal/combine"
+	"hypre/internal/hypre"
+	"hypre/internal/serve"
+	"hypre/internal/workload"
+)
+
+// ServeConfig shapes the end-to-end HTTP serving benchmark: the real
+// internal/serve App booted in-process (httptest), driven through actual
+// HTTP requests in two phases — a closed-loop session-query drive with a
+// concurrent mutation sidecar (sustained throughput and latency), then an
+// open-loop burst against an admission-gated twin at an offered rate far
+// past the gate (shed rate and goodput under overload).
+type ServeConfig struct {
+	// Queries is the closed-loop drive length; Workers its client count.
+	Queries int
+	Workers int
+	K       int
+	// Cap bounds each user's profile size (0 = full).
+	Cap int
+	// Sessions is how many user profiles are stored via PUT.
+	Sessions int
+	// Mix is the Zipf popularity draw over the stored sessions.
+	Mix workload.ProfileMixConfig
+	// MutateOps mutations ride along the closed-loop phase in batches of
+	// MutateBatch ops per /v1/mutate call.
+	MutateOps   int
+	MutateBatch int
+
+	// Burst phase: BurstQueries arrivals offered open-loop at
+	// BurstOpsPerSec against a gate of AdmitRate/AdmitBurst/AdmitQueue/SLO.
+	BurstQueries   int
+	BurstOpsPerSec float64
+	AdmitRate      float64
+	AdmitBurst     int
+	AdmitQueue     int
+	SLO            time.Duration
+	// P99Budget is the acceptance ceiling for the end-to-end p99 of
+	// ADMITTED burst queries (queue wait included).
+	P99Budget time.Duration
+
+	// Reps repeats the measurement; the rep with the best closed-loop
+	// throughput is reported, correctness flags AND across reps.
+	Reps int
+}
+
+// DefaultServeConfig is the BENCH-record shape. The burst's shed rate is
+// pinned by configuration, not hardware: offered 1500/s against an admitted
+// 400/s leaves ~2/3 of the burst shed on any machine.
+func DefaultServeConfig() ServeConfig {
+	return ServeConfig{
+		Queries:        600,
+		Workers:        8,
+		K:              10,
+		Cap:            24,
+		Sessions:       48,
+		Mix:            workload.DefaultProfileMixConfig(),
+		MutateOps:      160,
+		MutateBatch:    8,
+		BurstQueries:   1500,
+		BurstOpsPerSec: 1500,
+		AdmitRate:      400,
+		AdmitBurst:     64,
+		AdmitQueue:     2048,
+		SLO:            30 * time.Millisecond,
+		P99Budget:      250 * time.Millisecond,
+		Reps:           3,
+	}
+}
+
+// ServeResult is one measured serving run.
+type ServeResult struct {
+	Sessions int
+	Queries  int
+	Workers  int
+	K        int
+
+	// Closed-loop phase.
+	OpsSec     float64
+	P50, P99   time.Duration
+	MutateOps  int
+	MutateCals int
+	HitRate    float64
+
+	// Burst phase.
+	BurstOffered   int
+	BurstOfferedPS float64
+	AdmitRate      float64
+	BurstOK        int
+	BurstShed      int
+	ShedRate       float64
+	GoodputPS      float64
+	BurstP99       time.Duration // end-to-end p99 of admitted burst queries
+	QueueP99       time.Duration // admission queue delay p99 (gate histogram)
+	SLO            time.Duration
+	P99Budget      time.Duration
+
+	// Acceptance flags.
+	Matched      bool // cached answers byte-identical to uncached evaluation
+	SLOOK        bool // BurstP99 <= P99Budget
+	RetryAfterOK bool // every 429 carried a positive Retry-After
+	Reps         int
+}
+
+// RunServe boots the real server in-process and drives it over HTTP.
+func RunServe(l *Lab, cfg ServeConfig) (*ServeResult, error) {
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	var best *ServeResult
+	matched, sloOK, retryOK := true, true, true
+	for rep := 0; rep < cfg.Reps; rep++ {
+		r, err := runServeOnce(l, cfg, rep)
+		if err != nil {
+			return nil, err
+		}
+		matched = matched && r.Matched
+		sloOK = sloOK && r.SLOOK
+		retryOK = retryOK && r.RetryAfterOK
+		if best == nil || r.OpsSec > best.OpsSec {
+			best = r
+		}
+	}
+	best.Matched, best.SLOOK, best.RetryAfterOK = matched, sloOK, retryOK
+	best.Reps = cfg.Reps
+	return best, nil
+}
+
+func runServeOnce(l *Lab, cfg ServeConfig, rep int) (*ServeResult, error) {
+	net, err := workload.Generate(l.Cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Eligible users and their profiles (canonicalized for the verify pass).
+	users := make([]int64, 0, len(l.Prefs.Users))
+	profiles := make(map[int64][]hypre.ScoredPred, cfg.Sessions)
+	for _, uid := range l.Prefs.Users {
+		if len(users) >= cfg.Sessions {
+			break
+		}
+		canon, _ := combine.CanonicalProfile(l.ProfileFor(uid, cfg.Cap))
+		if len(canon) == 0 {
+			continue
+		}
+		users = append(users, uid)
+		profiles[uid] = canon
+	}
+	if len(users) == 0 {
+		return nil, fmt.Errorf("serve: no users with positive profiles")
+	}
+	mix := workload.ZipfProfileSequence(users, cfg.Queries, cfg.Mix)
+
+	res := &ServeResult{
+		Sessions:  len(users),
+		Queries:   len(mix.Seq),
+		Workers:   cfg.Workers,
+		K:         cfg.K,
+		SLO:       cfg.SLO,
+		P99Budget: cfg.P99Budget,
+		Matched:   true,
+		Reps:      1,
+	}
+
+	// --- Phase 1: closed loop against an ungated App ---
+	app, err := serve.New(serve.Options{Net: net})
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(app.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Store every session over the wire — the PUT path is part of what is
+	// being measured for correctness (fingerprint canonicalization).
+	for _, uid := range users {
+		body, err := profileJSON(profiles[uid])
+		if err != nil {
+			return nil, err
+		}
+		req, err := http.NewRequest("PUT", fmt.Sprintf("%s/v1/session/u%d/profile", ts.URL, uid), body)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("serve: PUT session u%d: status %d", uid, resp.StatusCode)
+		}
+	}
+
+	reqs := make([]workload.HTTPRequest, len(mix.Seq))
+	for i, uid := range mix.Seq {
+		reqs[i] = workload.HTTPRequest{
+			Method: "POST", Path: "/v1/query",
+			Body: []byte(fmt.Sprintf(`{"session":"u%d","k":%d}`, uid, cfg.K)),
+		}
+	}
+
+	// Mutation sidecar: pid-keyed op batches through /v1/mutate while the
+	// query drive runs.
+	stream, err := workload.NewUpdateStream(net, workload.DefaultStreamConfig())
+	if err != nil {
+		return nil, err
+	}
+	plan := stream.PlanPartitions(1, cfg.MutateOps)[0]
+	sidecarErr := make(chan error, 1)
+	go func() {
+		for off := 0; off < len(plan); off += cfg.MutateBatch {
+			end := off + cfg.MutateBatch
+			if end > len(plan) {
+				end = len(plan)
+			}
+			body, err := json.Marshal(struct {
+				Ops []workload.Op `json:"ops"`
+			}{plan[off:end]})
+			if err != nil {
+				sidecarErr <- err
+				return
+			}
+			resp, err := client.Post(ts.URL+"/v1/mutate", "application/json", bytes.NewReader(body))
+			if err != nil {
+				sidecarErr <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				sidecarErr <- fmt.Errorf("serve: mutate batch at %d: status %d", off, resp.StatusCode)
+				return
+			}
+			res.MutateCals++
+		}
+		sidecarErr <- nil
+	}()
+
+	drive, err := workload.DriveHTTP(client, ts.URL, reqs, workload.HTTPDriverConfig{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	if err := <-sidecarErr; err != nil {
+		return nil, err
+	}
+	if drive.Errors > 0 || drive.OK != drive.Issued {
+		return nil, fmt.Errorf("serve: closed loop: %d/%d ok, %d errors (%s)",
+			drive.OK, drive.Issued, drive.Errors, drive.FirstError)
+	}
+	res.OpsSec = float64(drive.OK) / drive.Wall.Seconds()
+	res.P50, res.P99 = drive.P50(), drive.P99()
+	res.MutateOps = len(plan)
+	res.HitRate = app.Server().Counters().Snapshot().HitRate()
+
+	// Verify: served answers (over the wire) are byte-identical to a fresh
+	// uncached evaluation over the store's post-mutation state.
+	n := len(mix.Ranked)
+	if n > 8 {
+		n = 8
+	}
+	for _, uid := range mix.Ranked[:n] {
+		if err := verifyServed(client, ts.URL, app, profiles[uid], uid, cfg.K, res); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- Phase 2: open-loop burst against an admission-gated twin ---
+	gated, err := serve.New(serve.Options{
+		Net: net,
+		Query: admit.Config{
+			Rate: cfg.AdmitRate, Burst: cfg.AdmitBurst,
+			MaxQueue: cfg.AdmitQueue, SLO: cfg.SLO,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	hot := mix.Ranked
+	if len(hot) > 8 {
+		hot = hot[:8]
+	}
+	for _, uid := range hot {
+		if _, err := gated.SeedSession(fmt.Sprintf("u%d", uid), profiles[uid]); err != nil {
+			return nil, err
+		}
+	}
+	ts2 := httptest.NewServer(gated.Handler())
+	defer ts2.Close()
+	// Warm the hot fingerprints so the burst measures admission + hit path.
+	for _, uid := range hot {
+		resp, err := ts2.Client().Post(ts2.URL+"/v1/query", "application/json",
+			bytes.NewReader([]byte(fmt.Sprintf(`{"session":"u%d","k":%d}`, uid, cfg.K))))
+		if err != nil {
+			return nil, err
+		}
+		resp.Body.Close()
+	}
+
+	burstReqs := make([]workload.HTTPRequest, cfg.BurstQueries)
+	for i := range burstReqs {
+		uid := hot[i%len(hot)]
+		burstReqs[i] = workload.HTTPRequest{
+			Method: "POST", Path: "/v1/query",
+			Body: []byte(fmt.Sprintf(`{"session":"u%d","k":%d}`, uid, cfg.K)),
+		}
+	}
+	burst, err := workload.DriveHTTP(ts2.Client(), ts2.URL, burstReqs, workload.HTTPDriverConfig{
+		Open: true, OpsPerSec: cfg.BurstOpsPerSec, Seed: 97 + int64(rep), Workers: 64,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if burst.Errors > 0 {
+		return nil, fmt.Errorf("serve: burst: %d errors (%s)", burst.Errors, burst.FirstError)
+	}
+	res.BurstOffered = burst.Issued
+	res.BurstOfferedPS = cfg.BurstOpsPerSec
+	res.AdmitRate = cfg.AdmitRate
+	res.BurstOK = burst.OK
+	res.BurstShed = burst.Shed
+	if burst.Issued > 0 {
+		res.ShedRate = float64(burst.Shed) / float64(burst.Issued)
+	}
+	if burst.Wall > 0 {
+		res.GoodputPS = float64(burst.OK) / burst.Wall.Seconds()
+	}
+	res.BurstP99 = burst.P99()
+	qsnap := gated.Registry().Histogram("admit_queue_query").Snapshot()
+	res.QueueP99 = qsnap.QuantileDuration(0.99)
+	res.SLOOK = res.BurstP99 <= cfg.P99Budget
+	res.RetryAfterOK = burst.Shed > 0 && burst.ShedWithRetryAfter == burst.Shed
+	return res, nil
+}
+
+// verifyServed asks the live server for one session's ranking over the wire
+// and compares it, score for score, against a fresh uncached evaluation.
+func verifyServed(client *http.Client, base string, app *serve.App,
+	prefs []hypre.ScoredPred, uid int64, k int, res *ServeResult) error {
+	resp, err := client.Post(base+"/v1/query", "application/json",
+		bytes.NewReader([]byte(fmt.Sprintf(`{"session":"u%d","k":%d}`, uid, k))))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: verify query u%d: status %d", uid, resp.StatusCode)
+	}
+	var body struct {
+		Results []struct {
+			PID   int64   `json:"pid"`
+			Score float64 `json:"score"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return err
+	}
+	want, err := app.Uncached(prefs, k)
+	if err != nil {
+		return err
+	}
+	if len(body.Results) != len(want) {
+		res.Matched = false
+		return nil
+	}
+	for i, got := range body.Results {
+		if got.PID != want[i].PID || got.Score != want[i].Intensity {
+			res.Matched = false
+			return nil
+		}
+	}
+	return nil
+}
+
+// profileJSON renders a canonical profile as a PUT body.
+func profileJSON(prefs []hypre.ScoredPred) (io.Reader, error) {
+	entries := make([]serve.ProfileEntry, len(prefs))
+	for i, p := range prefs {
+		entries[i] = serve.ProfileEntry{Pred: p.Pred, Intensity: p.Intensity}
+	}
+	b, err := json.Marshal(struct {
+		Profile []serve.ProfileEntry `json:"profile"`
+	}{entries})
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(b), nil
+}
+
+// Render prints the serving rows.
+func (r *ServeResult) Render(w io.Writer) {
+	status := "IDENTICAL"
+	if !r.Matched {
+		status = "MISMATCH"
+	}
+	slo := "WITHIN"
+	if !r.SLOOK {
+		slo = "BLOWN"
+	}
+	retry := "ALL"
+	if !r.RetryAfterOK {
+		retry = "MISSING"
+	}
+	fprintf(w, "HTTP serve (%d sessions, %d queries x %d workers, k=%d, %d mutate ops in %d calls): %.0f q/s, p50 %v p99 %v, hit rate %.0f%%; answers %s; best of %d reps\n",
+		r.Sessions, r.Queries, r.Workers, r.K, r.MutateOps, r.MutateCals,
+		r.OpsSec, r.P50, r.P99, 100*r.HitRate, status, r.Reps)
+	fprintf(w, "  burst: offered %d @ %.0f/s vs admit %.0f/s -> %d ok / %d shed (%.0f%% shed, Retry-After %s), goodput %.0f q/s, admitted p99 %v (budget %v, %s), queue p99 %v (SLO %v)\n",
+		r.BurstOffered, r.BurstOfferedPS, r.AdmitRate, r.BurstOK, r.BurstShed,
+		100*r.ShedRate, retry, r.GoodputPS, r.BurstP99, r.P99Budget, slo, r.QueueP99, r.SLO)
+}

@@ -63,8 +63,13 @@ func bucketLow(i int) int64 {
 	return int64(histSub+sub) << uint(oct-1)
 }
 
-// Record adds one sample (negative values clamp to 0).
+// Record adds one sample (negative values clamp to 0). Nil histograms drop
+// the sample — same discipline as Counter.Add, so callers wired to an
+// optional registry need no branch of their own.
 func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
 	if v < 0 {
 		v = 0
 	}

@@ -1,0 +1,348 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hypre/internal/admit"
+	"hypre/internal/hypre"
+	"hypre/internal/serve"
+	"hypre/internal/workload"
+)
+
+func testNet(t testing.TB, seed int64) *workload.Network {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumPapers = 500
+	cfg.NumAuthors = 120
+	cfg.NumVenues = 10
+	net, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func newApp(t testing.TB, mutate func(*serve.Options)) (*serve.App, *workload.Network) {
+	t.Helper()
+	net := testNet(t, 17)
+	opts := serve.Options{Net: net}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	app, err := serve.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, net
+}
+
+// do issues one request against the app's handler and decodes the JSON body.
+func do(t testing.TB, app *serve.App, method, path, body string) (int, map[string]any) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != "" {
+		rd = bytes.NewReader([]byte(body))
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	w := httptest.NewRecorder()
+	app.Handler().ServeHTTP(w, req)
+	var out map[string]any
+	if w.Body.Len() > 0 && strings.HasPrefix(w.Header().Get("Content-Type"), "application/json") {
+		if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+			t.Fatalf("%s %s: bad JSON body %q: %v", method, path, w.Body.String(), err)
+		}
+	}
+	return w.Code, out
+}
+
+// profileBody marshals a two-pref profile body; predicates embed quoted
+// venue names, so the JSON is built by the encoder, never by hand.
+func profileBody(net *workload.Network, k int) string {
+	type wire struct {
+		Profile []serve.ProfileEntry `json:"profile"`
+		K       int                  `json:"k,omitempty"`
+	}
+	b, err := json.Marshal(wire{
+		Profile: []serve.ProfileEntry{
+			{Pred: fmt.Sprintf("dblp.venue=%q", net.Venues[0]), Intensity: 0.4},
+			{Pred: fmt.Sprintf("dblp.year=%d", net.Cfg.MinYear+1), Intensity: 0.3},
+		},
+		K: k,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+// TestMalformedRequests: every rejected request answers its documented
+// status and leaves the cache untouched — rejections must not pollute the
+// shared serving state.
+func TestMalformedRequests(t *testing.T) {
+	app, net := newApp(t, func(o *serve.Options) { o.MaxProfilePrefs = 4; o.MaxK = 50 })
+	bigProfile := `{"k":3,"profile":[` + strings.Repeat(`{"pred":"dblp.year=2000","intensity":0.1},`, 5)
+	bigProfile = strings.TrimSuffix(bigProfile, ",") + `]}`
+	cases := []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"bad json", "POST", "/v1/query", `{"k": nope}`, http.StatusBadRequest},
+		{"unknown field", "POST", "/v1/query", `{"kk":3}`, http.StatusBadRequest},
+		{"k missing", "POST", "/v1/query", `{"profile":[{"pred":"dblp.year=2000","intensity":0.1}]}`, http.StatusBadRequest},
+		{"k zero", "POST", "/v1/query", strings.Replace(profileBody(net, 3), `"k":3`, `"k":0`, 1), http.StatusBadRequest},
+		{"k negative", "POST", "/v1/query", strings.Replace(profileBody(net, 3), `"k":3`, `"k":-2`, 1), http.StatusBadRequest},
+		{"k above cap", "POST", "/v1/query", strings.Replace(profileBody(net, 3), `"k":3`, `"k":51`, 1), http.StatusBadRequest},
+		{"no profile no session", "POST", "/v1/query", `{"k":3}`, http.StatusBadRequest},
+		{"both profile and session", "POST", "/v1/query",
+			strings.Replace(profileBody(net, 3), `{"profile"`, `{"session":"s1","profile"`, 1), http.StatusBadRequest},
+		{"unknown session", "POST", "/v1/query", `{"session":"ghost","k":3}`, http.StatusNotFound},
+		{"bad predicate", "POST", "/v1/query", `{"k":3,"profile":[{"pred":"dblp.venue ~~ x","intensity":0.2}]}`, http.StatusBadRequest},
+		{"oversized profile", "POST", "/v1/query", bigProfile, http.StatusRequestEntityTooLarge},
+		{"empty canonical profile put", "PUT", "/v1/session/s1/profile", `{"profile":[]}`, http.StatusBadRequest},
+		{"get unknown session", "GET", "/v1/session/ghost/profile", "", http.StatusNotFound},
+		{"mutate no ops", "POST", "/v1/mutate", `{"ops":[]}`, http.StatusBadRequest},
+		{"mutate unknown kind", "POST", "/v1/mutate", `{"ops":[{"kind":"explode","pid":1}]}`, http.StatusBadRequest},
+		{"mutate bad json", "POST", "/v1/mutate", `{"ops":`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, body := do(t, app, c.method, c.path, c.body)
+			if code != c.want {
+				t.Fatalf("%s %s: status %d (body %v), want %d", c.method, c.path, code, body, c.want)
+			}
+			if body["error"] == "" {
+				t.Fatalf("%s %s: rejection carries no error message", c.method, c.path)
+			}
+		})
+	}
+	if entries, _ := app.Server().Cache().Stats(); entries != 0 {
+		t.Fatalf("rejected requests cached %d entries", entries)
+	}
+	if m := app.Server().Counters().Snapshot().Misses; m != 0 {
+		t.Fatalf("rejected requests reached the evaluator: %d misses", m)
+	}
+}
+
+// TestSessionRoundTripAndSharedCache: PUT round-trips through GET, a session
+// query and an inline query of the same profile share one fingerprint and
+// one cache entry, and answers are identical.
+func TestSessionRoundTripAndSharedCache(t *testing.T) {
+	app, net := newApp(t, nil)
+	code, put := do(t, app, "PUT", "/v1/session/alice/profile", profileBody(net, 0))
+	if code != http.StatusOK {
+		t.Fatalf("PUT profile: %d %v", code, put)
+	}
+	code, got := do(t, app, "GET", "/v1/session/alice/profile", "")
+	if code != http.StatusOK {
+		t.Fatalf("GET profile: %d", code)
+	}
+	if got["fingerprint"] != put["fingerprint"] || got["fingerprint"] == "" {
+		t.Fatalf("fingerprint did not round-trip: put %v get %v", put["fingerprint"], got["fingerprint"])
+	}
+	// Re-PUT the GET body under another session: the canonical profile (and
+	// so the fingerprint) must survive the round trip — this is what lets
+	// the CI smoke replay a seeded profile.
+	prof, _ := json.Marshal(map[string]any{"profile": got["profile"]})
+	code, put2 := do(t, app, "PUT", "/v1/session/bob/profile", string(prof))
+	if code != http.StatusOK || put2["fingerprint"] != put["fingerprint"] {
+		t.Fatalf("re-PUT of round-tripped profile: %d fp %v want %v", code, put2["fingerprint"], put["fingerprint"])
+	}
+
+	code, q1 := do(t, app, "POST", "/v1/query", `{"session":"alice","k":5}`)
+	if code != http.StatusOK || q1["outcome"] != "miss" {
+		t.Fatalf("first session query: %d %v", code, q1)
+	}
+	code, q2 := do(t, app, "POST", "/v1/query", profileBody(net, 5))
+	if code != http.StatusOK || q2["outcome"] != "hit" {
+		t.Fatalf("inline query of same profile: %d outcome %v, want hit", code, q2["outcome"])
+	}
+	if fmt.Sprint(q1["results"]) != fmt.Sprint(q2["results"]) {
+		t.Fatalf("session and inline answers diverge:\n%v\n%v", q1["results"], q2["results"])
+	}
+	if q1["fingerprint"] != q2["fingerprint"] {
+		t.Fatalf("fingerprints diverge: %v vs %v", q1["fingerprint"], q2["fingerprint"])
+	}
+	if len(q1["results"].([]any)) == 0 {
+		t.Fatal("query returned no results")
+	}
+}
+
+// TestMutateInvalidatesAndMatchesUncached: a delete of a ranked pid shows up
+// in the next query (no stale answer), and the served answer equals a fresh
+// uncached evaluation.
+func TestMutateInvalidatesAndMatchesUncached(t *testing.T) {
+	app, net := newApp(t, nil)
+	if code, _ := do(t, app, "PUT", "/v1/session/u/profile", profileBody(net, 0)); code != 200 {
+		t.Fatal("PUT failed")
+	}
+	code, q1 := do(t, app, "POST", "/v1/query", `{"session":"u","k":5}`)
+	if code != 200 {
+		t.Fatalf("query: %d", code)
+	}
+	results := q1["results"].([]any)
+	if len(results) == 0 {
+		t.Fatal("no results to delete")
+	}
+	victim := int64(results[0].(map[string]any)["pid"].(float64))
+
+	code, m := do(t, app, "POST", "/v1/mutate", fmt.Sprintf(`{"ops":[{"kind":"delete","pid":%d}]}`, victim))
+	if code != 200 || m["applied"].(float64) != 1 {
+		t.Fatalf("mutate: %d %v", code, m)
+	}
+	code, q2 := do(t, app, "POST", "/v1/query", `{"session":"u","k":5}`)
+	if code != 200 {
+		t.Fatalf("re-query: %d", code)
+	}
+	for _, r := range q2["results"].([]any) {
+		if int64(r.(map[string]any)["pid"].(float64)) == victim {
+			t.Fatalf("deleted pid %d still ranked: %v", victim, q2["results"])
+		}
+	}
+	// The mutate response promises the sync already ran: the re-query must
+	// have been served from the repaired cache, not a stale bypass.
+	if sb := app.Server().Counters().Snapshot().StaleBypasses; sb != 0 {
+		t.Fatalf("re-query after mutate took %d stale bypasses, want 0", sb)
+	}
+	// And it matches a from-scratch evaluation exactly.
+	code, prof := do(t, app, "GET", "/v1/session/u/profile", "")
+	if code != 200 {
+		t.Fatal("GET profile")
+	}
+	var entries []serve.ProfileEntry
+	b, _ := json.Marshal(prof["profile"])
+	if err := json.Unmarshal(b, &entries); err != nil {
+		t.Fatal(err)
+	}
+	prefs := make([]hypre.ScoredPred, len(entries))
+	for i, e := range entries {
+		sp, err := hypre.NewScoredPred(e.Pred, e.Intensity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefs[i] = sp
+	}
+	fresh, err := app.Uncached(prefs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := q2["results"].([]any)
+	if len(fresh) != len(served) {
+		t.Fatalf("served %d rows, uncached %d", len(served), len(fresh))
+	}
+	for i, r := range served {
+		row := r.(map[string]any)
+		if int64(row["pid"].(float64)) != fresh[i].PID || row["score"].(float64) != fresh[i].Intensity {
+			t.Fatalf("row %d: served %v, uncached %+v", i, row, fresh[i])
+		}
+	}
+}
+
+// TestQueryAdmissionSheds: with a tight query gate, a burst past the bucket
+// answers 429 with a Retry-After hint while earlier arrivals succeed, and
+// the mutate class is unaffected.
+func TestQueryAdmissionSheds(t *testing.T) {
+	app, net := newApp(t, func(o *serve.Options) {
+		o.Query = admit.Config{Rate: 1, Burst: 2, MaxQueue: 1, SLO: time.Millisecond}
+	})
+	body := profileBody(net, 3)
+	var ok, shed int
+	for i := 0; i < 6; i++ {
+		req := httptest.NewRequest("POST", "/v1/query", bytes.NewReader([]byte(body)))
+		w := httptest.NewRecorder()
+		app.Handler().ServeHTTP(w, req)
+		switch w.Code {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+			if w.Header().Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+		default:
+			t.Fatalf("unexpected status %d: %s", w.Code, w.Body.String())
+		}
+	}
+	if ok < 2 || shed == 0 {
+		t.Fatalf("ok %d shed %d, want >=2 admitted and >0 shed", ok, shed)
+	}
+	snap := app.QueryGate().Counters().Snapshot()
+	if snap.Shed == 0 {
+		t.Fatalf("gate ledger missed the sheds: %+v", snap)
+	}
+	// Mutate rides its own unlimited gate.
+	pid := net.Papers[0].PID
+	if code, _ := do(t, app, "POST", "/v1/mutate",
+		fmt.Sprintf(`{"ops":[{"kind":"update_year","pid":%d,"year":2001}]}`, pid)); code != 200 {
+		t.Fatalf("mutate sharing the query gate? status %d", code)
+	}
+}
+
+// TestConcurrentSessionsAndMutations: sessions store, query, and mutate
+// concurrently against one App (run under -race in CI).
+func TestConcurrentSessionsAndMutations(t *testing.T) {
+	app, net := newApp(t, nil)
+	srv := httptest.NewServer(app.Handler())
+	defer srv.Close()
+	client := srv.Client()
+	post := func(path, body string) (int, error) {
+		resp, err := client.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("w%d", w)
+			prof, _ := json.Marshal(map[string]any{"profile": []serve.ProfileEntry{
+				{Pred: fmt.Sprintf("dblp.venue=%q", net.Venues[w%len(net.Venues)]), Intensity: 0.5},
+			}})
+			req, _ := http.NewRequest("PUT", srv.URL+"/v1/session/"+id+"/profile", bytes.NewReader(prof))
+			resp, err := client.Do(req)
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				errs <- fmt.Errorf("worker %d PUT: status %d", w, resp.StatusCode)
+				return
+			}
+			for i := 0; i < 8; i++ {
+				if code, err := post("/v1/query", fmt.Sprintf(`{"session":%q,"k":4}`, id)); err != nil || code != 200 {
+					errs <- fmt.Errorf("worker %d query %d: code %d err %v", w, i, code, err)
+					return
+				}
+				if i%3 == 0 {
+					pid := net.Papers[(w*31+i*7)%len(net.Papers)].PID
+					code, err := post("/v1/mutate", fmt.Sprintf(`{"ops":[{"kind":"update_year","pid":%d,"year":%d}]}`, pid, 1995+i))
+					if err != nil || code != 200 {
+						errs <- fmt.Errorf("worker %d mutate %d: code %d err %v", w, i, code, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

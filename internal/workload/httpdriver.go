@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the HTTP half of the traffic generator: the same two arrival
+// disciplines the store-level stream experiment uses — closed loop (a fixed
+// worker pool, each worker issuing its next request the moment the previous
+// answer lands) and open loop (a Pacer schedules arrivals at a fixed offered
+// rate regardless of how fast the server answers) — driving a real HTTP
+// server instead of the store API.
+//
+// The open-loop latency ledger is coordinated-omission-free: each request's
+// latency is measured from its SCHEDULED arrival time, not from when a
+// goroutine got around to sending it, so a stalled server inflates the tail
+// instead of silently thinning the sample.
+
+// HTTPRequest is one pre-built request of a drive plan.
+type HTTPRequest struct {
+	Method string
+	Path   string // joined to the driver's base URL
+	Body   []byte // nil for GET
+}
+
+// HTTPDriverConfig shapes one DriveHTTP run.
+type HTTPDriverConfig struct {
+	// Open selects the arrival discipline: open loop (Pacer at OpsPerSec)
+	// when true, closed loop (Workers in lockstep) when false.
+	Open bool
+	// OpsPerSec is the open-loop offered rate (ignored when closed loop).
+	OpsPerSec float64
+	// Workers is the closed-loop pool size (default 4). In open loop it
+	// bounds in-flight requests; 0 means unbounded (goroutine per arrival).
+	Workers int
+	// Seed derives the Pacer's interarrival sequence.
+	Seed int64
+	// Timeout bounds one request (default 10s).
+	Timeout time.Duration
+}
+
+// HTTPResult is one drive's ledger.
+type HTTPResult struct {
+	Issued int // requests sent
+	OK     int // 2xx answers
+	Shed   int // 429 answers
+	Errors int // transport errors and non-2xx/429 statuses
+
+	// OKLats holds one latency sample per 2xx answer — closed loop: send to
+	// last body byte; open loop: scheduled arrival to last body byte.
+	OKLats []time.Duration
+	// Wall is the whole drive's duration.
+	Wall time.Duration
+	// StatusCounts tallies answers by HTTP status.
+	StatusCounts map[int]int
+	// ShedWithRetryAfter counts 429s carrying a parseable positive
+	// Retry-After header; load-shedding is well-formed iff it equals Shed.
+	ShedWithRetryAfter int
+	// FirstError samples the first transport/status failure for reporting.
+	FirstError string
+}
+
+// P50 and P99 are the OK-latency percentiles (0 when no OKs).
+func (r *HTTPResult) P50() time.Duration { return percentileDur(r.OKLats, 0.50) }
+func (r *HTTPResult) P99() time.Duration { return percentileDur(r.OKLats, 0.99) }
+
+func percentileDur(lats []time.Duration, p float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := make([]time.Duration, len(lats))
+	copy(s, lats)
+	for i := 1; i < len(s); i++ { // insertion sort: samples are few thousand
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	i := int(p * float64(len(s)-1))
+	return s[i]
+}
+
+// DriveHTTP issues every request of the plan against baseURL under cfg's
+// arrival discipline and returns the ledger. client may be nil (a default
+// client with cfg.Timeout is built). The error return is reserved for plan
+// problems; per-request failures land in the ledger instead.
+func DriveHTTP(client *http.Client, baseURL string, reqs []HTTPRequest, cfg HTTPDriverConfig) (*HTTPResult, error) {
+	if len(reqs) == 0 {
+		return &HTTPResult{StatusCounts: map[int]int{}}, nil
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+	res := &HTTPResult{StatusCounts: make(map[int]int)}
+	var mu sync.Mutex
+	record := func(lat time.Duration, status int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		res.Issued++
+		if err != nil {
+			res.Errors++
+			if res.FirstError == "" {
+				res.FirstError = err.Error()
+			}
+			return
+		}
+		res.StatusCounts[status]++
+		switch {
+		case status >= 200 && status < 300:
+			res.OK++
+			res.OKLats = append(res.OKLats, lat)
+		case status == http.StatusTooManyRequests:
+			res.Shed++
+		default:
+			res.Errors++
+			if res.FirstError == "" {
+				res.FirstError = fmt.Sprintf("unexpected status %d on %s %s", status, reqs[0].Method, reqs[0].Path)
+			}
+		}
+	}
+	issue := func(r HTTPRequest) (int, error) {
+		var body io.Reader
+		if r.Body != nil {
+			body = bytes.NewReader(r.Body)
+		}
+		req, err := http.NewRequest(r.Method, baseURL+r.Path, body)
+		if err != nil {
+			return 0, err
+		}
+		if r.Body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			ra, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+			if ra >= 1 {
+				mu.Lock()
+				res.ShedWithRetryAfter++
+				mu.Unlock()
+			}
+		}
+		return resp.StatusCode, nil
+	}
+
+	start := time.Now()
+	if !cfg.Open {
+		workers := cfg.Workers
+		if workers <= 0 {
+			workers = 4
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= len(reqs) {
+						return
+					}
+					t0 := time.Now()
+					status, err := issue(reqs[i])
+					record(time.Since(t0), status, err)
+				}
+			}()
+		}
+		wg.Wait()
+		res.Wall = time.Since(start)
+		return res, nil
+	}
+
+	// Open loop: schedule every arrival up front from the Pacer, then fire
+	// each at its offset. A bounded semaphore (Workers > 0) caps in-flight
+	// requests; an arrival that cannot get a slot by its scheduled time still
+	// charges its wait to latency — that is the point of open loop.
+	pacer := NewPacer(cfg.Seed, cfg.OpsPerSec)
+	offsets := make([]time.Duration, len(reqs))
+	for i := range reqs {
+		offsets[i] = pacer.Next()
+	}
+	var sem chan struct{}
+	if cfg.Workers > 0 {
+		sem = make(chan struct{}, cfg.Workers)
+	}
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			scheduled := start.Add(offsets[i])
+			if d := time.Until(scheduled); d > 0 {
+				time.Sleep(d)
+			}
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			status, err := issue(reqs[i])
+			record(time.Since(scheduled), status, err)
+		}(i)
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+	return res, nil
+}

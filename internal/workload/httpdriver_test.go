@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestOpKindJSONRoundTrip(t *testing.T) {
+	for k := OpInsert; k <= OpLinkDel; k++ {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", k, err)
+		}
+		var back OpKind
+		if err := json.Unmarshal(b, &back); err != nil || back != k {
+			t.Fatalf("round trip %v: got %v err %v", k, back, err)
+		}
+	}
+	var k OpKind
+	if err := json.Unmarshal([]byte(`"vaporize"`), &k); err == nil {
+		t.Fatal("unknown kind must be rejected")
+	}
+	if err := json.Unmarshal([]byte(`3`), &k); err == nil {
+		t.Fatal("numeric kind must be rejected")
+	}
+	op := Op{Kind: OpUpdateVenue, PID: 42, Venue: "SIGMOD"}
+	b, err := json.Marshal(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"kind":"update_venue","pid":42,"venue":"SIGMOD"}`
+	if string(b) != want {
+		t.Fatalf("op JSON = %s, want %s", b, want)
+	}
+}
+
+// TestDriveHTTPClosedLoop: every planned request is issued exactly once, OKs
+// and errors are tallied by status, and latency samples match the OK count.
+func TestDriveHTTPClosedLoop(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if r.URL.Path == "/boom" {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer srv.Close()
+
+	reqs := make([]HTTPRequest, 0, 40)
+	for i := 0; i < 36; i++ {
+		reqs = append(reqs, HTTPRequest{Method: "GET", Path: "/ok"})
+	}
+	for i := 0; i < 4; i++ {
+		reqs = append(reqs, HTTPRequest{Method: "POST", Path: "/boom", Body: []byte(`{}`)})
+	}
+	res, err := DriveHTTP(nil, srv.URL, reqs, HTTPDriverConfig{Workers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued != 40 || hits.Load() != 40 {
+		t.Fatalf("issued %d, server saw %d, want 40", res.Issued, hits.Load())
+	}
+	if res.OK != 36 || res.Errors != 4 || res.Shed != 0 {
+		t.Fatalf("ledger: %+v", res)
+	}
+	if len(res.OKLats) != 36 {
+		t.Fatalf("latency samples %d, want 36", len(res.OKLats))
+	}
+	if res.StatusCounts[200] != 36 || res.StatusCounts[500] != 4 {
+		t.Fatalf("status counts: %v", res.StatusCounts)
+	}
+	if res.FirstError == "" {
+		t.Fatal("FirstError not sampled for 500s")
+	}
+	if res.P99() < res.P50() {
+		t.Fatalf("p99 %v < p50 %v", res.P99(), res.P50())
+	}
+}
+
+// TestDriveHTTPOpenLoopShed: a server that sheds every other request with a
+// Retry-After header; the open-loop driver counts shed separately from
+// errors and validates the header on every 429.
+func TestDriveHTTPOpenLoopShed(t *testing.T) {
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%2 == 0 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("ok")) //nolint:errcheck
+	}))
+	defer srv.Close()
+
+	reqs := make([]HTTPRequest, 30)
+	for i := range reqs {
+		reqs[i] = HTTPRequest{Method: "GET", Path: "/q"}
+	}
+	res, err := DriveHTTP(nil, srv.URL, reqs, HTTPDriverConfig{
+		Open: true, OpsPerSec: 2000, Seed: 9, Workers: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued != 30 || res.Errors != 0 {
+		t.Fatalf("ledger: %+v", res)
+	}
+	if res.OK != 15 || res.Shed != 15 {
+		t.Fatalf("OK %d shed %d, want 15/15", res.OK, res.Shed)
+	}
+	if res.ShedWithRetryAfter != res.Shed {
+		t.Fatalf("Retry-After on %d of %d sheds", res.ShedWithRetryAfter, res.Shed)
+	}
+	if res.Wall <= 0 {
+		t.Fatal("wall clock not recorded")
+	}
+}
+
+// TestDriveHTTPOpenLoopChargesScheduledTime: a deliberately slow server must
+// show open-loop latencies that include queueing behind the single in-flight
+// slot — the coordinated-omission guard.
+func TestDriveHTTPOpenLoopChargesScheduledTime(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(20 * time.Millisecond)
+		w.Write([]byte("ok")) //nolint:errcheck
+	}))
+	defer srv.Close()
+	reqs := make([]HTTPRequest, 6)
+	for i := range reqs {
+		reqs[i] = HTTPRequest{Method: "GET", Path: "/q"}
+	}
+	// Offered at 1000/s against a 20ms server with one slot: the last
+	// arrival queues ~5 service times, so its charged latency must be well
+	// above one service time.
+	res, err := DriveHTTP(nil, srv.URL, reqs, HTTPDriverConfig{
+		Open: true, OpsPerSec: 1000, Seed: 4, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != 6 {
+		t.Fatalf("ledger: %+v first error %s", res, res.FirstError)
+	}
+	if max := res.P99(); max < 60*time.Millisecond {
+		t.Fatalf("open-loop tail %v does not include queue wait", max)
+	}
+}

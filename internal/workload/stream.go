@@ -47,13 +47,15 @@ const (
 )
 
 // Op is one pre-planned mutation against the DBLP pair of tables, keyed by
-// pid. Fields beyond PID are populated per kind.
+// pid. Fields beyond PID are populated per kind. The JSON form (kind as its
+// lowercase name, see opjson.go) is the wire format of the serving tier's
+// /v1/mutate batches.
 type Op struct {
-	Kind    OpKind
-	PID     int64
-	Venue   string
-	Year    int64
-	Authors []int64 // OpInsert: initial links; OpLinkAdd: Authors[0]
+	Kind    OpKind  `json:"kind"`
+	PID     int64   `json:"pid"`
+	Venue   string  `json:"venue,omitempty"`
+	Year    int64   `json:"year,omitempty"`
+	Authors []int64 `json:"authors,omitempty"` // OpInsert: initial links; OpLinkAdd: Authors[0]
 }
 
 // Do executes the op against the store as one key-addressed mutation batch
